@@ -1,0 +1,38 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables or figures and prints the
+corresponding rows/series (run with ``pytest benchmarks/ --benchmark-only -s``
+to see them).  The dataset scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``quick`` (default) — 142 users x 300 services; minutes for the full set,
+  preserving every qualitative shape of the paper's results.
+* ``paper`` — 142 x 4500 x 64, 20 reruns; the full-scale reproduction
+  (hours; use for the final EXPERIMENTS.md numbers only).
+* ``tiny``  — CI smoke scale.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentScale
+
+
+def _resolve_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if name == "paper":
+        return ExperimentScale.paper()
+    if name == "tiny":
+        return ExperimentScale.tiny()
+    if name == "quick":
+        # reruns=2 keeps the full bench suite in the ~10 minute range while
+        # still averaging out stream-order noise.
+        return ExperimentScale.quick().with_updates(reruns=2)
+    raise ValueError(
+        f"REPRO_BENCH_SCALE must be quick|paper|tiny, got {name!r}"
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return _resolve_scale()

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of AMF's hot paths.
+
+Not a paper artifact — these track the implementation's raw throughput
+(online updates/second, replay throughput, dense prediction) so performance
+regressions in the per-sample loop are caught by the benchmark suite.
+"""
+
+import numpy as np
+
+from repro.core import AdaptiveMatrixFactorization, AMFConfig
+from repro.datasets.schema import QoSRecord
+
+
+def _warm_model(n_users=100, n_services=200, n_samples=5000, seed=0):
+    model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=seed)
+    rng = np.random.default_rng(seed)
+    records = [
+        QoSRecord(
+            timestamp=float(k),
+            user_id=int(rng.integers(n_users)),
+            service_id=int(rng.integers(n_services)),
+            value=float(rng.uniform(0.05, 5.0)),
+        )
+        for k in range(n_samples)
+    ]
+    model.observe_many(records)
+    return model, records
+
+
+def test_bench_observe_throughput(benchmark):
+    """Arrival-path updates (Algorithm 1 lines 3-9) per second."""
+    model, records = _warm_model()
+    batch = records[:1000]
+
+    def observe_batch():
+        model.observe_many(batch)
+
+    benchmark(observe_batch)
+    # Sanity floor: the online path must sustain thousands of updates/s,
+    # or "online" stops being meaningful at WS-DREAM arrival rates.
+    assert benchmark.stats["mean"] < 1.0  # >1k updates/sec
+
+
+def test_bench_replay_throughput(benchmark):
+    """Replay-path updates (Algorithm 1 lines 11-15) per second."""
+    model, __ = _warm_model()
+
+    def replay_batch():
+        model.replay_many(now=0.0, count=1000)
+
+    benchmark(replay_batch)
+    assert benchmark.stats["mean"] < 1.0
+
+
+def test_bench_predict_matrix(benchmark):
+    """Dense prediction over all known users x services."""
+    model, __ = _warm_model()
+    result = benchmark(model.predict_matrix)
+    assert result.shape == (model.n_users, model.n_services)
+
+
+def test_bench_single_prediction(benchmark):
+    """Point prediction latency — the adaptation-decision critical path."""
+    model, __ = _warm_model()
+    benchmark(model.predict, 5, 10)
+    assert benchmark.stats["mean"] < 1e-3  # sub-millisecond

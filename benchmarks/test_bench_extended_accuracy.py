@@ -1,0 +1,37 @@
+"""Bench (extension): AMF vs the strongest batch comparator (BiasedMF).
+
+The paper's baselines predate bias-augmented factorization; this bench adds
+BiasedMF (mu + b_i + c_j + U.S with a sigmoid link) to a Table I-style
+comparison at two densities, asking whether AMF's advantage survives a
+tougher modern offline model.  Expected shape: BiasedMF clearly beats PMF,
+narrows the MRE gap to AMF, but AMF keeps the NPRE (tail) advantage — and
+remains the only online option.
+"""
+
+import pytest
+
+from repro.experiments.accuracy import run_table1
+
+
+@pytest.mark.parametrize("attribute", ["response_time"])
+def test_bench_extended_accuracy(benchmark, bench_scale, attribute):
+    result = benchmark.pedantic(
+        run_table1,
+        args=(bench_scale,),
+        kwargs={
+            "attributes": (attribute,),
+            "densities": (0.10, 0.30),
+            "approaches": ["PMF", "BiasedMF", "AMF"],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    for density in (0.10, 0.30):
+        cell = result.results[attribute][density]
+        # The bias extension is a real improvement over plain PMF...
+        assert cell["BiasedMF"].metrics["MRE"] < cell["PMF"].metrics["MRE"], density
+        # ...and AMF still wins the tail against it.
+        assert cell["AMF"].metrics["NPRE"] < cell["BiasedMF"].metrics["NPRE"], density

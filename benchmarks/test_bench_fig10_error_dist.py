@@ -1,0 +1,26 @@
+"""Bench E-fig10: distribution of signed prediction errors.
+
+Regenerates Fig. 10 for both attributes at 10% density: error histograms
+for UIPCC, PMF, and AMF.  Shape: AMF's distribution is the most sharply
+peaked around zero; the baselines are flatter.
+"""
+
+import pytest
+
+from repro.experiments.error_dist import run_error_dist
+
+
+@pytest.mark.parametrize("attribute", ["response_time", "throughput"])
+def test_bench_fig10_error_dist(benchmark, bench_scale, attribute):
+    result = benchmark.pedantic(
+        run_error_dist,
+        args=(bench_scale,),
+        kwargs={"attribute": attribute, "density": 0.10},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    assert result.central_mass["AMF"] > result.central_mass["UIPCC"]
+    assert result.central_mass["AMF"] > result.central_mass["PMF"]

@@ -1,0 +1,31 @@
+"""Bench E-fig11: impact of the data transformation on MRE.
+
+Regenerates Fig. 11: MRE across densities for PMF, AMF(alpha=1) (Box-Cox
+masked, linear normalization only), and AMF with the tuned alpha.
+Shape: AMF < AMF(alpha=1) < PMF at every density.
+"""
+
+import pytest
+
+from repro.experiments.transform_impact import run_transform_impact
+
+
+@pytest.mark.parametrize("attribute", ["response_time", "throughput"])
+def test_bench_fig11_transform(benchmark, bench_scale, attribute):
+    result = benchmark.pedantic(
+        run_transform_impact,
+        args=(bench_scale,),
+        kwargs={"attribute": attribute},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    for k, density in enumerate(result.densities):
+        assert result.mre["AMF"][k] < result.mre["PMF"][k], density
+        # The tuned transform never loses to the linear one by more than
+        # noise; at most densities it wins outright.
+        assert result.mre["AMF"][k] <= result.mre["AMF(alpha=1)"][k] * 1.05, density
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean(result.mre["AMF"]) < mean(result.mre["AMF(alpha=1)"])

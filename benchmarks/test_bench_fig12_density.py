@@ -1,0 +1,32 @@
+"""Bench E-fig12: impact of matrix density on AMF accuracy.
+
+Regenerates Fig. 12: MAE/MRE/NPRE for AMF over densities 5%..50%.
+Shape: every metric falls as density rises, with the steepest drop at the
+sparsest settings (the overfitting-relief effect the paper describes).
+"""
+
+import pytest
+
+from repro.experiments.density_impact import run_density_impact
+
+
+@pytest.mark.parametrize("attribute", ["response_time", "throughput"])
+def test_bench_fig12_density(benchmark, bench_scale, attribute):
+    result = benchmark.pedantic(
+        run_density_impact,
+        args=(bench_scale,),
+        kwargs={"attribute": attribute},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    for metric in ("MAE", "MRE", "NPRE"):
+        series = result.metrics[metric]
+        # Monotone-ish decrease: the densest setting clearly beats the
+        # sparsest, and the early drop dominates the late one.
+        assert series[-1] < series[0], metric
+        early_drop = series[0] - series[1]   # 5% -> 10%
+        late_drop = max(series[-2] - series[-1], 0.0)  # 45% -> 50%
+        assert early_drop >= late_drop - 1e-9, metric

@@ -1,0 +1,42 @@
+"""Bench E-fig14: scalability and robustness under churn.
+
+Regenerates Fig. 14: MRE over time with 80% of users/services trained to
+convergence and the remaining 20% injected mid-run.
+
+Shape: new-entity MRE starts high at the join and drops rapidly; the
+existing entities' MRE stays flat (adaptive weights shield converged
+factors from unconverged newcomers).
+"""
+
+import numpy as np
+
+from repro.experiments.scalability import run_scalability
+
+
+def test_bench_fig14_scalability(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_scalability,
+        args=(bench_scale,),
+        kwargs={"density": 0.30},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+    print(
+        f"existing-entity MRE drift: {result.existing_drift():+.4f}; "
+        f"new-entity MRE improvement: {result.new_entity_improvement():.4f}"
+    )
+
+    # Existing entities are barely perturbed by the join.
+    assert abs(result.existing_drift()) < 0.1
+
+    # New entities integrate: their MRE drops from the first post-join
+    # checkpoint to the end of the run.
+    post_join = [cp.mre_new for cp in result.checkpoints if np.isfinite(cp.mre_new)]
+    assert len(post_join) >= 2
+    assert post_join[-1] < post_join[0]
+
+    # And they converge toward the existing entities' accuracy.
+    final = result.checkpoints[-1]
+    assert final.mre_new < 1.5 * final.mre_existing

@@ -1,0 +1,31 @@
+"""Bench E-fig2/E-fig6: dataset characterization.
+
+Regenerates Fig. 6 (the data-statistics table) and the two Fig. 2 series
+(per-pair response time over the slices; sorted response times across users
+on one service).
+"""
+
+import numpy as np
+
+from repro.experiments.data_stats import run_data_stats
+
+
+def test_bench_fig2_fig6_data_stats(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_data_stats, args=(bench_scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    # Fig. 6 shape: ranges and averages match the paper's dataset profile.
+    assert result.rt_stats["max"] <= 20.0
+    assert 0.8 < result.rt_stats["mean"] < 2.0  # paper: 1.33 s
+    assert result.tp_stats["max"] <= 7000.0
+
+    # Fig. 2(a) shape: fluctuation around a stable mean, not a flat line.
+    series = result.pair_series
+    assert series.std() > 0.05 * series.mean()
+    assert series.std() < 2.0 * series.mean()
+
+    # Fig. 2(b) shape: large user-to-user variation on one service.
+    assert result.user_series[-1] > 2.0 * max(result.user_series[0], 1e-3)

@@ -1,0 +1,27 @@
+"""Bench E-fig7/8: QoS value distributions, raw and transformed.
+
+Regenerates the density histograms of Fig. 7 (skewed raw values, cut at
+10 s / 150 kbps) and Fig. 8 (near-uniform-on-[0,1] transformed values).
+"""
+
+import pytest
+
+from repro.experiments.distributions import run_distributions
+
+
+@pytest.mark.parametrize("attribute", ["response_time", "throughput"])
+def test_bench_fig7_8_distributions(benchmark, bench_scale, attribute):
+    result = benchmark.pedantic(
+        run_distributions,
+        args=(bench_scale,),
+        kwargs={"attribute": attribute},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    # Fig. 7 shape: raw data is strongly right-skewed.
+    assert result.skewness_raw > 1.0
+    # Fig. 8 shape: the Box-Cox pipeline removes most of the skew.
+    assert abs(result.skewness_transformed) < result.skewness_raw / 2

@@ -1,0 +1,26 @@
+"""Bench E-fig9: sorted normalized singular values of the QoS matrices.
+
+Regenerates Fig. 9's two series and checks the low-rank shape that justifies
+the factorization rank d = 10.
+"""
+
+from repro.experiments.spectrum import run_spectrum
+
+
+def test_bench_fig9_spectrum(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_spectrum, args=(bench_scale,), kwargs={"top_k": 50}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    # Fig. 9 shape: spectra start at 1 and decay fast — the energy
+    # concentrates in the first few singular values.
+    for spectrum in (result.rt_spectrum, result.tp_spectrum):
+        assert spectrum[0] == 1.0
+        assert spectrum[9] < 0.35   # by the 10th value the tail is low
+        assert spectrum[-1] < 0.15
+    # The synthetic twin carries per-observation measurement noise (as the
+    # real data does), so its 90%-energy rank is a loose bound, not d = 10.
+    assert result.rt_effective_rank < bench_scale.n_users / 2
+    assert result.tp_effective_rank < bench_scale.n_users / 2

@@ -1,0 +1,36 @@
+"""Bench (extension): candidate-selection decision quality.
+
+Not a paper artifact — the paper motivates adaptation decisions but scores
+only value accuracy.  This bench regenerates the decision-level comparison:
+top-k hit rates, selection regret, and SLA-call accuracy per approach, plus
+the coverage gap of per-pair time-series predictors (the prior
+working-service art cannot score candidate services at all).
+"""
+
+from repro.experiments.selection_quality import run_selection_quality
+
+
+def test_bench_selection_quality(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_selection_quality,
+        args=(bench_scale,),
+        kwargs={"density": 0.10},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    amf = result.metrics["AMF"]
+    for name, metrics in result.metrics.items():
+        if name == "AMF":
+            continue
+        # AMF makes the best adaptation decisions across the board.
+        assert amf["top-1 hit"] >= metrics["top-1 hit"], name
+        assert amf["regret (s)"] <= metrics["regret (s)"] * 1.1, name
+
+    # Better than picking a candidate at random (expected hit = 1/pool).
+    assert amf["top-1 hit"] > 2.0 / result.pool_size
+
+    # The prior working-service art cannot score candidate pools at all.
+    assert result.timeseries_coverage < 0.05

@@ -1,0 +1,48 @@
+"""Bench E-tab1: Table I — accuracy comparison of the five approaches.
+
+Regenerates the paper's headline table: MAE/MRE/NPRE for UPCC, IPCC, UIPCC,
+PMF, and AMF at matrix densities 10%..50%, for both QoS attributes, plus
+the Improve.(%) row (AMF vs the most competitive other approach).
+
+Shape expectations (Section V-C): AMF wins MRE and NPRE at every density —
+by the largest margin on NPRE — while staying comparable on MAE.
+"""
+
+import pytest
+
+from repro.experiments.accuracy import run_table1
+
+
+@pytest.mark.parametrize("attribute", ["response_time", "throughput"])
+def test_bench_table1_accuracy(benchmark, bench_scale, attribute):
+    result = benchmark.pedantic(
+        run_table1,
+        args=(bench_scale,),
+        kwargs={"attributes": (attribute,)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    for density in result.densities:
+        cell = result.results[attribute][density]
+        best_other_mre = min(
+            cell[name].metrics["MRE"] for name in cell if name != "AMF"
+        )
+        best_other_npre = min(
+            cell[name].metrics["NPRE"] for name in cell if name != "AMF"
+        )
+        # AMF dominates the relative-error metrics at every density.
+        assert cell["AMF"].metrics["MRE"] < best_other_mre, density
+        assert cell["AMF"].metrics["NPRE"] < best_other_npre, density
+        # NPRE improvement exceeds MRE improvement (the paper's pattern).
+        assert (
+            result.improvement(attribute, density, "NPRE")
+            >= result.improvement(attribute, density, "MRE") - 5.0
+        )
+        # MAE stays comparable: within 40% of the best baseline.
+        best_other_mae = min(
+            cell[name].metrics["MAE"] for name in cell if name != "AMF"
+        )
+        assert cell["AMF"].metrics["MAE"] < 1.4 * best_other_mae

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The primary build metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works in offline environments where the
+``wheel`` package is unavailable and PEP 517 editable installs cannot build.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""Runnable version of the paper's QoS-driven service adaptation framework
+(Section III, Fig. 3).
+
+The paper describes — but does not evaluate — an execution middleware
+(BPEL-like workflow engine enriched with a QoS manager, service manager, and
+pluggable adaptation policies) backed by a QoS prediction service.  This
+package implements that architecture as a discrete-event simulation so the
+full decision loop (invoke -> observe -> report -> predict -> adapt) can be
+exercised end to end against a ground-truth QoS tensor.
+"""
+
+from repro.adaptation.sla import SLA, SLAMonitor
+from repro.adaptation.workflow import AbstractTask, ServiceBinding, Workflow
+from repro.adaptation.registry import ServiceEntry, ServiceRegistry, UserManager
+from repro.adaptation.service import QoSPredictionService
+from repro.adaptation.policies import (
+    AdaptationAction,
+    AdaptationPolicy,
+    CostAwarePolicy,
+    GreedyReoptimizePolicy,
+    ThresholdPolicy,
+)
+from repro.adaptation.engine import EngineStats, ExecutionEngine, TensorQoSOracle
+from repro.adaptation.aggregation import (
+    Branch,
+    CompositionNode,
+    Loop,
+    Parallel,
+    Sequence_,
+    Task,
+    aggregate,
+    predicted_workflow_qos,
+)
+
+__all__ = [
+    "SLA",
+    "SLAMonitor",
+    "AbstractTask",
+    "ServiceBinding",
+    "Workflow",
+    "ServiceEntry",
+    "ServiceRegistry",
+    "UserManager",
+    "QoSPredictionService",
+    "AdaptationAction",
+    "AdaptationPolicy",
+    "ThresholdPolicy",
+    "GreedyReoptimizePolicy",
+    "CostAwarePolicy",
+    "EngineStats",
+    "ExecutionEngine",
+    "TensorQoSOracle",
+    "CompositionNode",
+    "Task",
+    "Sequence_",
+    "Parallel",
+    "Branch",
+    "Loop",
+    "aggregate",
+    "predicted_workflow_qos",
+]

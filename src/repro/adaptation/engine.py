@@ -1,0 +1,171 @@
+"""Execution middleware simulation (Fig. 3, left-hand module).
+
+The engine plays the role of the BPEL engine + QoS manager: it executes a
+user's workflow by "invoking" each bound service against a ground-truth QoS
+oracle, reports every observation to the prediction service, consults the
+adaptation policy after each invocation, and applies any rebinding the
+policy decides — all while collecting statistics (end-to-end response time,
+SLA violations, adaptations performed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adaptation.policies import AdaptationAction, AdaptationPolicy
+from repro.adaptation.registry import ServiceRegistry, UserManager
+from repro.adaptation.service import QoSPredictionService
+from repro.adaptation.sla import SLA
+from repro.adaptation.workflow import Workflow
+from repro.datasets.schema import TimeSlicedQoS
+from repro.utils.rng import spawn_rng
+
+
+class TensorQoSOracle:
+    """Ground-truth QoS source backed by a :class:`TimeSlicedQoS` tensor.
+
+    ``value(user, service, now)`` looks up the tensor slice containing
+    ``now`` and adds optional multiplicative log-normal measurement noise —
+    the "true" QoS an invocation would experience at that moment.  Times
+    beyond the tensor wrap around, so long simulations keep running.
+    """
+
+    def __init__(
+        self,
+        data: TimeSlicedQoS,
+        noise_sigma: float = 0.05,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative, got {noise_sigma}")
+        self.data = data
+        self.noise_sigma = noise_sigma
+        self._rng = spawn_rng(rng)
+
+    def slice_at(self, now: float) -> int:
+        """Tensor slice index containing time ``now`` (wrapping)."""
+        if now < 0:
+            raise ValueError(f"time must be non-negative, got {now}")
+        return int(now // self.data.slice_seconds) % self.data.n_slices
+
+    def value(self, user_id: int, service_id: int, now: float) -> float:
+        slice_id = self.slice_at(now)
+        base = float(self.data.tensor[slice_id, user_id, service_id])
+        if self.noise_sigma > 0:
+            base *= float(np.exp(self._rng.normal(0.0, self.noise_sigma)))
+        return float(np.clip(base, self.data.value_min, self.data.value_max))
+
+
+@dataclass
+class EngineStats:
+    """Aggregated outcomes of a simulation run."""
+
+    executions: int = 0
+    invocations: int = 0
+    adaptations: int = 0
+    sla_violations: int = 0
+    total_response_time: float = 0.0
+    per_execution_times: list[float] = field(default_factory=list)
+    actions: list[AdaptationAction] = field(default_factory=list)
+
+    @property
+    def mean_execution_time(self) -> float:
+        if not self.per_execution_times:
+            return float("nan")
+        return float(np.mean(self.per_execution_times))
+
+    @property
+    def violation_rate(self) -> float:
+        if self.invocations == 0:
+            return 0.0
+        return self.sla_violations / self.invocations
+
+
+class ExecutionEngine:
+    """Drives one user's workflow through the observe/predict/adapt loop."""
+
+    def __init__(
+        self,
+        user_id: int,
+        workflow: Workflow,
+        registry: ServiceRegistry,
+        predictor: QoSPredictionService,
+        policy: AdaptationPolicy,
+        oracle: TensorQoSOracle,
+        sla: "SLA | None" = None,
+        users: "UserManager | None" = None,
+    ) -> None:
+        if not workflow.is_fully_bound():
+            raise ValueError(
+                f"workflow {workflow.name!r} must be fully bound before execution"
+            )
+        for task in workflow.tasks:
+            service_id = workflow.bound_service(task.name)
+            if not registry.is_available(service_id):
+                raise ValueError(
+                    f"task {task.name!r} is bound to unavailable service {service_id}"
+                )
+        self.user_id = user_id
+        self.workflow = workflow
+        self.registry = registry
+        self.predictor = predictor
+        self.policy = policy
+        self.oracle = oracle
+        self.sla = sla
+        self.stats = EngineStats()
+        if users is not None:
+            users.join(user_id)
+
+    def execute_once(self, now: float) -> float:
+        """Run the workflow once at time ``now``; returns the end-to-end
+        response time (sum of component invocations).
+
+        After each invocation the observation is reported to the prediction
+        service and the policy is consulted; any decided rebinding takes
+        effect immediately for *subsequent* executions (and subsequent tasks
+        of this execution, mirroring a live engine).
+        """
+        execution_time = 0.0
+        for task in self.workflow.tasks:
+            service_id = self.workflow.bound_service(task.name)
+            observed = self.oracle.value(self.user_id, service_id, now)
+            execution_time += observed
+            self.stats.invocations += 1
+            if self.sla is not None and self.sla.violated(observed):
+                self.stats.sla_violations += 1
+
+            self.predictor.report_observation(self.user_id, service_id, observed, now)
+            action = self.policy.on_observation(
+                user_id=self.user_id,
+                workflow=self.workflow,
+                task_name=task.name,
+                observed_value=observed,
+                now=now,
+                registry=self.registry,
+                predictor=self.predictor,
+            )
+            if action is not None:
+                self._apply(action)
+        self.stats.executions += 1
+        self.stats.total_response_time += execution_time
+        self.stats.per_execution_times.append(execution_time)
+        return execution_time
+
+    def run(self, start: float, interval: float, count: int) -> EngineStats:
+        """Execute the workflow ``count`` times, ``interval`` seconds apart."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        for k in range(count):
+            self.execute_once(start + k * interval)
+        return self.stats
+
+    def _apply(self, action: AdaptationAction) -> None:
+        if not self.registry.is_available(action.new_service_id):
+            return  # candidate vanished between decision and application
+        self.workflow.bind(action.task_name, action.new_service_id, at=action.decided_at)
+        self.stats.adaptations += 1
+        self.stats.actions.append(action)

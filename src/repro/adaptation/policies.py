@@ -1,0 +1,296 @@
+"""Pluggable adaptation policies (Fig. 3's "adaptation policies" box).
+
+A policy inspects the workflow's current bindings, the latest observed QoS,
+and the prediction service, and decides which tasks (if any) to rebind.
+Three concrete policies are provided:
+
+* :class:`ThresholdPolicy` — the paper's motivating behavior: when a working
+  service's observed QoS sustains an SLA violation, replace it with the
+  candidate whose *predicted* QoS is best (with a hysteresis margin so the
+  replacement must be predicted meaningfully better, avoiding flapping).
+* :class:`GreedyReoptimizePolicy` — periodically rebinds every task to the
+  best-predicted candidate regardless of violations (an upper-bound
+  comparator used by the ablation benches).
+* :class:`CostAwarePolicy` — the paper notes that "some service invocations
+  may be charged"; this policy extends the threshold trigger with per-service
+  invocation prices and switches only when the predicted QoS gain justifies
+  the price difference.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.adaptation.registry import ServiceRegistry
+from repro.adaptation.service import QoSPredictionService
+from repro.adaptation.sla import SLA, SLAMonitor
+from repro.adaptation.workflow import Workflow
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True, slots=True)
+class AdaptationAction:
+    """A decided rebinding of one task."""
+
+    task_name: str
+    old_service_id: int
+    new_service_id: int
+    reason: str
+    decided_at: float
+
+
+class AdaptationPolicy(abc.ABC):
+    """Decides rebindings for one user's workflow."""
+
+    @abc.abstractmethod
+    def on_observation(
+        self,
+        user_id: int,
+        workflow: Workflow,
+        task_name: str,
+        observed_value: float,
+        now: float,
+        registry: ServiceRegistry,
+        predictor: QoSPredictionService,
+    ) -> "AdaptationAction | None":
+        """React to one observed invocation of a bound service.
+
+        Returns an action if the task should be rebound, else ``None``.
+        The caller (the execution engine) is responsible for applying it.
+        """
+
+
+class ThresholdPolicy(AdaptationPolicy):
+    """SLA-violation-triggered replacement with predicted-QoS selection.
+
+    Args:
+        sla:                the SLA guarding each task's observed QoS.
+        window:             sliding-window size of the per-task monitors.
+        min_violations:     sustained-violation debounce threshold.
+        improvement_margin: fractional predicted improvement required before
+                            switching (hysteresis); 0.1 means the candidate
+                            must be predicted >= 10% better than the current
+                            service's prediction.
+    """
+
+    def __init__(
+        self,
+        sla: SLA,
+        window: int = 3,
+        min_violations: int = 2,
+        improvement_margin: float = 0.1,
+    ) -> None:
+        check_probability("improvement_margin", improvement_margin)
+        self.sla = sla
+        self.window = window
+        self.min_violations = min_violations
+        self.improvement_margin = improvement_margin
+        self._monitors: dict[tuple[int, str], SLAMonitor] = {}
+        self.actions_taken = 0
+
+    def _monitor(self, user_id: int, task_name: str) -> SLAMonitor:
+        key = (user_id, task_name)
+        if key not in self._monitors:
+            self._monitors[key] = SLAMonitor(
+                self.sla, window=self.window, min_violations=self.min_violations
+            )
+        return self._monitors[key]
+
+    def on_observation(
+        self,
+        user_id: int,
+        workflow: Workflow,
+        task_name: str,
+        observed_value: float,
+        now: float,
+        registry: ServiceRegistry,
+        predictor: QoSPredictionService,
+    ) -> "AdaptationAction | None":
+        monitor = self._monitor(user_id, task_name)
+        if not monitor.observe(observed_value):
+            return None
+
+        current_service = workflow.bound_service(task_name)
+        task = workflow.task(task_name)
+        candidates = registry.candidates_for(task.task_type, exclude={current_service})
+        if not candidates:
+            return None
+
+        best_id, best_predicted = predictor.best_candidate(
+            user_id, candidates, lower_is_better=self.sla.lower_is_better
+        )
+        current_predicted = predictor.predict(user_id, current_service)
+        if self.sla.lower_is_better:
+            required = current_predicted * (1.0 - self.improvement_margin)
+            worthwhile = best_predicted < required
+        else:
+            required = current_predicted * (1.0 + self.improvement_margin)
+            worthwhile = best_predicted > required
+        if not worthwhile:
+            return None
+
+        monitor.reset()
+        self.actions_taken += 1
+        return AdaptationAction(
+            task_name=task_name,
+            old_service_id=current_service,
+            new_service_id=best_id,
+            reason=(
+                f"sustained SLA violation (observed {observed_value:.3f} vs "
+                f"threshold {self.sla.threshold:.3f}); predicted "
+                f"{best_predicted:.3f} at candidate {best_id}"
+            ),
+            decided_at=now,
+        )
+
+
+class GreedyReoptimizePolicy(AdaptationPolicy):
+    """Rebind to the best-predicted candidate every ``period`` seconds.
+
+    Ignores observations' values; purely prediction-driven.  Useful as an
+    aggressive comparator: it measures how good adaptation could be if
+    switching were free, isolating prediction quality from trigger logic.
+    """
+
+    def __init__(self, period: float = 900.0, lower_is_better: bool = True) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = period
+        self.lower_is_better = lower_is_better
+        self._last_rebind: dict[tuple[int, str], float] = {}
+        self.actions_taken = 0
+
+    def on_observation(
+        self,
+        user_id: int,
+        workflow: Workflow,
+        task_name: str,
+        observed_value: float,
+        now: float,
+        registry: ServiceRegistry,
+        predictor: QoSPredictionService,
+    ) -> "AdaptationAction | None":
+        key = (user_id, task_name)
+        last = self._last_rebind.get(key, -float("inf"))
+        if now - last < self.period:
+            return None
+
+        current_service = workflow.bound_service(task_name)
+        task = workflow.task(task_name)
+        candidates = registry.candidates_for(task.task_type)
+        if not candidates:
+            return None
+        best_id, __ = predictor.best_candidate(
+            user_id, candidates, lower_is_better=self.lower_is_better
+        )
+        self._last_rebind[key] = now
+        if best_id == current_service:
+            return None
+        self.actions_taken += 1
+        return AdaptationAction(
+            task_name=task_name,
+            old_service_id=current_service,
+            new_service_id=best_id,
+            reason=f"periodic reoptimization (period {self.period:.0f}s)",
+            decided_at=now,
+        )
+
+
+class CostAwarePolicy(AdaptationPolicy):
+    """SLA-triggered replacement that also respects invocation prices.
+
+    Candidates are scored by ``predicted QoS + cost_weight * price`` (for
+    lower-is-better attributes; the price penalty is subtracted for
+    higher-is-better ones), so a marginally faster but much more expensive
+    service does not win.  Services without a listed price are treated as
+    free.
+
+    Args:
+        sla:            the SLA guarding observed QoS.
+        prices:         mapping from service id to invocation price.
+        cost_weight:    exchange rate between one price unit and one QoS
+                        unit (e.g. 0.5 means paying 1 price unit is worth
+                        at most 0.5 s of predicted response time).
+        window, min_violations, improvement_margin: as in ThresholdPolicy.
+    """
+
+    def __init__(
+        self,
+        sla: SLA,
+        prices: "dict[int, float] | None" = None,
+        cost_weight: float = 0.5,
+        window: int = 3,
+        min_violations: int = 2,
+        improvement_margin: float = 0.1,
+    ) -> None:
+        if cost_weight < 0:
+            raise ValueError(f"cost_weight must be non-negative, got {cost_weight}")
+        check_probability("improvement_margin", improvement_margin)
+        self.sla = sla
+        self.prices = dict(prices or {})
+        self.cost_weight = cost_weight
+        self.improvement_margin = improvement_margin
+        self._threshold = ThresholdPolicy(
+            sla,
+            window=window,
+            min_violations=min_violations,
+            improvement_margin=improvement_margin,
+        )
+        self.actions_taken = 0
+        self.spend_committed = 0.0
+
+    def _score(self, predicted: float, service_id: int) -> float:
+        """Effective cost-adjusted score; lower is always better."""
+        price_penalty = self.cost_weight * self.prices.get(service_id, 0.0)
+        if self.sla.lower_is_better:
+            return predicted + price_penalty
+        return -predicted + price_penalty
+
+    def on_observation(
+        self,
+        user_id: int,
+        workflow: Workflow,
+        task_name: str,
+        observed_value: float,
+        now: float,
+        registry: ServiceRegistry,
+        predictor: QoSPredictionService,
+    ) -> "AdaptationAction | None":
+        monitor = self._threshold._monitor(user_id, task_name)
+        if not monitor.observe(observed_value):
+            return None
+
+        current_service = workflow.bound_service(task_name)
+        task = workflow.task(task_name)
+        candidates = registry.candidates_for(task.task_type, exclude={current_service})
+        if not candidates:
+            return None
+
+        scored = {
+            service_id: self._score(predictor.predict(user_id, service_id), service_id)
+            for service_id in candidates
+        }
+        best_id = min(scored, key=scored.get)
+        current_score = self._score(
+            predictor.predict(user_id, current_service), current_service
+        )
+        # Hysteresis on the cost-adjusted score: the winner must improve the
+        # effective score by the configured margin.
+        if scored[best_id] >= current_score * (1.0 - self.improvement_margin):
+            return None
+
+        monitor.reset()
+        self.actions_taken += 1
+        self.spend_committed += self.prices.get(best_id, 0.0)
+        return AdaptationAction(
+            task_name=task_name,
+            old_service_id=current_service,
+            new_service_id=best_id,
+            reason=(
+                f"sustained SLA violation; cost-adjusted score "
+                f"{scored[best_id]:.3f} vs current {current_score:.3f} "
+                f"(price {self.prices.get(best_id, 0.0):.2f})"
+            ),
+            decided_at=now,
+        )

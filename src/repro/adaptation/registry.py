@@ -1,0 +1,135 @@
+"""Service discovery/management and user management (Fig. 3's "service
+manager" and "user manager" components).
+
+The registry tracks which concrete services exist, which abstract task type
+each implements, and availability over time (services may be discontinued
+and users may join or leave — the churn the paper's scalability experiment
+exercises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ServiceEntry:
+    """One concrete service known to the registry."""
+
+    service_id: int
+    task_type: str
+    name: str = ""
+    available: bool = True
+    registered_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.service_id < 0:
+            raise ValueError(f"service_id must be non-negative, got {self.service_id}")
+        if not self.task_type:
+            raise ValueError("task_type must be non-empty")
+        if not self.name:
+            self.name = f"{self.task_type}-{self.service_id}"
+
+
+class ServiceRegistry:
+    """Registry of candidate services, grouped by abstract task type."""
+
+    def __init__(self) -> None:
+        self._services: dict[int, ServiceEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __contains__(self, service_id: int) -> bool:
+        return service_id in self._services
+
+    def register(
+        self,
+        service_id: int,
+        task_type: str,
+        name: str = "",
+        at: float = 0.0,
+    ) -> ServiceEntry:
+        """Add a new service.  Re-registering an id raises ``ValueError``."""
+        if service_id in self._services:
+            raise ValueError(f"service {service_id} is already registered")
+        entry = ServiceEntry(
+            service_id=service_id, task_type=task_type, name=name, registered_at=at
+        )
+        self._services[service_id] = entry
+        return entry
+
+    def deregister(self, service_id: int) -> None:
+        """Mark a service as discontinued (kept for history, not selectable)."""
+        self.get(service_id).available = False
+
+    def reinstate(self, service_id: int) -> None:
+        """Make a previously discontinued service selectable again."""
+        self.get(service_id).available = True
+
+    def get(self, service_id: int) -> ServiceEntry:
+        if service_id not in self._services:
+            raise KeyError(f"unknown service id {service_id}")
+        return self._services[service_id]
+
+    def is_available(self, service_id: int) -> bool:
+        return service_id in self._services and self._services[service_id].available
+
+    def candidates_for(self, task_type: str, exclude: "set[int] | None" = None) -> list[int]:
+        """Available service ids implementing ``task_type``, sorted by id."""
+        exclude = exclude or set()
+        return sorted(
+            entry.service_id
+            for entry in self._services.values()
+            if entry.available
+            and entry.task_type == task_type
+            and entry.service_id not in exclude
+        )
+
+    def task_types(self) -> set[str]:
+        return {entry.task_type for entry in self._services.values()}
+
+    def all_ids(self, include_unavailable: bool = False) -> list[int]:
+        if include_unavailable:
+            return sorted(self._services)
+        return sorted(sid for sid, entry in self._services.items() if entry.available)
+
+
+@dataclass
+class _UserEntry:
+    user_id: int
+    joined_at: float = 0.0
+    active: bool = True
+
+
+class UserManager:
+    """Tracks which service users (cloud applications) are active."""
+
+    def __init__(self) -> None:
+        self._users: dict[int, _UserEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._users
+
+    def join(self, user_id: int, at: float = 0.0) -> None:
+        """Register a user joining (idempotent: a rejoin reactivates)."""
+        if user_id < 0:
+            raise ValueError(f"user_id must be non-negative, got {user_id}")
+        if user_id in self._users:
+            self._users[user_id].active = True
+        else:
+            self._users[user_id] = _UserEntry(user_id=user_id, joined_at=at)
+
+    def leave(self, user_id: int) -> None:
+        if user_id not in self._users:
+            raise KeyError(f"unknown user id {user_id}")
+        self._users[user_id].active = False
+
+    def is_active(self, user_id: int) -> bool:
+        return user_id in self._users and self._users[user_id].active
+
+    def active_users(self) -> list[int]:
+        return sorted(uid for uid, entry in self._users.items() if entry.active)

@@ -1,0 +1,96 @@
+"""The QoS prediction service facade (Fig. 3, right-hand module).
+
+Wraps the AMF model behind the three-step pipeline the paper describes:
+input handling (observed QoS data arrive as a formatted stream), online
+updating (the model absorbs each sample incrementally), and QoS prediction
+(results served on demand through a narrow interface).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.amf import AdaptiveMatrixFactorization
+from repro.core.config import AMFConfig
+from repro.core.online import StreamTrainer
+from repro.datasets.schema import QoSRecord
+
+
+class QoSPredictionService:
+    """User-facing interface of the prediction module.
+
+    Args:
+        config:        AMF hyper-parameters (defaults to the paper's RT
+                       configuration).
+        rng:           seed or generator for the model's initialization.
+        replay_budget: replay SGD steps interleaved per reported observation,
+                       approximating Algorithm 1's background replay loop
+                       without a separate thread.
+    """
+
+    def __init__(
+        self,
+        config: AMFConfig | None = None,
+        rng: "int | np.random.Generator | None" = None,
+        replay_budget: int = 5,
+    ) -> None:
+        if replay_budget < 0:
+            raise ValueError(f"replay_budget must be >= 0, got {replay_budget}")
+        self.model = AdaptiveMatrixFactorization(config, rng=rng)
+        self.trainer = StreamTrainer(self.model)
+        self.replay_budget = replay_budget
+        self._observations_handled = 0
+
+    # -- input handling + online updating ---------------------------------
+    def report_observation(
+        self, user_id: int, service_id: int, value: float, timestamp: float
+    ) -> None:
+        """Ingest one observed QoS sample from a user's QoS manager."""
+        record = QoSRecord(
+            timestamp=timestamp, user_id=user_id, service_id=service_id, value=value
+        )
+        self.model.observe(record)
+        self._observations_handled += 1
+        for __ in range(self.replay_budget):
+            if self.model.n_stored_samples == 0:
+                break
+            self.model.replay_step(timestamp)
+
+    def synchronize(self, now: float) -> None:
+        """Run replay to convergence (e.g. during an idle period)."""
+        self.trainer.replay_until_converged(now)
+
+    # -- prediction interface ----------------------------------------------
+    def predict(self, user_id: int, service_id: int) -> float:
+        """Predicted QoS value for one (user, service) pair."""
+        self.model.ensure_user(user_id)
+        self.model.ensure_service(service_id)
+        return self.model.predict(user_id, service_id)
+
+    def predict_candidates(
+        self, user_id: int, service_ids: "list[int]"
+    ) -> dict[int, float]:
+        """Predicted QoS for each candidate service, keyed by service id."""
+        return {
+            service_id: self.predict(user_id, service_id)
+            for service_id in service_ids
+        }
+
+    def best_candidate(
+        self,
+        user_id: int,
+        service_ids: "list[int]",
+        lower_is_better: bool = True,
+    ) -> tuple[int, float]:
+        """The candidate with the best predicted QoS, with its prediction."""
+        if not service_ids:
+            raise ValueError("candidate list must be non-empty")
+        predictions = self.predict_candidates(user_id, service_ids)
+        key = min if lower_is_better else max
+        best_id = key(predictions, key=predictions.get)
+        return best_id, predictions[best_id]
+
+    @property
+    def observations_handled(self) -> int:
+        """Total samples ingested through :meth:`report_observation`."""
+        return self._observations_handled

@@ -1,0 +1,100 @@
+"""Service-level agreements and violation tracking.
+
+The paper motivates adaptation by SLA violations: a working service whose
+observed QoS crosses a threshold should be replaced.  An :class:`SLA` is a
+single-attribute threshold; an :class:`SLAMonitor` tracks violations over a
+stream of observations (with a configurable tolerance window, since a single
+spike rarely justifies an adaptation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class SLA:
+    """A threshold agreement on one QoS attribute.
+
+    ``lower_is_better=True`` (e.g. response time): values *above* the
+    threshold violate.  ``lower_is_better=False`` (e.g. throughput): values
+    *below* the threshold violate.
+    """
+
+    attribute: str
+    threshold: float
+    lower_is_better: bool = True
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.threshold):
+            raise ValueError(f"threshold must be finite, got {self.threshold!r}")
+
+    def violated(self, value: float) -> bool:
+        """Does ``value`` violate this SLA?"""
+        if self.lower_is_better:
+            return value > self.threshold
+        return value < self.threshold
+
+    def margin(self, value: float) -> float:
+        """Signed slack: positive means compliant, negative means violating.
+
+        Expressed in the attribute's own units, oriented so that larger is
+        always better regardless of the attribute's direction.
+        """
+        if self.lower_is_better:
+            return self.threshold - value
+        return value - self.threshold
+
+
+class SLAMonitor:
+    """Sliding-window violation detector for one (user, task) binding.
+
+    Declares a *sustained* violation when at least ``min_violations`` of the
+    last ``window`` observations violate the SLA — a simple debounce so one
+    transient spike does not trigger churn-y adaptations.
+    """
+
+    def __init__(self, sla: SLA, window: int = 3, min_violations: int = 2) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not (1 <= min_violations <= window):
+            raise ValueError(
+                f"min_violations must be in [1, {window}], got {min_violations}"
+            )
+        self.sla = sla
+        self.window = window
+        self.min_violations = min_violations
+        self._recent: deque[bool] = deque(maxlen=window)
+        self._total_observations = 0
+        self._total_violations = 0
+
+    def observe(self, value: float) -> bool:
+        """Record one observation; returns True on a *sustained* violation."""
+        violated = self.sla.violated(value)
+        self._recent.append(violated)
+        self._total_observations += 1
+        if violated:
+            self._total_violations += 1
+        return sum(self._recent) >= self.min_violations
+
+    def reset(self) -> None:
+        """Clear the sliding window (e.g. after an adaptation rebinds)."""
+        self._recent.clear()
+
+    @property
+    def total_observations(self) -> int:
+        return self._total_observations
+
+    @property
+    def total_violations(self) -> int:
+        return self._total_violations
+
+    @property
+    def violation_rate(self) -> float:
+        """Lifetime fraction of observations that violated the SLA."""
+        if self._total_observations == 0:
+            return 0.0
+        return self._total_violations / self._total_observations

@@ -1,0 +1,99 @@
+"""Workflows of abstract tasks bound to component services (Fig. 1).
+
+A service-based application's logic is a workflow over *abstract tasks*
+(A, B, C ...); each task is implemented by binding it to one concrete
+component service out of a pool of functionally equivalent candidates.
+Adaptation = changing a binding at runtime without stopping the workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class AbstractTask:
+    """One abstract step of the application logic.
+
+    ``task_type`` groups functionally equivalent services: every service
+    registered with the same type is a candidate implementation.
+    """
+
+    name: str
+    task_type: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        if not self.task_type:
+            raise ValueError("task_type must be non-empty")
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceBinding:
+    """A concrete (task -> service) assignment at a point in time."""
+
+    task_name: str
+    service_id: int
+    bound_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.service_id < 0:
+            raise ValueError(f"service_id must be non-negative, got {self.service_id}")
+
+
+@dataclass
+class Workflow:
+    """An ordered sequence of abstract tasks plus their current bindings.
+
+    The execution model is sequential composition (the common case in the
+    paper's examples): the workflow's end-to-end response time is the sum of
+    its component invocations.
+    """
+
+    name: str
+    tasks: list[AbstractTask]
+    _bindings: dict[str, ServiceBinding] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("workflow must contain at least one task")
+        names = [task.name for task in self.tasks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate task names in workflow: {names}")
+
+    def task(self, task_name: str) -> AbstractTask:
+        for task in self.tasks:
+            if task.name == task_name:
+                return task
+        raise KeyError(f"no task named {task_name!r} in workflow {self.name!r}")
+
+    def bind(self, task_name: str, service_id: int, at: float = 0.0) -> ServiceBinding:
+        """Bind (or rebind) a task to a service; returns the new binding."""
+        self.task(task_name)  # validates existence
+        binding = ServiceBinding(task_name=task_name, service_id=service_id, bound_at=at)
+        self._bindings[task_name] = binding
+        return binding
+
+    def binding(self, task_name: str) -> ServiceBinding:
+        if task_name not in self._bindings:
+            raise KeyError(
+                f"task {task_name!r} of workflow {self.name!r} is not bound"
+            )
+        return self._bindings[task_name]
+
+    def bound_service(self, task_name: str) -> int:
+        """Service id currently implementing ``task_name``."""
+        return self.binding(task_name).service_id
+
+    def is_fully_bound(self) -> bool:
+        """Every task has a binding."""
+        return all(task.name in self._bindings for task in self.tasks)
+
+    def bindings(self) -> dict[str, ServiceBinding]:
+        """Snapshot of the current bindings keyed by task name."""
+        return dict(self._bindings)
+
+    def working_services(self) -> list[int]:
+        """Service ids currently in use, in task order."""
+        return [self.binding(task.name).service_id for task in self.tasks]

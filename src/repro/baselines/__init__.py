@@ -1,0 +1,32 @@
+"""Baseline QoS predictors the paper compares against (Section V-C):
+UPCC, IPCC, UIPCC (neighborhood collaborative filtering) and PMF (batch
+matrix factorization), plus trivial mean predictors for sanity floors."""
+
+from repro.baselines.base import MatrixPredictor
+from repro.baselines.biased_mf import BiasedMF, BiasedMFConfig
+from repro.baselines.means import GlobalMean, ItemMean, UserMean
+from repro.baselines.neighborhood import IPCC, UIPCC, UPCC, pcc_similarity_matrix
+from repro.baselines.pmf import PMF, PMFConfig
+from repro.baselines.timeseries import (
+    EWMAPredictor,
+    LastValuePredictor,
+    MovingAveragePredictor,
+)
+
+__all__ = [
+    "MatrixPredictor",
+    "GlobalMean",
+    "UserMean",
+    "ItemMean",
+    "UPCC",
+    "IPCC",
+    "UIPCC",
+    "pcc_similarity_matrix",
+    "PMF",
+    "PMFConfig",
+    "BiasedMF",
+    "BiasedMFConfig",
+    "LastValuePredictor",
+    "EWMAPredictor",
+    "MovingAveragePredictor",
+]

@@ -1,0 +1,39 @@
+"""Common interface for offline (batch) QoS predictors.
+
+All baselines follow the paper's offline protocol: ``fit`` on one slice's
+sparse training matrix, then produce a dense prediction matrix whose entries
+at test positions are scored.  AMF itself does not implement this interface
+— it is an online model — but the experiment harness adapts it.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.datasets.schema import QoSMatrix
+
+
+class MatrixPredictor(abc.ABC):
+    """Fit on a sparse :class:`QoSMatrix`, predict every entry."""
+
+    _fitted: bool = False
+
+    @abc.abstractmethod
+    def fit(self, matrix: QoSMatrix) -> "MatrixPredictor":
+        """Train on the observed entries of ``matrix``; returns ``self``."""
+
+    @abc.abstractmethod
+    def predict_matrix(self) -> np.ndarray:
+        """Dense predictions with the training matrix's shape."""
+
+    def predict_entries(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Predictions at specific (row, col) positions."""
+        return self.predict_matrix()[rows, cols]
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fit() before predicting"
+            )

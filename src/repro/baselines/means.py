@@ -1,0 +1,86 @@
+"""Trivial mean predictors.
+
+Not part of the paper's comparison table, but standard sanity floors: a
+collaborative-filtering model that cannot beat the row/column mean is broken.
+Used by tests and the ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import MatrixPredictor
+from repro.datasets.schema import QoSMatrix
+
+
+class GlobalMean(MatrixPredictor):
+    """Predict the mean of all observed training entries everywhere."""
+
+    def __init__(self) -> None:
+        self._mean = 0.0
+        self._shape: tuple[int, int] = (0, 0)
+
+    def fit(self, matrix: QoSMatrix) -> "GlobalMean":
+        observed = matrix.observed_values()
+        if observed.size == 0:
+            raise ValueError("cannot fit GlobalMean on an empty matrix")
+        self._mean = float(observed.mean())
+        self._shape = matrix.shape
+        self._fitted = True
+        return self
+
+    def predict_matrix(self) -> np.ndarray:
+        self._require_fitted()
+        return np.full(self._shape, self._mean)
+
+
+class UserMean(MatrixPredictor):
+    """Predict each user's mean observed value; global mean for empty rows."""
+
+    def __init__(self) -> None:
+        self._row_means: np.ndarray | None = None
+        self._n_services = 0
+
+    def fit(self, matrix: QoSMatrix) -> "UserMean":
+        observed = matrix.observed_values()
+        if observed.size == 0:
+            raise ValueError("cannot fit UserMean on an empty matrix")
+        global_mean = float(observed.mean())
+        counts = matrix.mask.sum(axis=1)
+        sums = np.where(matrix.mask, matrix.values, 0.0).sum(axis=1)
+        with np.errstate(invalid="ignore"):
+            means = np.where(counts > 0, sums / np.maximum(counts, 1), global_mean)
+        self._row_means = means
+        self._n_services = matrix.n_services
+        self._fitted = True
+        return self
+
+    def predict_matrix(self) -> np.ndarray:
+        self._require_fitted()
+        return np.repeat(self._row_means[:, None], self._n_services, axis=1)
+
+
+class ItemMean(MatrixPredictor):
+    """Predict each service's mean observed value; global mean for empty cols."""
+
+    def __init__(self) -> None:
+        self._col_means: np.ndarray | None = None
+        self._n_users = 0
+
+    def fit(self, matrix: QoSMatrix) -> "ItemMean":
+        observed = matrix.observed_values()
+        if observed.size == 0:
+            raise ValueError("cannot fit ItemMean on an empty matrix")
+        global_mean = float(observed.mean())
+        counts = matrix.mask.sum(axis=0)
+        sums = np.where(matrix.mask, matrix.values, 0.0).sum(axis=0)
+        with np.errstate(invalid="ignore"):
+            means = np.where(counts > 0, sums / np.maximum(counts, 1), global_mean)
+        self._col_means = means
+        self._n_users = matrix.n_users
+        self._fitted = True
+        return self
+
+    def predict_matrix(self) -> np.ndarray:
+        self._require_fitted()
+        return np.repeat(self._col_means[None, :], self._n_users, axis=0)

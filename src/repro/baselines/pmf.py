@@ -1,0 +1,176 @@
+"""Probabilistic Matrix Factorization baseline (the paper's reference [21]).
+
+Salakhutdinov & Mnih's PMF, as used in the paper's Section IV-B and the
+Table I comparison: QoS values are linearly normalized into ``[0, 1]``,
+fitted by a sigmoid-linked low-rank factorization under squared loss with
+Frobenius regularization (Eq. 5), trained by full-batch gradient descent
+with momentum.  This is the *offline* model whose limitations (retraining
+cost, absolute-error objective, fixed matrix size) motivate AMF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import MatrixPredictor
+from repro.core.transform import sigmoid
+from repro.datasets.schema import QoSMatrix
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True, slots=True)
+class PMFConfig:
+    """Hyper-parameters for the PMF baseline.
+
+    Defaults match the paper's shared settings where stated (rank 10) and
+    standard PMF practice elsewhere.
+    """
+
+    rank: int = 10
+    learning_rate: float = 2.0
+    # 0.01 is the tuned value: with the sum-form loss, weaker penalties let
+    # the factors run into sigmoid saturation and overfit badly at higher
+    # densities (the paper tunes every baseline "to achieve their optimal
+    # accuracy").
+    regularization: float = 0.01
+    momentum: float = 0.8
+    max_iters: int = 300
+    tolerance: float = 1e-6           # relative loss improvement to stop at
+    init_scale: float = 0.1
+    value_min: float = 0.0
+    value_max: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ValueError(f"rank must be >= 1, got {self.rank}")
+        check_positive("learning_rate", self.learning_rate)
+        if self.regularization < 0:
+            raise ValueError(
+                f"regularization must be non-negative, got {self.regularization}"
+            )
+        check_probability("momentum", self.momentum)
+        if self.max_iters < 1:
+            raise ValueError(f"max_iters must be >= 1, got {self.max_iters}")
+        check_positive("tolerance", self.tolerance)
+        check_positive("init_scale", self.init_scale)
+        if self.value_max <= self.value_min:
+            raise ValueError(
+                f"value_max must exceed value_min, got "
+                f"[{self.value_min}, {self.value_max}]"
+            )
+
+
+class PMF(MatrixPredictor):
+    """Batch matrix factorization with a sigmoid link (Eq. 5 of the paper)."""
+
+    def __init__(
+        self,
+        config: PMFConfig | None = None,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        self.config = config if config is not None else PMFConfig()
+        self._rng = spawn_rng(rng)
+        self._U: np.ndarray | None = None
+        self._S: np.ndarray | None = None
+        self._loss_trace: list[float] = []
+        self._iterations_run = 0
+
+    def _normalize(self, values: np.ndarray) -> np.ndarray:
+        config = self.config
+        return np.clip(
+            (values - config.value_min) / (config.value_max - config.value_min),
+            0.0,
+            1.0,
+        )
+
+    def _denormalize(self, normalized: np.ndarray) -> np.ndarray:
+        config = self.config
+        return normalized * (config.value_max - config.value_min) + config.value_min
+
+    def _loss(self, r: np.ndarray, mask: np.ndarray) -> float:
+        config = self.config
+        g = sigmoid(self._U @ self._S.T)
+        squared_error = 0.5 * float(np.sum(((r - g) * mask) ** 2))
+        penalty = 0.5 * config.regularization * (
+            float(np.sum(self._U**2)) + float(np.sum(self._S**2))
+        )
+        return squared_error + penalty
+
+    def fit(self, matrix: QoSMatrix) -> "PMF":
+        if matrix.observed_values().size == 0:
+            raise ValueError("cannot fit PMF on an empty matrix")
+        config = self.config
+        mask = matrix.mask.astype(float)
+        r = self._normalize(np.where(matrix.mask, matrix.values, 0.0)) * mask
+
+        n_users, n_services = matrix.shape
+        self._U = self._rng.standard_normal((n_users, config.rank)) * config.init_scale
+        self._S = self._rng.standard_normal((n_services, config.rank)) * config.init_scale
+        # Seed the first latent dimension so the initial inner products sit
+        # at the logit of the mean normalized value instead of 0.  Heavily
+        # skewed attributes (throughput: mean ~11 of a 7000 range) need
+        # inner products around -6; pure random init would have to build
+        # that offset against the regularizer and rarely gets there.  This
+        # is initialization only — the model stays a plain factorization.
+        from repro.core.transform import logit
+
+        mean_logit = float(logit(self._normalize(np.array(matrix.observed_values().mean()))))
+        magnitude = np.sqrt(abs(mean_logit))
+        if magnitude > 0:
+            self._U[:, 0] += np.sign(mean_logit) * magnitude
+            self._S[:, 0] += magnitude
+        velocity_u = np.zeros_like(self._U)
+        velocity_s = np.zeros_like(self._S)
+
+        self._loss_trace = [self._loss(r, mask)]
+        self._iterations_run = 0
+        learning_rate = config.learning_rate
+        for __ in range(config.max_iters):
+            inner = self._U @ self._S.T
+            g = sigmoid(inner)
+            g_prime = g * (1.0 - g)
+            # Exact gradient of the sum-form loss (Eq. 5): data term summed
+            # over observed entries, plus the Frobenius penalty.
+            residual = (g - r) * g_prime * mask
+            grad_u = residual @ self._S + config.regularization * self._U
+            grad_s = residual.T @ self._U + config.regularization * self._S
+            velocity_u = config.momentum * velocity_u - learning_rate * grad_u
+            velocity_s = config.momentum * velocity_s - learning_rate * grad_s
+            candidate_u = self._U + velocity_u
+            candidate_s = self._S + velocity_s
+            self._iterations_run += 1
+
+            previous = self._loss_trace[-1]
+            saved_u, saved_s = self._U, self._S
+            self._U, self._S = candidate_u, candidate_s
+            loss = self._loss(r, mask)
+            if not np.isfinite(loss) or loss > previous * 1.05:
+                # Diverging step: back off the rate, reset momentum, retry.
+                self._U, self._S = saved_u, saved_s
+                velocity_u = np.zeros_like(velocity_u)
+                velocity_s = np.zeros_like(velocity_s)
+                learning_rate *= 0.5
+                self._loss_trace.append(previous)
+                continue
+            self._loss_trace.append(loss)
+            if previous > 0 and abs(previous - loss) / previous < config.tolerance:
+                break
+        self._fitted = True
+        return self
+
+    def predict_matrix(self) -> np.ndarray:
+        self._require_fitted()
+        return self._denormalize(np.asarray(sigmoid(self._U @ self._S.T)))
+
+    @property
+    def loss_trace(self) -> list[float]:
+        """Training loss per iteration (index 0 is the pre-training loss)."""
+        return list(self._loss_trace)
+
+    @property
+    def iterations_run(self) -> int:
+        """Gradient steps actually taken before convergence/cap."""
+        return self._iterations_run

@@ -1,0 +1,102 @@
+"""Per-pair time-series predictors for *working* services.
+
+The paper contrasts its contribution (predicting QoS of *candidate*
+services the user has not invoked) with prior work that monitors *working*
+services via time-series analysis of their own history (references [6],
+[8]).  These predictors implement that prior-work capability: they forecast
+a (user, service) pair only from that pair's own past observations, and
+therefore cannot say anything about never-invoked candidates — exactly the
+gap AMF fills.  They are used by the selection-quality experiment to show
+that gap quantitatively.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.datasets.schema import QoSRecord
+from repro.utils.validation import check_probability
+
+
+class LastValuePredictor:
+    """Forecast a pair's next QoS as its most recent observation."""
+
+    def __init__(self) -> None:
+        self._latest: dict[tuple[int, int], float] = {}
+
+    def observe(self, record: QoSRecord) -> None:
+        self._latest[(record.user_id, record.service_id)] = record.value
+
+    def can_predict(self, user_id: int, service_id: int) -> bool:
+        """Only previously invoked pairs are predictable."""
+        return (user_id, service_id) in self._latest
+
+    def predict(self, user_id: int, service_id: int) -> float:
+        if not self.can_predict(user_id, service_id):
+            raise KeyError(
+                f"pair ({user_id}, {service_id}) has no invocation history — "
+                f"time-series predictors cannot score candidate services"
+            )
+        return self._latest[(user_id, service_id)]
+
+
+class EWMAPredictor:
+    """Exponentially weighted moving average per (user, service) pair.
+
+    The standard lightweight forecaster for working-service monitoring:
+    ``estimate <- beta * observation + (1 - beta) * estimate``.
+    """
+
+    def __init__(self, beta: float = 0.3) -> None:
+        check_probability("beta", beta)
+        self.beta = beta
+        self._estimates: dict[tuple[int, int], float] = {}
+
+    def observe(self, record: QoSRecord) -> None:
+        key = (record.user_id, record.service_id)
+        if key in self._estimates:
+            self._estimates[key] = (
+                self.beta * record.value + (1.0 - self.beta) * self._estimates[key]
+            )
+        else:
+            self._estimates[key] = record.value
+
+    def can_predict(self, user_id: int, service_id: int) -> bool:
+        return (user_id, service_id) in self._estimates
+
+    def predict(self, user_id: int, service_id: int) -> float:
+        if not self.can_predict(user_id, service_id):
+            raise KeyError(
+                f"pair ({user_id}, {service_id}) has no invocation history — "
+                f"time-series predictors cannot score candidate services"
+            )
+        return self._estimates[(user_id, service_id)]
+
+
+class MovingAveragePredictor:
+    """Plain moving average over each pair's last ``window`` observations."""
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._history: dict[tuple[int, int], deque[float]] = {}
+
+    def observe(self, record: QoSRecord) -> None:
+        key = (record.user_id, record.service_id)
+        if key not in self._history:
+            self._history[key] = deque(maxlen=self.window)
+        self._history[key].append(record.value)
+
+    def can_predict(self, user_id: int, service_id: int) -> bool:
+        return (user_id, service_id) in self._history
+
+    def predict(self, user_id: int, service_id: int) -> float:
+        if not self.can_predict(user_id, service_id):
+            raise KeyError(
+                f"pair ({user_id}, {service_id}) has no invocation history — "
+                f"time-series predictors cannot score candidate services"
+            )
+        return float(np.mean(self._history[(user_id, service_id)]))

@@ -1,0 +1,211 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+Dispatches to the experiment modules so every paper artifact can be
+regenerated without writing any code::
+
+    python -m repro list
+    python -m repro table1 --density 0.1 0.3 --attribute response_time
+    python -m repro fig13 --users 142 --services 300
+    python -m repro all            # every artifact, in paper order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable, Sequence
+
+from repro.experiments.runner import ExperimentScale
+
+
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    base = ExperimentScale.paper() if args.paper_scale else ExperimentScale.quick()
+    overrides = {}
+    if args.users is not None:
+        overrides["n_users"] = args.users
+    if args.services is not None:
+        overrides["n_services"] = args.services
+    if args.slices is not None:
+        overrides["n_slices"] = args.slices
+    if args.reruns is not None:
+        overrides["reruns"] = args.reruns
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return base.with_updates(**overrides) if overrides else base
+
+
+def _run_fig2_fig6(scale: ExperimentScale, args: argparse.Namespace) -> str:
+    from repro.experiments.data_stats import run_data_stats
+
+    return run_data_stats(scale).to_text()
+
+
+def _run_fig7_8(scale: ExperimentScale, args: argparse.Namespace) -> str:
+    from repro.experiments.distributions import run_distributions
+
+    return "\n\n".join(
+        run_distributions(scale, attribute=attribute).to_text()
+        for attribute in args.attribute
+    )
+
+
+def _run_fig9(scale: ExperimentScale, args: argparse.Namespace) -> str:
+    from repro.experiments.spectrum import run_spectrum
+
+    return run_spectrum(scale).to_text()
+
+
+def _run_table1(scale: ExperimentScale, args: argparse.Namespace) -> str:
+    from repro.experiments.accuracy import run_table1
+
+    return run_table1(
+        scale, densities=tuple(args.density), attributes=tuple(args.attribute)
+    ).to_text()
+
+
+def _run_fig10(scale: ExperimentScale, args: argparse.Namespace) -> str:
+    from repro.experiments.error_dist import run_error_dist
+
+    return "\n\n".join(
+        run_error_dist(scale, attribute=attribute, density=args.density[0]).to_text()
+        for attribute in args.attribute
+    )
+
+
+def _run_fig11(scale: ExperimentScale, args: argparse.Namespace) -> str:
+    from repro.experiments.transform_impact import run_transform_impact
+
+    return "\n\n".join(
+        run_transform_impact(
+            scale, attribute=attribute, densities=tuple(args.density)
+        ).to_text()
+        for attribute in args.attribute
+    )
+
+
+def _run_fig12(scale: ExperimentScale, args: argparse.Namespace) -> str:
+    from repro.experiments.density_impact import run_density_impact
+
+    return "\n\n".join(
+        run_density_impact(
+            scale, attribute=attribute, densities=tuple(args.density)
+        ).to_text()
+        for attribute in args.attribute
+    )
+
+
+def _run_fig13(scale: ExperimentScale, args: argparse.Namespace) -> str:
+    from repro.experiments.efficiency import run_efficiency
+
+    return run_efficiency(scale, density=args.density[0]).to_text()
+
+
+def _run_fig14(scale: ExperimentScale, args: argparse.Namespace) -> str:
+    from repro.experiments.scalability import run_scalability
+
+    result = run_scalability(scale, density=args.density[0])
+    return (
+        f"{result.to_text()}\n"
+        f"existing-entity drift: {result.existing_drift():+.4f}; "
+        f"new-entity improvement: {result.new_entity_improvement():.4f}"
+    )
+
+
+def _run_all_slices(scale: ExperimentScale, args: argparse.Namespace) -> str:
+    from repro.experiments.all_slices import run_all_slices
+
+    return "\n\n".join(
+        run_all_slices(scale, attribute=attribute, density=args.density[0]).to_text()
+        for attribute in args.attribute
+    )
+
+
+def _run_parameters(scale: ExperimentScale, args: argparse.Namespace) -> str:
+    from repro.experiments.parameter_impact import run_all_parameters
+
+    return "\n\n".join(
+        result.to_text()
+        for result in run_all_parameters(scale, attribute=args.attribute[0]).values()
+    )
+
+
+def _run_selection(scale: ExperimentScale, args: argparse.Namespace) -> str:
+    from repro.experiments.selection_quality import run_selection_quality
+
+    return run_selection_quality(
+        scale, attribute=args.attribute[0], density=args.density[0]
+    ).to_text()
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentScale, argparse.Namespace], str]]] = {
+    "fig2-fig6": ("dataset characterization (Fig. 2 + Fig. 6)", _run_fig2_fig6),
+    "fig7-8": ("value distributions, raw and transformed (Figs. 7-8)", _run_fig7_8),
+    "fig9": ("sorted singular values (Fig. 9)", _run_fig9),
+    "table1": ("accuracy comparison (Table I)", _run_table1),
+    "fig10": ("prediction-error distributions (Fig. 10)", _run_fig10),
+    "fig11": ("impact of data transformation (Fig. 11)", _run_fig11),
+    "fig12": ("impact of matrix density (Fig. 12)", _run_fig12),
+    "fig13": ("per-slice convergence time (Fig. 13)", _run_fig13),
+    "fig14": ("scalability under churn (Fig. 14)", _run_fig14),
+    "all-slices": ("Table I over all time slices (supplementary)", _run_all_slices),
+    "parameters": ("hyper-parameter sensitivity sweeps (supplementary)", _run_parameters),
+    "selection": ("candidate-selection decision quality (extension)", _run_selection),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the ICDCS 2014 AMF paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all", "list"],
+        help="which paper artifact to regenerate ('list' to enumerate)",
+    )
+    parser.add_argument(
+        "--attribute",
+        nargs="+",
+        default=["response_time", "throughput"],
+        choices=["response_time", "throughput"],
+        help="QoS attribute(s) to evaluate",
+    )
+    parser.add_argument(
+        "--density",
+        nargs="+",
+        type=float,
+        default=[0.10, 0.20, 0.30, 0.40, 0.50],
+        help="training matrix density / densities",
+    )
+    parser.add_argument("--users", type=int, help="override user count")
+    parser.add_argument("--services", type=int, help="override service count")
+    parser.add_argument("--slices", type=int, help="override slice count")
+    parser.add_argument("--reruns", type=int, help="override rerun count")
+    parser.add_argument("--seed", type=int, help="override the base seed")
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the full 142 x 4500 x 64 scale (slow)",
+    )
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, __) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    scale = _scale_from_args(args)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"== {name}: {description} ==")
+        print(runner(scale, args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

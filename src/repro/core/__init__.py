@@ -1,0 +1,35 @@
+"""The paper's contribution: Adaptive Matrix Factorization (AMF).
+
+Exports the model, its configuration, the data-transformation pipeline
+(Box-Cox + normalization + sigmoid link), the adaptive-weight machinery, and
+the Algorithm 1 stream trainer.
+"""
+
+from repro.core.config import AMFConfig
+from repro.core.transform import (
+    BoxCoxTransform,
+    QoSNormalizer,
+    sigmoid,
+    sigmoid_derivative,
+)
+from repro.core.weights import AdaptiveWeights
+from repro.core.amf import AdaptiveMatrixFactorization
+from repro.core.online import StreamTrainer, TrainReport
+from repro.core.serialization import load_model, save_model
+from repro.core.daemon import BackgroundTrainer, ConcurrentModel
+
+__all__ = [
+    "AMFConfig",
+    "BoxCoxTransform",
+    "QoSNormalizer",
+    "sigmoid",
+    "sigmoid_derivative",
+    "AdaptiveWeights",
+    "AdaptiveMatrixFactorization",
+    "StreamTrainer",
+    "TrainReport",
+    "save_model",
+    "load_model",
+    "ConcurrentModel",
+    "BackgroundTrainer",
+]

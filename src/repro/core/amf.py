@@ -1,0 +1,426 @@
+"""Adaptive Matrix Factorization (Section IV-C, Algorithm 1).
+
+AMF maintains latent factor matrices ``U`` (users) and ``S`` (services) that
+are updated one observation at a time.  Each observed sample
+``(t, u, s, R)`` is
+
+1. normalized through Box-Cox + linear scaling (Eqs. 3-4),
+2. compared against the sigmoid-linked prediction ``g(U_u . S_s)``,
+3. folded into the per-entity error trackers, producing credence weights
+   ``(w_u, w_s)`` (Eqs. 12-15), and
+4. applied as a weighted SGD step on both factor vectors (Eqs. 16-17).
+
+The model additionally keeps a bounded store of the latest observation per
+(user, service) pair so that Algorithm 1's replay loop can re-sample
+existing data between arrivals and expire observations older than the
+configured time window.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.config import AMFConfig
+from repro.core.transform import QoSNormalizer, sigmoid
+from repro.core.weights import AdaptiveWeights
+from repro.datasets.schema import QoSRecord
+from repro.utils.rng import spawn_rng
+
+
+class _GrowableFactors:
+    """Row-growable latent factor matrix with random row initialization."""
+
+    def __init__(self, rank: int, init_scale: float, rng: np.random.Generator) -> None:
+        self.rank = rank
+        self._init_scale = init_scale
+        self._rng = rng
+        self._rows = np.empty((16, rank), dtype=float)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def ensure(self, row_id: int) -> None:
+        """Make ``row_id`` addressable, randomly initializing new rows."""
+        if row_id < 0:
+            raise IndexError(f"row id must be non-negative, got {row_id}")
+        if row_id >= self._rows.shape[0]:
+            new_capacity = max(self._rows.shape[0] * 2, row_id + 1)
+            grown = np.empty((new_capacity, self.rank), dtype=float)
+            grown[: self._size] = self._rows[: self._size]
+            self._rows = grown
+        while self._size <= row_id:
+            self._rows[self._size] = self._rng.standard_normal(self.rank) * self._init_scale
+            self._size += 1
+
+    def row(self, row_id: int) -> np.ndarray:
+        """A *view* of the factor vector; mutate in place to update."""
+        self.ensure(row_id)
+        return self._rows[row_id]
+
+    def reinitialize(self, row_id: int) -> None:
+        """Draw a fresh random vector for ``row_id`` (used on entity rejoin)."""
+        self.ensure(row_id)
+        self._rows[row_id] = self._rng.standard_normal(self.rank) * self._init_scale
+
+    def matrix(self) -> np.ndarray:
+        """Copy of all initialized rows, shape ``(size, rank)``."""
+        return self._rows[: self._size].copy()
+
+
+class _SampleStore:
+    """Latest observation per (user, service) pair with O(1) random pick.
+
+    Backs Algorithm 1's replay loop: ``random_pick`` implements line 11
+    (uniformly pick an existing sample) and ``discard`` implements line 15
+    (drop an expired sample, i.e. set ``I_ij = 0``).
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[tuple[int, int], tuple[float, float]] = {}
+        self._keys: list[tuple[int, int]] = []
+        self._positions: dict[tuple[int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._data
+
+    def put(self, user_id: int, service_id: int, timestamp: float, value: float) -> None:
+        key = (user_id, service_id)
+        if key not in self._data:
+            self._positions[key] = len(self._keys)
+            self._keys.append(key)
+        self._data[key] = (timestamp, value)
+
+    def get(self, user_id: int, service_id: int) -> tuple[float, float]:
+        return self._data[(user_id, service_id)]
+
+    def discard(self, user_id: int, service_id: int) -> None:
+        key = (user_id, service_id)
+        if key not in self._data:
+            return
+        # Swap-remove from the key list to keep random_pick O(1).
+        position = self._positions.pop(key)
+        last_key = self._keys[-1]
+        self._keys[position] = last_key
+        self._keys.pop()
+        if last_key != key:
+            self._positions[last_key] = position
+        del self._data[key]
+
+    def random_pick(self, rng: np.random.Generator) -> tuple[int, int, float, float]:
+        """Return ``(user_id, service_id, timestamp, value)`` uniformly."""
+        if not self._keys:
+            raise LookupError("sample store is empty")
+        # Same sampling primitive as replay_many's batched draw, so one
+        # replay_step consumes exactly one uniform from the stream.
+        key = self._keys[int(rng.random() * len(self._keys))]
+        timestamp, value = self._data[key]
+        return key[0], key[1], timestamp, value
+
+    def keys(self) -> list[tuple[int, int]]:
+        return list(self._keys)
+
+
+class AdaptiveMatrixFactorization:
+    """Online QoS predictor implementing the paper's AMF model.
+
+    Typical use::
+
+        model = AdaptiveMatrixFactorization(AMFConfig.for_response_time())
+        for record in stream:              # observed QoS samples, in order
+            model.observe(record)
+        estimate = model.predict(user_id=3, service_id=42)
+
+    The model is *incremental*: users and services may appear at any time
+    (their factors are randomly initialized and their error trackers start at
+    the maximal value), and observations expire after
+    ``config.expiry_seconds`` during replay.
+    """
+
+    def __init__(
+        self,
+        config: AMFConfig | None = None,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        self.config = config if config is not None else AMFConfig()
+        self._rng = spawn_rng(rng)
+        self.normalizer = QoSNormalizer(
+            alpha=self.config.alpha,
+            value_min=self.config.value_min,
+            value_max=self.config.value_max,
+            floor=self.config.value_floor,
+        )
+        self.weights = AdaptiveWeights(
+            beta=self.config.beta, init_error=self.config.init_error
+        )
+        self._user_factors = _GrowableFactors(
+            self.config.rank, self.config.init_scale, self._rng
+        )
+        self._service_factors = _GrowableFactors(
+            self.config.rank, self.config.init_scale, self._rng
+        )
+        self._store = _SampleStore()
+        self._updates_applied = 0
+        # Cache the transform constants: the per-sample hot loop normalizes
+        # scalars inline instead of going through the (array-general)
+        # QoSNormalizer, which would rebuild its Box-Cox bounds on each call.
+        transform = self.normalizer.boxcox
+        self._bc_alpha = transform.alpha
+        self._bc_floor = transform.floor
+        self._bc_low = float(transform.forward(max(self.config.value_min, transform.floor)))
+        self._bc_high = float(transform.forward(self.config.value_max))
+        self._relative_loss = self.config.loss == "relative"
+
+    def _normalize_scalar(self, value: float) -> float:
+        """Scalar fast path of ``self.normalizer.normalize`` (Eqs. 3-4)."""
+        value = value if value > self._bc_floor else self._bc_floor
+        if abs(self._bc_alpha) < 1e-8:
+            transformed = np.log(value)
+        else:
+            transformed = (value**self._bc_alpha - 1.0) / self._bc_alpha
+        r = (transformed - self._bc_low) / (self._bc_high - self._bc_low)
+        if r < 0.0:
+            return 0.0
+        if r > 1.0:
+            return 1.0
+        return r
+
+    # ------------------------------------------------------------------
+    # Entity management
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        """Number of user ids the model has allocated factors for."""
+        return len(self._user_factors)
+
+    @property
+    def n_services(self) -> int:
+        """Number of service ids the model has allocated factors for."""
+        return len(self._service_factors)
+
+    @property
+    def n_stored_samples(self) -> int:
+        """Observations currently retained for replay (``I_ij = 1`` count)."""
+        return len(self._store)
+
+    @property
+    def updates_applied(self) -> int:
+        """Total number of SGD steps performed (arrivals + replays)."""
+        return self._updates_applied
+
+    def ensure_user(self, user_id: int) -> None:
+        """Register a user id, initializing factors and error tracking."""
+        self._user_factors.ensure(user_id)
+        self.weights.register_user(user_id)
+
+    def ensure_service(self, service_id: int) -> None:
+        """Register a service id, initializing factors and error tracking."""
+        self._service_factors.ensure(service_id)
+        self.weights.register_service(service_id)
+
+    def forget_user(self, user_id: int) -> None:
+        """Handle a user leaving: reset its factors/error and drop its samples.
+
+        If the user later rejoins it is treated as new (Algorithm 1 line 5).
+        """
+        if user_id < self.n_users:
+            self._user_factors.reinitialize(user_id)
+            self.weights.reset_user(user_id)
+            for u, s in self._store.keys():
+                if u == user_id:
+                    self._store.discard(u, s)
+
+    def forget_service(self, service_id: int) -> None:
+        """Handle a service being discontinued; symmetric to ``forget_user``."""
+        if service_id < self.n_services:
+            self._service_factors.reinitialize(service_id)
+            self.weights.reset_service(service_id)
+            for u, s in self._store.keys():
+                if s == service_id:
+                    self._store.discard(u, s)
+
+    # ------------------------------------------------------------------
+    # Online updates (Algorithm 1)
+    # ------------------------------------------------------------------
+    def observe(self, record: QoSRecord) -> float:
+        """Ingest a newly observed sample (Algorithm 1 lines 3-9).
+
+        Registers new entities, stores the sample for later replay, applies
+        one online SGD step, and returns the sample's relative error ``e_ij``
+        *before* the step (a cheap, continuously available accuracy signal).
+        """
+        self.ensure_user(record.user_id)
+        self.ensure_service(record.service_id)
+        self._store.put(record.user_id, record.service_id, record.timestamp, record.value)
+        return self._online_update(record.user_id, record.service_id, record.value)
+
+    def observe_many(self, records: Iterable[QoSRecord]) -> list[float]:
+        """Ingest a batch of samples in order; returns per-sample errors."""
+        return [self.observe(record) for record in records]
+
+    def replay_step(self, now: float) -> float | None:
+        """One replay iteration (Algorithm 1 lines 11-15).
+
+        Picks a random retained sample; if it has expired relative to ``now``
+        it is discarded (``I_ij = 0``) and ``None`` is returned, otherwise an
+        online update is applied and the sample's pre-update relative error is
+        returned.  Raises ``LookupError`` when no samples are retained.
+        """
+        user_id, service_id, timestamp, value = self._store.random_pick(self._rng)
+        if now - timestamp >= self.config.expiry_seconds:
+            self._store.discard(user_id, service_id)
+            return None
+        return self._online_update(user_id, service_id, value)
+
+    def purge_expired(self, now: float) -> int:
+        """Drop every stored sample older than the expiry window.
+
+        Equivalent to what random replay would do lazily (Algorithm 1 line
+        15), but in one O(store) sweep — worth doing before a batch of
+        replay epochs so the epochs iterate only over live samples instead
+        of wasting half their draws discovering stale ones.  Returns the
+        number of samples dropped.
+        """
+        expiry = self.config.expiry_seconds
+        stale = [
+            key
+            for key in self._store.keys()
+            if now - self._store.get(key[0], key[1])[0] >= expiry
+        ]
+        for user_id, service_id in stale:
+            self._store.discard(user_id, service_id)
+        return len(stale)
+
+    def replay_many(self, now: float, count: int) -> tuple[int, int, float]:
+        """Run up to ``count`` replay iterations in a tight loop.
+
+        Equivalent to calling :meth:`replay_step` ``count`` times, but draws
+        all random indices in one batch.  Returns ``(applied, expired,
+        mean_error)`` where ``mean_error`` is the average pre-update relative
+        error of the applied steps (NaN when none applied).  Stops early if
+        the store empties.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        store = self._store
+        expiry = self.config.expiry_seconds
+        uniforms = self._rng.random(count)
+        applied = 0
+        expired = 0
+        error_sum = 0.0
+        for k in range(count):
+            size = len(store._keys)
+            if size == 0:
+                break
+            key = store._keys[int(uniforms[k] * size)]
+            timestamp, value = store._data[key]
+            if now - timestamp >= expiry:
+                store.discard(key[0], key[1])
+                expired += 1
+                continue
+            error_sum += self._online_update(key[0], key[1], value)
+            applied += 1
+        mean_error = error_sum / applied if applied else float("nan")
+        return applied, expired, mean_error
+
+    def _online_update(self, user_id: int, service_id: int, raw_value: float) -> float:
+        """The ``OnlineUpdate`` function of Algorithm 1 (Eqs. 12-17)."""
+        config = self.config
+        r = self._normalize_scalar(raw_value)
+        if r < config.normalized_floor:
+            r = config.normalized_floor
+
+        u_vector = self._user_factors.row(user_id)
+        s_vector = self._service_factors.row(service_id)
+        x = float(u_vector.dot(s_vector))
+        # Inline stable sigmoid (scalar hot path).
+        if x >= 0:
+            g = 1.0 / (1.0 + np.exp(-x))
+        else:
+            exp_x = np.exp(x)
+            g = exp_x / (1.0 + exp_x)
+        g_prime = g * (1.0 - g)
+
+        sample_error = abs(r - g) / r  # Eq. 15
+        w_u, w_s = self.weights.observe(user_id, service_id, sample_error)
+
+        if self._relative_loss:
+            residual = (g - r) * g_prime / (r * r)  # Eq. 6 gradient
+        else:
+            residual = (g - r) * g_prime  # Eq. 5 gradient (ablation)
+        if residual > config.grad_clip:
+            residual = config.grad_clip
+        elif residual < -config.grad_clip:
+            residual = -config.grad_clip
+        step_u = config.learning_rate * w_u
+        step_s = config.learning_rate * w_s
+        # Simultaneous update (Algorithm 1 line 24): both gradients use the
+        # pre-step vectors.  The step is rewritten as
+        # ``U <- (1 - eta w lambda) U - (eta w residual) S`` so the hot loop
+        # does two fused scale-and-subtract passes instead of four temporaries.
+        shrink_u = 1.0 - step_u * config.lambda_u
+        shrink_s = 1.0 - step_s * config.lambda_s
+        new_u = shrink_u * u_vector - (step_u * residual) * s_vector
+        s_vector *= shrink_s
+        s_vector -= (step_s * residual) * u_vector
+        u_vector[:] = new_u
+
+        self._updates_applied += 1
+        return sample_error
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_normalized(self, user_id: int, service_id: int) -> float:
+        """Predicted value in the normalized ``[0, 1]`` space."""
+        if user_id >= self.n_users or service_id >= self.n_services:
+            raise KeyError(
+                f"unknown entity: user {user_id} (have {self.n_users}), "
+                f"service {service_id} (have {self.n_services})"
+            )
+        u_vector = self._user_factors.row(user_id)
+        s_vector = self._service_factors.row(service_id)
+        return float(sigmoid(float(u_vector @ s_vector)))
+
+    def predict(self, user_id: int, service_id: int) -> float:
+        """Predicted raw QoS value ``R_hat_ij`` (backward-transformed)."""
+        return float(self.normalizer.denormalize(self.predict_normalized(user_id, service_id)))
+
+    def predict_matrix(self) -> np.ndarray:
+        """Dense prediction matrix over all known users and services."""
+        if self.n_users == 0 or self.n_services == 0:
+            return np.zeros((self.n_users, self.n_services))
+        inner = self._user_factors.matrix() @ self._service_factors.matrix().T
+        return np.asarray(self.normalizer.denormalize(sigmoid(inner)), dtype=float)
+
+    def training_error(self) -> float:
+        """Mean relative error over all retained samples (convergence signal)."""
+        keys = self._store.keys()
+        if not keys:
+            return float("nan")
+        users = np.fromiter((key[0] for key in keys), dtype=np.intp, count=len(keys))
+        services = np.fromiter((key[1] for key in keys), dtype=np.intp, count=len(keys))
+        values = np.fromiter(
+            (self._store.get(key[0], key[1])[1] for key in keys),
+            dtype=float,
+            count=len(keys),
+        )
+        r = np.asarray(self.normalizer.normalize(values), dtype=float)
+        r = np.maximum(r, self.config.normalized_floor)
+        u_rows = self._user_factors.matrix()[users]
+        s_rows = self._service_factors.matrix()[services]
+        g = np.asarray(sigmoid(np.einsum("ij,ij->i", u_rows, s_rows)))
+        return float(np.mean(np.abs(r - g) / r))
+
+    def user_factors(self) -> np.ndarray:
+        """Copy of the user factor matrix ``U`` (shape ``n_users x d``)."""
+        return self._user_factors.matrix()
+
+    def service_factors(self) -> np.ndarray:
+        """Copy of the service factor matrix ``S`` (shape ``n_services x d``)."""
+        return self._service_factors.matrix()

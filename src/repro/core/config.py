@@ -1,0 +1,111 @@
+"""Configuration for the AMF model.
+
+Default values follow Section V-C of the paper: ``d = 10``,
+``lambda_u = lambda_s = 0.001``, ``beta = 0.3``, ``eta = 0.8``, and
+``alpha = -0.007`` for response time (``-0.05`` for throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True, slots=True)
+class AMFConfig:
+    """Hyper-parameters of Adaptive Matrix Factorization.
+
+    Attributes:
+        rank:          dimensionality ``d`` of the latent factor space.
+        learning_rate: SGD step size ``eta`` (Eqs. 16-17).
+        lambda_u:      regularization strength on user factors.
+        lambda_s:      regularization strength on service factors.
+        beta:          EMA smoothing factor for per-entity error tracking
+                       (Eqs. 13-14).
+        alpha:         Box-Cox transformation exponent; ``alpha = 1``
+                       degenerates to plain linear normalization, ``alpha = 0``
+                       is the log transform.
+        value_min:     smallest raw QoS value (``Rmin``; paper uses 0).
+        value_max:     largest raw QoS value (``Rmax``; paper uses 20 s for RT
+                       and 7000 kbps for TP).
+        value_floor:   positive clamp applied before Box-Cox, since the
+                       transform diverges at exactly 0 for negative alpha.
+        expiry_seconds: observations older than this are discarded during
+                       replay (Algorithm 1 line 12; paper uses 15 minutes).
+        init_scale:    scale of the random initialization of latent factors.
+        init_error:    initial per-entity EMA error for new users/services
+                       (Algorithm 1 line 7 initializes it to 1).
+        normalized_floor: lower clamp on normalized values ``r`` so the
+                       relative-error division ``1 / r^2`` stays finite.
+        grad_clip:     cap on the magnitude of the per-sample residual scalar
+                       ``(g - r) g' / r^2``.  The relative-error loss blows up
+                       when ``r`` is near 0 (e.g. with alpha = 1, where linear
+                       normalization leaves most values tiny); clipping keeps
+                       single samples from catapulting factors into sigmoid
+                       saturation.  With the paper's tuned alphas the residual
+                       stays far below the default, so clipping is inert there.
+        loss:          "relative" (the paper's Eq. 6, errors divided by r) or
+                       "absolute" (plain squared error, Eq. 5) — the latter
+                       exists for the ablation benches that quantify how much
+                       of AMF's MRE/NPRE advantage the relative loss buys.
+    """
+
+    rank: int = 10
+    learning_rate: float = 0.8
+    lambda_u: float = 0.001
+    lambda_s: float = 0.001
+    beta: float = 0.3
+    alpha: float = -0.007
+    value_min: float = 0.0
+    value_max: float = 20.0
+    value_floor: float = 1e-3
+    expiry_seconds: float = 900.0
+    init_scale: float = 0.1
+    init_error: float = 1.0
+    normalized_floor: float = 1e-6
+    grad_clip: float = 25.0
+    loss: str = "relative"
+
+    # Conventional presets matching the paper's tuned parameters.
+    @classmethod
+    def for_response_time(cls, **overrides: object) -> "AMFConfig":
+        """Paper's tuned configuration for response-time data."""
+        config = cls(alpha=-0.007, value_min=0.0, value_max=20.0)
+        return replace(config, **overrides) if overrides else config
+
+    @classmethod
+    def for_throughput(cls, **overrides: object) -> "AMFConfig":
+        """Paper's tuned configuration for throughput data."""
+        config = cls(alpha=-0.05, value_min=0.0, value_max=7000.0)
+        return replace(config, **overrides) if overrides else config
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ValueError(f"rank must be >= 1, got {self.rank}")
+        check_positive("learning_rate", self.learning_rate)
+        if self.lambda_u < 0 or self.lambda_s < 0:
+            raise ValueError(
+                f"regularization must be non-negative, got "
+                f"lambda_u={self.lambda_u}, lambda_s={self.lambda_s}"
+            )
+        check_probability("beta", self.beta)
+        if self.value_max <= self.value_min:
+            raise ValueError(
+                f"value_max must exceed value_min, got "
+                f"[{self.value_min}, {self.value_max}]"
+            )
+        check_positive("value_floor", self.value_floor)
+        check_positive("expiry_seconds", self.expiry_seconds)
+        check_positive("init_scale", self.init_scale)
+        check_positive("init_error", self.init_error)
+        check_positive("normalized_floor", self.normalized_floor)
+        check_positive("grad_clip", self.grad_clip)
+        if self.loss not in ("relative", "absolute"):
+            raise ValueError(
+                f"loss must be 'relative' or 'absolute', got {self.loss!r}"
+            )
+
+    def with_updates(self, **overrides: object) -> "AMFConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)

@@ -1,0 +1,204 @@
+"""Algorithm 1 driver: consume an observed QoS stream and replay to
+convergence.
+
+The AMF model itself (:mod:`repro.core.amf`) exposes the two primitive
+operations of Algorithm 1 — ``observe`` for a newly arrived sample and
+``replay_step`` for re-sampling retained data.  :class:`StreamTrainer` wires
+them into the outer loop: drain arrivals as they come, then keep replaying
+existing samples until the training error stops improving ("if converged:
+wait until observing new QoS data").
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.amf import AdaptiveMatrixFactorization
+from repro.datasets.schema import QoSRecord
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class TrainReport:
+    """Outcome of one training pass.
+
+    Attributes:
+        arrivals:        number of newly observed samples consumed.
+        replays:         number of replay SGD steps applied.
+        expired:         number of stored samples dropped for staleness.
+        epochs:          replay epochs executed (one epoch visits roughly the
+                         whole retained store once).
+        converged:       whether the convergence criterion was met before
+                         ``max_epochs`` ran out.
+        final_error:     mean training relative error after the pass.
+        error_trace:     mean replay error per epoch (for convergence plots).
+        wall_seconds:    wall-clock time spent in this pass.
+    """
+
+    arrivals: int = 0
+    replays: int = 0
+    expired: int = 0
+    epochs: int = 0
+    converged: bool = False
+    final_error: float = float("nan")
+    error_trace: list[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+
+class StreamTrainer:
+    """Runs Algorithm 1's outer loop over an AMF model.
+
+    Args:
+        model:        the AMF model to train.
+        tolerance:    relative improvement threshold; an epoch whose mean
+                      replay error improves on the previous epoch by less
+                      than this fraction counts toward convergence.
+        patience:     number of consecutive low-improvement epochs required
+                      to declare convergence.
+        min_epochs:   epochs to run before the plateau check may fire.  A
+                      cold start sits in the bilinear saddle (both factor
+                      matrices near zero) for its first few epochs, where
+                      per-epoch improvements are tiny; without this floor
+                      the plateau detector occasionally mistakes the saddle
+                      for convergence and returns an underfit model.
+        max_epochs:   hard cap on replay epochs per :meth:`process` call.
+    """
+
+    def __init__(
+        self,
+        model: AdaptiveMatrixFactorization,
+        tolerance: float = 5e-2,
+        patience: int = 2,
+        min_epochs: int = 5,
+        max_epochs: int = 100,
+    ) -> None:
+        check_positive("tolerance", tolerance)
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if min_epochs < 1:
+            raise ValueError(f"min_epochs must be >= 1, got {min_epochs}")
+        if max_epochs < min_epochs:
+            raise ValueError(
+                f"max_epochs ({max_epochs}) must be >= min_epochs ({min_epochs})"
+            )
+        self.model = model
+        self.tolerance = tolerance
+        self.patience = patience
+        self.min_epochs = min_epochs
+        self.max_epochs = max_epochs
+
+    def consume(self, records: Iterable[QoSRecord]) -> TrainReport:
+        """Feed newly observed samples without any replay."""
+        report = TrainReport()
+        started = time.perf_counter()
+        for record in records:
+            self.model.observe(record)
+            report.arrivals += 1
+        report.final_error = self.model.training_error()
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def replay_until_converged(self, now: float) -> TrainReport:
+        """Replay retained samples until the error plateaus (or caps out).
+
+        ``now`` is the current stream time, used for expiring stale samples.
+        """
+        report = TrainReport()
+        started = time.perf_counter()
+        # Sweep out everything already stale so the epochs below iterate
+        # only over live samples (random replay would discard these lazily,
+        # wasting a draw per stale sample per epoch).
+        report.expired += self.model.purge_expired(now)
+        best_error = float("inf")
+        stable_epochs = 0
+        for __ in range(self.max_epochs):
+            store_size = self.model.n_stored_samples
+            if store_size == 0:
+                break
+            applied, expired, epoch_error = self.model.replay_many(now, store_size)
+            report.epochs += 1
+            report.replays += applied
+            report.expired += expired
+            if applied == 0:
+                break
+            report.error_trace.append(epoch_error)
+            # Converged = no epoch has beaten the best error by more than
+            # ``tolerance`` (relative) for ``patience`` consecutive epochs,
+            # once past the min_epochs saddle guard.  Comparing against the
+            # best (not the previous) epoch keeps the sampling noise of
+            # randomized replay from stalling the check.
+            if epoch_error < best_error * (1.0 - self.tolerance):
+                best_error = epoch_error
+                stable_epochs = 0
+            else:
+                best_error = min(best_error, epoch_error)
+                stable_epochs += 1
+                if report.epochs >= self.min_epochs and stable_epochs >= self.patience:
+                    report.converged = True
+                    break
+        report.final_error = self.model.training_error()
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def replay_until_error(
+        self,
+        now: float,
+        target_error: float,
+        max_epochs: int | None = None,
+    ) -> TrainReport:
+        """Replay until the training error reaches ``target_error``.
+
+        The time-to-accuracy protocol used by the efficiency experiment
+        (Fig. 13): "converged" means the model is back at the error level
+        established during the initial full training — a warm model is
+        usually there after zero or one epoch, a cold one needs the full
+        climb.  Stops at ``max_epochs`` (defaults to the trainer's cap) if
+        the target is unreachable, with ``converged=False``.
+        """
+        check_positive("target_error", target_error)
+        cap = self.max_epochs if max_epochs is None else max_epochs
+        report = TrainReport()
+        started = time.perf_counter()
+        report.expired += self.model.purge_expired(now)
+        current = self.model.training_error()
+        while current > target_error and report.epochs < cap:
+            store_size = self.model.n_stored_samples
+            if store_size == 0:
+                break
+            applied, expired, epoch_error = self.model.replay_many(now, store_size)
+            report.epochs += 1
+            report.replays += applied
+            report.expired += expired
+            if applied == 0:
+                break
+            report.error_trace.append(epoch_error)
+            current = self.model.training_error()
+        report.converged = current <= target_error
+        report.final_error = current
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def process(self, records: Iterable[QoSRecord], now: float | None = None) -> TrainReport:
+        """Consume arrivals, then replay to convergence.
+
+        ``now`` defaults to the latest arrival timestamp (or 0 when no
+        arrivals were provided), matching a live system where replay runs
+        between arrivals at the current time.
+        """
+        records = list(records)
+        consume_report = self.consume(records)
+        if now is None:
+            now = max((record.timestamp for record in records), default=0.0)
+        replay_report = self.replay_until_converged(now)
+        return TrainReport(
+            arrivals=consume_report.arrivals,
+            replays=replay_report.replays,
+            expired=replay_report.expired,
+            epochs=replay_report.epochs,
+            converged=replay_report.converged,
+            final_error=replay_report.final_error,
+            error_trace=replay_report.error_trace,
+            wall_seconds=consume_report.wall_seconds + replay_report.wall_seconds,
+        )

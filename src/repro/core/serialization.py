@@ -1,0 +1,100 @@
+"""Save/load AMF model state.
+
+A deployed QoS prediction service (Fig. 3) must survive restarts without
+retraining from the full history.  ``save_model``/``load_model`` persist the
+complete mutable state — latent factors, per-entity error trackers, the
+retained-sample store, and the configuration — into a single ``.npz``
+archive.  The RNG state is not persisted: a restored model continues with a
+fresh stream seeded by the caller, which only affects future random
+initializations and replay order, never existing parameters.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.amf import AdaptiveMatrixFactorization
+from repro.core.config import AMFConfig
+
+#: Bump when the archive layout changes; load_model refuses newer versions.
+FORMAT_VERSION = 1
+
+
+def save_model(model: AdaptiveMatrixFactorization, path: str) -> None:
+    """Persist a model's full state to ``path`` (a ``.npz`` archive)."""
+    keys = model._store.keys()
+    store_users = np.array([key[0] for key in keys], dtype=np.int64)
+    store_services = np.array([key[1] for key in keys], dtype=np.int64)
+    store_timestamps = np.array(
+        [model._store.get(*key)[0] for key in keys], dtype=float
+    )
+    store_values = np.array([model._store.get(*key)[1] for key in keys], dtype=float)
+
+    config_json = json.dumps(
+        {field: getattr(model.config, field) for field in model.config.__dataclass_fields__}
+    )
+    np.savez_compressed(
+        path,
+        format_version=np.int64(FORMAT_VERSION),
+        config_json=np.array(config_json),
+        user_factors=model.user_factors(),
+        service_factors=model.service_factors(),
+        user_errors=model.weights.user_error_snapshot(),
+        service_errors=model.weights.service_error_snapshot(),
+        store_users=store_users,
+        store_services=store_services,
+        store_timestamps=store_timestamps,
+        store_values=store_values,
+        updates_applied=np.int64(model.updates_applied),
+    )
+
+
+def load_model(
+    path: str,
+    rng: "int | np.random.Generator | None" = None,
+) -> AdaptiveMatrixFactorization:
+    """Restore a model saved by :func:`save_model`.
+
+    ``rng`` seeds the restored model's *future* randomness (new-entity
+    initialization, replay sampling); all persisted parameters are restored
+    exactly.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version > FORMAT_VERSION:
+            raise ValueError(
+                f"model archive format v{version} is newer than supported "
+                f"v{FORMAT_VERSION}"
+            )
+        config = AMFConfig(**json.loads(str(archive["config_json"])))
+        model = AdaptiveMatrixFactorization(config, rng=rng)
+
+        user_factors = archive["user_factors"]
+        service_factors = archive["service_factors"]
+        if user_factors.size:
+            model._user_factors.ensure(user_factors.shape[0] - 1)
+            model._user_factors._rows[: user_factors.shape[0]] = user_factors
+        if service_factors.size:
+            model._service_factors.ensure(service_factors.shape[0] - 1)
+            model._service_factors._rows[: service_factors.shape[0]] = service_factors
+
+        user_errors = archive["user_errors"]
+        service_errors = archive["service_errors"]
+        for user_id, error in enumerate(user_errors):
+            model.weights.register_user(user_id)
+            model.weights._user_errors.set(user_id, float(error))
+        for service_id, error in enumerate(service_errors):
+            model.weights.register_service(service_id)
+            model.weights._service_errors.set(service_id, float(error))
+
+        for user_id, service_id, timestamp, value in zip(
+            archive["store_users"],
+            archive["store_services"],
+            archive["store_timestamps"],
+            archive["store_values"],
+        ):
+            model._store.put(int(user_id), int(service_id), float(timestamp), float(value))
+        model._updates_applied = int(archive["updates_applied"])
+    return model

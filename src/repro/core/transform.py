@@ -1,0 +1,151 @@
+"""Data transformation pipeline (Section IV-C-1 of the paper).
+
+QoS values are heavily skewed (Fig. 7), which violates the Gaussian noise
+assumption behind matrix factorization.  The paper applies a Box-Cox power
+transform (Eq. 3) followed by linear normalization into ``[0, 1]`` (Eq. 4);
+the factor inner product is then squashed through a sigmoid so predictions
+live in the same normalized space.
+
+All functions are vectorized over numpy arrays and also accept scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def sigmoid(x: np.ndarray | float) -> np.ndarray | float:
+    """Numerically stable logistic function ``g(x) = 1 / (1 + exp(-x))``."""
+    x = np.asarray(x, dtype=float)
+    # Evaluate each branch on clipped input so neither exp overflows.
+    positive_branch = 1.0 / (1.0 + np.exp(-np.clip(x, 0.0, None)))
+    exp_x = np.exp(np.clip(x, None, 0.0))
+    negative_branch = exp_x / (1.0 + exp_x)
+    out = np.where(x >= 0, positive_branch, negative_branch)
+    return out if out.ndim else float(out)
+
+
+def sigmoid_derivative(x: np.ndarray | float) -> np.ndarray | float:
+    """Derivative ``g'(x) = g(x) (1 - g(x)) = e^x / (e^x + 1)^2``."""
+    g = sigmoid(x)
+    out = g * (1.0 - g)
+    return out if isinstance(out, np.ndarray) and out.ndim else float(out)
+
+
+def logit(p: np.ndarray | float, eps: float = 1e-12) -> np.ndarray | float:
+    """Inverse sigmoid, with clipping away from {0, 1} for stability."""
+    p = np.clip(np.asarray(p, dtype=float), eps, 1.0 - eps)
+    out = np.log(p / (1.0 - p))
+    return out if out.ndim else float(out)
+
+
+@dataclass(frozen=True, slots=True)
+class BoxCoxTransform:
+    """The Box-Cox power transform of Eq. 3.
+
+    ``boxcox(x) = (x^alpha - 1) / alpha`` for ``alpha != 0`` and ``log(x)``
+    for ``alpha = 0``.  The transform is strictly increasing for every alpha,
+    hence rank-preserving.  Inputs are clamped to ``floor`` because the
+    transform diverges at 0 when ``alpha <= 0`` (the paper's tuned alphas are
+    negative); see DESIGN.md for the substitution note.
+    """
+
+    alpha: float = -0.007
+    floor: float = 1e-3
+
+    #: Below this magnitude, ``(x^alpha - 1)/alpha`` loses all precision to
+    #: cancellation, so the transform switches to its alpha -> 0 limit, log(x).
+    _LOG_LIMIT = 1e-8
+
+    def __post_init__(self) -> None:
+        check_positive("floor", self.floor)
+
+    def _is_log(self) -> bool:
+        return abs(self.alpha) < self._LOG_LIMIT
+
+    def forward(self, x: np.ndarray | float) -> np.ndarray | float:
+        x = np.maximum(np.asarray(x, dtype=float), self.floor)
+        if self._is_log():
+            out = np.log(x)
+        else:
+            out = (np.power(x, self.alpha) - 1.0) / self.alpha
+        return out if out.ndim else float(out)
+
+    def inverse(self, y: np.ndarray | float) -> np.ndarray | float:
+        """Invert the transform; output is clamped back to ``>= floor``."""
+        y = np.asarray(y, dtype=float)
+        if self._is_log():
+            out = np.exp(y)
+        else:
+            base = np.maximum(self.alpha * y + 1.0, 0.0)
+            with np.errstate(divide="ignore"):
+                out = np.power(base, 1.0 / self.alpha)
+            # alpha < 0 with base -> 0 yields +inf; the practical codomain of
+            # the forward transform keeps base > 0, so only clamp the floor.
+            out = np.where(np.isfinite(out), out, np.inf)
+        out = np.maximum(out, self.floor)
+        return out if isinstance(out, np.ndarray) and out.ndim else float(out)
+
+
+@dataclass(frozen=True, slots=True)
+class QoSNormalizer:
+    """Box-Cox + linear normalization into ``[0, 1]`` (Eqs. 3-4) and back.
+
+    ``normalize`` maps raw QoS values to the unit interval the sigmoid-linked
+    factor model fits; ``denormalize`` maps model outputs back to raw QoS
+    units for reporting and adaptation decisions.
+    """
+
+    alpha: float = -0.007
+    value_min: float = 0.0
+    value_max: float = 20.0
+    floor: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.value_max <= self.value_min:
+            raise ValueError(
+                f"value_max must exceed value_min, got "
+                f"[{self.value_min}, {self.value_max}]"
+            )
+        check_positive("floor", self.floor)
+
+    @property
+    def boxcox(self) -> BoxCoxTransform:
+        return BoxCoxTransform(alpha=self.alpha, floor=self.floor)
+
+    def _bounds(self) -> tuple[float, float]:
+        transform = self.boxcox
+        low = float(transform.forward(max(self.value_min, self.floor)))
+        high = float(transform.forward(self.value_max))
+        if high <= low:
+            raise ValueError(
+                "degenerate transformed range; check alpha and value bounds"
+            )
+        return low, high
+
+    def normalize(self, values: np.ndarray | float) -> np.ndarray | float:
+        """Map raw QoS values into ``[0, 1]``.  Values outside
+        ``[value_min, value_max]`` are clipped to the unit interval."""
+        low, high = self._bounds()
+        transformed = self.boxcox.forward(values)
+        out = (np.asarray(transformed, dtype=float) - low) / (high - low)
+        out = np.clip(out, 0.0, 1.0)
+        return out if isinstance(out, np.ndarray) and out.ndim else float(out)
+
+    def denormalize(self, normalized: np.ndarray | float) -> np.ndarray | float:
+        """Map normalized values in ``[0, 1]`` back to raw QoS units."""
+        low, high = self._bounds()
+        normalized = np.clip(np.asarray(normalized, dtype=float), 0.0, 1.0)
+        transformed = normalized * (high - low) + low
+        out = self.boxcox.inverse(transformed)
+        out = np.minimum(out, self.value_max)
+        return out if isinstance(out, np.ndarray) and out.ndim else float(out)
+
+    @classmethod
+    def linear(cls, value_min: float, value_max: float) -> "QoSNormalizer":
+        """Plain linear normalization (``alpha = 1``), as in AMF(alpha=1)."""
+        return cls(alpha=1.0, value_min=value_min, value_max=value_max)

@@ -1,0 +1,187 @@
+"""Containers for QoS observations.
+
+The paper works with a user-service QoS matrix per time slice (Section IV-A):
+rows are service users (cloud applications), columns are candidate services,
+entries are observed QoS values, and most entries are missing.  We model a
+missing entry with an explicit boolean mask rather than a sentinel value,
+because legitimate QoS values can be arbitrarily close to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_shape_match
+
+
+@dataclass(frozen=True, slots=True)
+class QoSRecord:
+    """One observed QoS sample ``(t, u, s, value)`` as used by Algorithm 1.
+
+    Attributes:
+        timestamp: observation time in seconds since the start of collection.
+        user_id:   integer user index.
+        service_id: integer service index.
+        value:     the raw QoS value (e.g. response time in seconds).
+        slice_id:  the time-slice index the sample belongs to (-1 if unknown).
+    """
+
+    timestamp: float
+    user_id: int
+    service_id: int
+    value: float
+    slice_id: int = -1
+
+    def __post_init__(self) -> None:
+        if self.user_id < 0 or self.service_id < 0:
+            raise ValueError(
+                f"user_id/service_id must be non-negative, got "
+                f"({self.user_id}, {self.service_id})"
+            )
+        if not np.isfinite(self.value):
+            raise ValueError(f"QoS value must be finite, got {self.value!r}")
+
+
+@dataclass
+class QoSMatrix:
+    """A (possibly sparse) user-service QoS matrix for a single time slice.
+
+    ``values`` holds the QoS numbers; ``mask`` is True where the entry is
+    observed.  Values at unobserved positions are unspecified and must not be
+    read — use :meth:`observed_values` / :meth:`observed_indices`.
+    """
+
+    values: np.ndarray
+    mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        self.mask = np.asarray(self.mask, dtype=bool)
+        if self.values.ndim != 2:
+            raise ValueError(f"values must be 2-D, got shape {self.values.shape}")
+        check_shape_match("values", self.values, "mask", self.mask)
+
+    @classmethod
+    def dense(cls, values: np.ndarray) -> "QoSMatrix":
+        """Wrap a fully observed matrix."""
+        values = np.asarray(values, dtype=float)
+        return cls(values=values, mask=np.ones(values.shape, dtype=bool))
+
+    @property
+    def n_users(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_services(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.values.shape
+
+    @property
+    def density(self) -> float:
+        """Fraction of observed entries."""
+        return float(self.mask.mean()) if self.mask.size else 0.0
+
+    def observed_values(self) -> np.ndarray:
+        """Return the observed entries as a 1-D array."""
+        return self.values[self.mask]
+
+    def observed_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (row_indices, col_indices) of observed entries."""
+        return np.nonzero(self.mask)
+
+    def records(self, timestamp: float = 0.0, slice_id: int = -1) -> list[QoSRecord]:
+        """Materialize observed entries as :class:`QoSRecord` objects."""
+        rows, cols = self.observed_indices()
+        return [
+            QoSRecord(
+                timestamp=timestamp,
+                user_id=int(u),
+                service_id=int(s),
+                value=float(self.values[u, s]),
+                slice_id=slice_id,
+            )
+            for u, s in zip(rows, cols)
+        ]
+
+    def copy(self) -> "QoSMatrix":
+        return QoSMatrix(values=self.values.copy(), mask=self.mask.copy())
+
+    def filled(self, fill_value: float = np.nan) -> np.ndarray:
+        """Return a dense array with unobserved entries set to ``fill_value``."""
+        out = np.full(self.values.shape, fill_value, dtype=float)
+        out[self.mask] = self.values[self.mask]
+        return out
+
+
+@dataclass
+class TimeSlicedQoS:
+    """A stack of per-slice QoS matrices for one QoS attribute.
+
+    Mirrors the WS-DREAM dataset #2 layout: ``tensor[t, u, s]`` is the value
+    observed by user ``u`` on service ``s`` during slice ``t``.  ``mask``
+    marks which (t, u, s) triples were actually measured — even the "full"
+    real dataset has gaps where invocations failed.
+    """
+
+    tensor: np.ndarray
+    mask: np.ndarray
+    attribute: str = "response_time"
+    unit: str = "s"
+    slice_seconds: float = 900.0  # the paper's 15-minute interval
+    value_min: float = 0.0
+    value_max: float = 20.0
+
+    def __post_init__(self) -> None:
+        self.tensor = np.asarray(self.tensor, dtype=float)
+        self.mask = np.asarray(self.mask, dtype=bool)
+        if self.tensor.ndim != 3:
+            raise ValueError(f"tensor must be 3-D, got shape {self.tensor.shape}")
+        check_shape_match("tensor", self.tensor, "mask", self.mask)
+        if self.slice_seconds <= 0:
+            raise ValueError(f"slice_seconds must be positive, got {self.slice_seconds}")
+        if self.value_max <= self.value_min:
+            raise ValueError(
+                f"value_max must exceed value_min, got "
+                f"[{self.value_min}, {self.value_max}]"
+            )
+
+    @property
+    def n_slices(self) -> int:
+        return self.tensor.shape[0]
+
+    @property
+    def n_users(self) -> int:
+        return self.tensor.shape[1]
+
+    @property
+    def n_services(self) -> int:
+        return self.tensor.shape[2]
+
+    def slice(self, t: int) -> QoSMatrix:
+        """Return the QoS matrix of time slice ``t``."""
+        if not (0 <= t < self.n_slices):
+            raise IndexError(f"slice {t} out of range [0, {self.n_slices})")
+        return QoSMatrix(values=self.tensor[t].copy(), mask=self.mask[t].copy())
+
+    def observed_values(self) -> np.ndarray:
+        """All observed values across every slice, flattened."""
+        return self.tensor[self.mask]
+
+    def statistics(self) -> dict[str, float]:
+        """Summary statistics in the style of the paper's Fig. 6."""
+        observed = self.observed_values()
+        return {
+            "n_users": float(self.n_users),
+            "n_services": float(self.n_services),
+            "n_slices": float(self.n_slices),
+            "slice_minutes": self.slice_seconds / 60.0,
+            "observed_entries": float(observed.size),
+            "min": float(observed.min()) if observed.size else float("nan"),
+            "max": float(observed.max()) if observed.size else float("nan"),
+            "mean": float(observed.mean()) if observed.size else float("nan"),
+        }

@@ -1,0 +1,78 @@
+"""Persistence of QoS observation streams as CSV traces.
+
+The prediction service of Fig. 3 logs every observation into a QoS
+database; these helpers provide the file-level equivalent — write a stream
+out as a human-auditable CSV and replay it later — so recorded runs can be
+re-fed to any model bit-for-bit.
+
+Format: a header line then ``timestamp,user_id,service_id,value,slice_id``
+rows.  ``slice_id`` is optional on read (defaults to -1).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from repro.datasets.schema import QoSRecord
+from repro.datasets.stream import QoSStream
+
+_HEADER = ["timestamp", "user_id", "service_id", "value", "slice_id"]
+
+
+def save_stream(stream: "QoSStream | list[QoSRecord]", path: str) -> int:
+    """Write a stream to ``path`` as CSV; returns the record count."""
+    records = list(stream)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for record in records:
+            writer.writerow(
+                [
+                    repr(record.timestamp),
+                    record.user_id,
+                    record.service_id,
+                    repr(record.value),
+                    record.slice_id,
+                ]
+            )
+    return len(records)
+
+
+def load_stream(path: str) -> QoSStream:
+    """Read a CSV trace written by :func:`save_stream`.
+
+    Validates the header and raises ``ValueError`` with the row number on
+    malformed rows.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    records: list[QoSRecord] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise ValueError(f"{path}: empty trace file") from exc
+        if [column.strip() for column in header[:4]] != _HEADER[:4]:
+            raise ValueError(
+                f"{path}: unexpected header {header!r}; expected {_HEADER}"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) < 4:
+                raise ValueError(f"{path}:{row_number}: expected >=4 fields, got {row!r}")
+            try:
+                records.append(
+                    QoSRecord(
+                        timestamp=float(row[0]),
+                        user_id=int(row[1]),
+                        service_id=int(row[2]),
+                        value=float(row[3]),
+                        slice_id=int(row[4]) if len(row) > 4 and row[4] != "" else -1,
+                    )
+                )
+            except ValueError as exc:
+                raise ValueError(f"{path}:{row_number}: cannot parse {row!r}") from exc
+    return QoSStream(records)

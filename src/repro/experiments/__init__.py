@@ -1,0 +1,34 @@
+"""One experiment module per table/figure of the paper's evaluation section.
+
+Every module exposes a ``run_*`` function returning a structured result with
+a ``to_text()`` rendering that mirrors the paper's rows/series, plus a
+``main()`` entry point (``python -m repro.experiments.<name>``).
+
+| Module            | Paper artifact                              |
+|-------------------|---------------------------------------------|
+| data_stats        | Fig. 2 (observations) + Fig. 6 (statistics) |
+| distributions     | Fig. 7 (raw) + Fig. 8 (transformed)         |
+| spectrum          | Fig. 9 (singular values)                    |
+| accuracy          | Table I (accuracy comparison)               |
+| error_dist        | Fig. 10 (prediction-error distributions)    |
+| transform_impact  | Fig. 11 (impact of data transformation)     |
+| density_impact    | Fig. 12 (impact of matrix density)          |
+| efficiency        | Fig. 13 (convergence time per slice)        |
+| scalability       | Fig. 14 (churn robustness)                  |
+"""
+
+from repro.experiments.runner import (
+    ApproachResult,
+    ExperimentScale,
+    evaluate_amf,
+    evaluate_batch_predictor,
+    make_amf_config,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "ApproachResult",
+    "evaluate_amf",
+    "evaluate_batch_predictor",
+    "make_amf_config",
+]

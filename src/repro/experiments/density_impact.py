@@ -1,0 +1,92 @@
+"""Fig. 12: impact of matrix density on AMF's accuracy.
+
+Sweeps the training density from 5% to 50% in 5% steps and reports AMF's
+MAE, MRE, and NPRE.  The paper's shape: all errors fall as density rises,
+with a steep drop at the sparsest settings (overfitting relieved as data
+accumulates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets import train_test_split_matrix
+from repro.experiments.runner import ExperimentScale, evaluate_amf, make_amf_config
+from repro.utils.rng import spawn_children
+from repro.utils.tables import render_table
+
+DEFAULT_DENSITIES = tuple(round(0.05 * k, 2) for k in range(1, 11))
+
+
+@dataclass
+class DensityImpactResult:
+    """AMF metrics per density."""
+
+    attribute: str
+    densities: tuple[float, ...]
+    metrics: dict[str, list[float]]  # metric name -> per-density values
+
+    def to_text(self) -> str:
+        names = list(self.metrics)
+        rows = [
+            [f"{int(round(density * 100))}%"] + [self.metrics[name][k] for name in names]
+            for k, density in enumerate(self.densities)
+        ]
+        table = render_table(
+            ["Density"] + names,
+            rows,
+            precision=3,
+            title=f"Fig. 12 ({self.attribute}) — impact of matrix density on AMF",
+        )
+        return f"{table}\n{self.to_chart()}"
+
+    def to_chart(self) -> str:
+        """ASCII rendering of the Fig. 12 curves ('' for single points)."""
+        from repro.utils.plots import line_plot
+
+        if len(self.densities) < 2:
+            return ""
+        return line_plot(
+            {name: values for name, values in self.metrics.items()},
+            height=10,
+            width=58,
+            y_label="error vs density",
+        )
+
+
+def run_density_impact(
+    scale: ExperimentScale | None = None,
+    attribute: str = "response_time",
+    densities: tuple[float, ...] = DEFAULT_DENSITIES,
+) -> DensityImpactResult:
+    """AMF accuracy sweep over training densities."""
+    scale = scale if scale is not None else ExperimentScale.quick()
+    matrix = scale.dataset(attribute).slice(0)
+    config = make_amf_config(attribute)
+
+    collected: dict[str, list[float]] = {"MAE": [], "MRE": [], "NPRE": []}
+    for density in densities:
+        rngs = spawn_children(scale.seed + int(density * 1000), scale.reruns)
+        per_run: dict[str, list[float]] = {name: [] for name in collected}
+        for rng in rngs:
+            train, test = train_test_split_matrix(matrix, density, rng=rng)
+            result = evaluate_amf(train, test, config, rng=rng)
+            for name in collected:
+                per_run[name].append(result.metrics[name])
+        for name in collected:
+            collected[name].append(float(np.mean(per_run[name])))
+    return DensityImpactResult(
+        attribute=attribute, densities=densities, metrics=collected
+    )
+
+
+def main() -> None:
+    for attribute in ("response_time", "throughput"):
+        print(run_density_impact(attribute=attribute).to_text())
+        print()
+
+
+if __name__ == "__main__":
+    main()

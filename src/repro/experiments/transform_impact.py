@@ -1,0 +1,100 @@
+"""Fig. 11: impact of the data transformation on MRE.
+
+Compares three models across matrix densities: PMF (absolute-error batch
+MF), AMF with ``alpha = 1`` (the Box-Cox effect masked, leaving plain
+linear normalization), and full AMF with the tuned alpha.  The paper's
+ordering — PMF worst, AMF(alpha=1) in between, AMF best — isolates how much
+of AMF's MRE advantage comes from the transformation alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets import train_test_split_matrix
+from repro.experiments.runner import (
+    ExperimentScale,
+    evaluate_amf,
+    evaluate_batch_predictor,
+    make_amf_config,
+    make_baselines,
+)
+from repro.utils.rng import spawn_children
+from repro.utils.tables import render_table
+
+DEFAULT_DENSITIES = (0.10, 0.20, 0.30, 0.40, 0.50)
+
+
+@dataclass
+class TransformImpactResult:
+    """MRE per density for PMF / AMF(alpha=1) / AMF."""
+
+    attribute: str
+    densities: tuple[float, ...]
+    mre: dict[str, list[float]]
+
+    def to_text(self) -> str:
+        names = list(self.mre)
+        rows = [
+            [f"{int(density * 100)}%"] + [self.mre[name][k] for name in names]
+            for k, density in enumerate(self.densities)
+        ]
+        return render_table(
+            ["Density"] + names,
+            rows,
+            precision=3,
+            title=f"Fig. 11 ({self.attribute}) — impact of data transformation (MRE)",
+        )
+
+
+def run_transform_impact(
+    scale: ExperimentScale | None = None,
+    attribute: str = "response_time",
+    densities: tuple[float, ...] = DEFAULT_DENSITIES,
+) -> TransformImpactResult:
+    """MRE sweep over densities for the three Fig. 11 approaches."""
+    scale = scale if scale is not None else ExperimentScale.quick()
+    matrix = scale.dataset(attribute).slice(0)
+    tuned_config = make_amf_config(attribute)
+    # With alpha = 1 most normalized values sit near 0, so the relative-error
+    # gradient (divided by r^2) needs a far smaller step size to stay stable
+    # — and the more extreme the skew, the smaller the stable step.  The
+    # paper states each variant's parameters are "optimized accordingly":
+    # 0.05 is the tuned rate for linear-normalized response time, 0.005 for
+    # linear-normalized throughput (whose values sit at ~0.002 of the range;
+    # smaller rates cannot pull the sigmoid off its 0.5 start at 10% density,
+    # larger ones destabilize the 1/r^2 gradients).
+    linear_rate = 0.05 if attribute in ("response_time", "rt") else 0.005
+    linear_config = tuned_config.with_updates(alpha=1.0, learning_rate=linear_rate)
+
+    mre: dict[str, list[float]] = {"PMF": [], "AMF(alpha=1)": [], "AMF": []}
+    for density in densities:
+        rngs = spawn_children(scale.seed + int(density * 1000), scale.reruns)
+        per_run: dict[str, list[float]] = {name: [] for name in mre}
+        for rng in rngs:
+            train, test = train_test_split_matrix(matrix, density, rng=rng)
+            pmf = make_baselines(attribute, rng=rng)["PMF"]
+            per_run["PMF"].append(
+                evaluate_batch_predictor("PMF", pmf, train, test).metrics["MRE"]
+            )
+            per_run["AMF(alpha=1)"].append(
+                evaluate_amf(train, test, linear_config, rng=rng).metrics["MRE"]
+            )
+            per_run["AMF"].append(
+                evaluate_amf(train, test, tuned_config, rng=rng).metrics["MRE"]
+            )
+        for name in mre:
+            mre[name].append(float(np.mean(per_run[name])))
+    return TransformImpactResult(attribute=attribute, densities=densities, mre=mre)
+
+
+def main() -> None:
+    for attribute in ("response_time", "throughput"):
+        print(run_transform_impact(attribute=attribute).to_text())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+"""Prediction-confidence estimation from AMF's error trackers (extension).
+
+AMF already maintains per-user and per-service EMA relative errors to drive
+its adaptive weights (Eqs. 12-15).  The same quantities yield a *per
+prediction* uncertainty estimate for free:
+
+    ``expected_error(i, j) = (e_u(i) + e_s(j)) / 2``
+
+— the anticipated relative error of predicting pair ``(i, j)``.  An
+adaptation policy can use it to prefer candidates the model is confident
+about, or to trigger exploratory invocations where confidence is low.
+
+This module computes those estimates and evaluates how well-calibrated they
+are: bucketing predictions by expected error, the realized median relative
+error should increase across buckets (rank correlation), which
+:func:`calibration_report` quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.amf import AdaptiveMatrixFactorization
+from repro.metrics.errors import relative_errors
+from repro.utils.tables import render_table
+
+
+def expected_relative_error(
+    model: AdaptiveMatrixFactorization,
+    user_ids: np.ndarray,
+    service_ids: np.ndarray,
+) -> np.ndarray:
+    """Per-pair anticipated relative error from the EMA trackers."""
+    user_ids = np.asarray(user_ids, dtype=int)
+    service_ids = np.asarray(service_ids, dtype=int)
+    if user_ids.shape != service_ids.shape:
+        raise ValueError(
+            f"user_ids and service_ids must match, got "
+            f"{user_ids.shape} vs {service_ids.shape}"
+        )
+    user_errors = np.array([model.weights.user_error(int(u)) for u in user_ids])
+    service_errors = np.array(
+        [model.weights.service_error(int(s)) for s in service_ids]
+    )
+    return (user_errors + service_errors) / 2.0
+
+
+@dataclass
+class CalibrationReport:
+    """Realized error per confidence bucket plus a rank-correlation score."""
+
+    bucket_edges: np.ndarray       # expected-error quantile edges
+    expected_mean: np.ndarray      # mean expected error per bucket
+    realized_median: np.ndarray    # realized median relative error per bucket
+    counts: np.ndarray
+    rank_correlation: float        # Spearman rho between expected & realized
+
+    def to_text(self) -> str:
+        rows = [
+            [
+                f"{self.bucket_edges[k]:.3f}-{self.bucket_edges[k + 1]:.3f}",
+                float(self.expected_mean[k]),
+                float(self.realized_median[k]),
+                int(self.counts[k]),
+            ]
+            for k in range(len(self.counts))
+        ]
+        table = render_table(
+            ["expected-error bucket", "mean expected", "realized median", "n"],
+            rows,
+            title="Confidence calibration (AMF error trackers)",
+        )
+        return f"{table}\nSpearman rank correlation: {self.rank_correlation:.3f}"
+
+
+def calibration_report(
+    model: AdaptiveMatrixFactorization,
+    user_ids: np.ndarray,
+    service_ids: np.ndarray,
+    actual: np.ndarray,
+    n_buckets: int = 5,
+) -> CalibrationReport:
+    """Bucket test pairs by expected error; report realized error per bucket.
+
+    ``actual`` holds the measured QoS values of the (user, service) pairs.
+    """
+    if n_buckets < 2:
+        raise ValueError(f"n_buckets must be >= 2, got {n_buckets}")
+    user_ids = np.asarray(user_ids, dtype=int)
+    service_ids = np.asarray(service_ids, dtype=int)
+    actual = np.asarray(actual, dtype=float)
+    if not (user_ids.shape == service_ids.shape == actual.shape):
+        raise ValueError("user_ids, service_ids, and actual must share a shape")
+    if user_ids.size < n_buckets:
+        raise ValueError(
+            f"need at least {n_buckets} pairs, got {user_ids.size}"
+        )
+
+    expected = expected_relative_error(model, user_ids, service_ids)
+    predicted = np.array(
+        [model.predict(int(u), int(s)) for u, s in zip(user_ids, service_ids)]
+    )
+    realized = relative_errors(predicted, actual)
+
+    edges = np.quantile(expected, np.linspace(0.0, 1.0, n_buckets + 1))
+    # Guard against duplicate quantiles on near-constant expected errors.
+    edges = np.maximum.accumulate(edges)
+    edges[-1] += 1e-12
+    bucket_of = np.clip(
+        np.searchsorted(edges, expected, side="right") - 1, 0, n_buckets - 1
+    )
+
+    expected_mean = np.full(n_buckets, np.nan)
+    realized_median = np.full(n_buckets, np.nan)
+    counts = np.zeros(n_buckets, dtype=int)
+    for bucket in range(n_buckets):
+        members = bucket_of == bucket
+        counts[bucket] = int(members.sum())
+        if counts[bucket]:
+            expected_mean[bucket] = float(expected[members].mean())
+            realized_median[bucket] = float(np.median(realized[members]))
+
+    # Spearman rho between expected and realized errors over all pairs.
+    from scipy import stats
+
+    rho = float(stats.spearmanr(expected, realized).statistic)
+    return CalibrationReport(
+        bucket_edges=edges,
+        expected_mean=expected_mean,
+        realized_median=realized_median,
+        counts=counts,
+        rank_correlation=rho,
+    )

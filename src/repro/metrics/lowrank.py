@@ -1,0 +1,57 @@
+"""Singular-spectrum analysis used to justify the low-rank assumption.
+
+The paper's Fig. 9 plots the singular values of the user-service matrices,
+normalized so the largest is 1, showing that all but the first few are close
+to zero.  ``normalized_singular_values`` reproduces that series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.schema import QoSMatrix
+
+
+def normalized_singular_values(
+    matrix: "QoSMatrix | np.ndarray",
+    top_k: int = 50,
+    fill: str = "mean",
+) -> np.ndarray:
+    """Top-``top_k`` singular values, scaled so the largest equals 1.
+
+    A sparse :class:`QoSMatrix` is densified first: unobserved entries are
+    replaced by the mean of the observed ones (``fill='mean'``) or zero
+    (``fill='zero'``).  The paper computes the spectrum on the collected
+    (nearly dense) matrices, so the fill choice barely matters there.
+    """
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    if isinstance(matrix, QoSMatrix):
+        observed = matrix.observed_values()
+        if fill == "mean":
+            fill_value = float(observed.mean()) if observed.size else 0.0
+        elif fill == "zero":
+            fill_value = 0.0
+        else:
+            raise ValueError(f"fill must be 'mean' or 'zero', got {fill!r}")
+        dense = matrix.filled(fill_value)
+    else:
+        dense = np.asarray(matrix, dtype=float)
+        if dense.ndim != 2:
+            raise ValueError(f"matrix must be 2-D, got shape {dense.shape}")
+    singular_values = np.linalg.svd(dense, compute_uv=False)
+    if singular_values.size == 0 or singular_values[0] <= 0:
+        raise ValueError("matrix has no positive singular values")
+    normalized = singular_values / singular_values[0]
+    return normalized[:top_k]
+
+
+def effective_rank(matrix: "QoSMatrix | np.ndarray", energy: float = 0.9) -> int:
+    """Smallest k whose top-k singular values carry ``energy`` of the
+    squared spectrum — a scalar summary of Fig. 9."""
+    if not (0 < energy <= 1):
+        raise ValueError(f"energy must be in (0, 1], got {energy}")
+    spectrum = normalized_singular_values(matrix, top_k=10**9)
+    squared = spectrum**2
+    cumulative = np.cumsum(squared) / squared.sum()
+    return int(np.searchsorted(cumulative, energy) + 1)

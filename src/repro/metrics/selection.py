@@ -1,0 +1,109 @@
+"""Adaptation-oriented metrics (extension beyond the paper's tables).
+
+The paper motivates QoS prediction by its effect on adaptation decisions —
+picking the right candidate service and avoiding wrong SLA-violation calls
+(its Section IV example) — but evaluates only value-level accuracy.  These
+metrics measure decision quality directly and back the ablation benches and
+the adaptation examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_shape_match
+
+
+def _as_candidate_pair(
+    predicted: np.ndarray, actual: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    check_shape_match("predicted", predicted, "actual", actual)
+    if predicted.ndim != 1 or predicted.size == 0:
+        raise ValueError(
+            f"candidate scores must be a non-empty 1-D array, got shape {predicted.shape}"
+        )
+    return predicted, actual
+
+
+def top_k_hit_rate(
+    predicted: np.ndarray,
+    actual: np.ndarray,
+    k: int = 1,
+    lower_is_better: bool = True,
+) -> float:
+    """Is the predicted-best candidate within the *actual* top ``k``?
+
+    ``predicted``/``actual`` are QoS scores over one candidate pool.  Returns
+    1.0 on a hit, 0.0 otherwise; callers average over many pools.
+    """
+    predicted, actual = _as_candidate_pair(predicted, actual)
+    if not (1 <= k <= predicted.size):
+        raise ValueError(f"k must be in [1, {predicted.size}], got {k}")
+    sign = 1.0 if lower_is_better else -1.0
+    chosen = int(np.argmin(sign * predicted))
+    actual_order = np.argsort(sign * actual, kind="stable")
+    return 1.0 if chosen in actual_order[:k] else 0.0
+
+
+def selection_regret(
+    predicted: np.ndarray,
+    actual: np.ndarray,
+    lower_is_better: bool = True,
+) -> float:
+    """Actual QoS cost of trusting the prediction.
+
+    The difference between the actual QoS of the predicted-best candidate and
+    the actual QoS of the true best.  Zero means the prediction picked
+    optimally; always non-negative.
+    """
+    predicted, actual = _as_candidate_pair(predicted, actual)
+    sign = 1.0 if lower_is_better else -1.0
+    chosen = int(np.argmin(sign * predicted))
+    best = float(np.min(sign * actual))
+    return float(sign * actual[chosen] - best)
+
+
+def sla_confusion(
+    predicted: np.ndarray,
+    actual: np.ndarray,
+    threshold: float,
+    lower_is_better: bool = True,
+) -> dict[str, float]:
+    """Confusion statistics for SLA-violation calls made from predictions.
+
+    A value *violates* the SLA when it exceeds ``threshold`` (for
+    lower-is-better attributes like response time) or falls below it (for
+    higher-is-better ones like throughput).  Returns counts plus precision,
+    recall, and accuracy; precision/recall are NaN when undefined.
+
+    This formalizes the paper's motivating example: an MAE-optimal predictor
+    can still trigger wrong adaptations, which this metric exposes.
+    """
+    predicted = np.asarray(predicted, dtype=float).ravel()
+    actual = np.asarray(actual, dtype=float).ravel()
+    check_shape_match("predicted", predicted, "actual", actual)
+    if predicted.size == 0:
+        raise ValueError("cannot score an empty prediction set")
+    if lower_is_better:
+        predicted_violation = predicted > threshold
+        actual_violation = actual > threshold
+    else:
+        predicted_violation = predicted < threshold
+        actual_violation = actual < threshold
+    tp = float(np.sum(predicted_violation & actual_violation))
+    fp = float(np.sum(predicted_violation & ~actual_violation))
+    fn = float(np.sum(~predicted_violation & actual_violation))
+    tn = float(np.sum(~predicted_violation & ~actual_violation))
+    precision = tp / (tp + fp) if (tp + fp) > 0 else float("nan")
+    recall = tp / (tp + fn) if (tp + fn) > 0 else float("nan")
+    return {
+        "tp": tp,
+        "fp": fp,
+        "fn": fn,
+        "tn": tn,
+        "precision": precision,
+        "recall": recall,
+        "accuracy": (tp + tn) / predicted.size,
+    }

@@ -1,0 +1,11 @@
+"""JSON-over-HTTP interface to the QoS prediction service (Fig. 3).
+
+The paper's prediction module serves users "transparently through a
+standard interface"; this package provides one: a threaded HTTP server
+around a shared AMF model (:mod:`repro.server.app`) and a matching Python
+client (:mod:`repro.server.client`)."""
+
+from repro.server.app import PredictionServer
+from repro.server.client import PredictionClient
+
+__all__ = ["PredictionServer", "PredictionClient"]

@@ -1,0 +1,235 @@
+"""The QoS prediction service as an HTTP endpoint.
+
+Implements the Fig. 3 interface over JSON/HTTP using only the standard
+library:
+
+=======  =====================  ==========================================
+method   path                   body / query
+=======  =====================  ==========================================
+POST     /observations          {"timestamp", "user_id", "service_id",
+                                "value"} — report one observed QoS sample
+POST     /observations/batch    {"observations": [...]} — report many
+GET      /predictions           ?user_id=U&service_id=S — one prediction
+POST     /predictions/batch     {"user_id", "service_ids": [...]}
+GET      /status                model statistics
+=======  =====================  ==========================================
+
+A :class:`~repro.core.daemon.BackgroundTrainer` replays retained samples
+between requests, so the served model keeps converging while idle — the
+"online updating" box of the paper's architecture.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.amf import AdaptiveMatrixFactorization
+from repro.core.config import AMFConfig
+from repro.core.daemon import BackgroundTrainer, ConcurrentModel
+from repro.datasets.schema import QoSRecord
+
+
+class _BadRequest(Exception):
+    """Client error with a message safe to echo back."""
+
+
+def _require(payload: dict, field: str, kind):
+    if field not in payload:
+        raise _BadRequest(f"missing field {field!r}")
+    try:
+        return kind(payload[field])
+    except (TypeError, ValueError) as exc:
+        raise _BadRequest(f"field {field!r} must be {kind.__name__}") from exc
+
+
+class PredictionServer:
+    """Owns the model, the background trainer, and the HTTP server.
+
+    Typical use::
+
+        server = PredictionServer(AMFConfig.for_response_time(), rng=0)
+        server.start()                      # binds 127.0.0.1:<ephemeral>
+        client = PredictionClient(server.address)
+        ...
+        server.stop()
+
+    ``port=0`` (the default) binds an ephemeral port; read ``address``
+    after ``start``.
+    """
+
+    def __init__(
+        self,
+        config: AMFConfig | None = None,
+        rng: "int | None" = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        background_replay: bool = True,
+    ) -> None:
+        self.model = ConcurrentModel(AdaptiveMatrixFactorization(config, rng=rng))
+        self.trainer = BackgroundTrainer(self.model) if background_replay else None
+        self._host = host
+        self._port = port
+        self._httpd: "ThreadingHTTPServer | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._observations_handled = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) actually bound; valid after :meth:`start`."""
+        if self._httpd is None:
+            raise RuntimeError("server is not running")
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    def start(self) -> None:
+        if self._httpd is not None:
+            return
+        handler = self._make_handler()
+        self._httpd = ThreadingHTTPServer((self._host, self._port), handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="qos-prediction-http", daemon=True
+        )
+        self._thread.start()
+        if self.trainer is not None:
+            self.trainer.start()
+
+    def stop(self) -> None:
+        if self.trainer is not None and self.trainer.running:
+            self.trainer.stop()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "PredictionServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request handling ------------------------------------------------------
+    def _handle_observation(self, payload: dict) -> dict:
+        try:
+            record = QoSRecord(
+                timestamp=_require(payload, "timestamp", float),
+                user_id=_require(payload, "user_id", int),
+                service_id=_require(payload, "service_id", int),
+                value=_require(payload, "value", float),
+            )
+            error = self.model.observe(record)
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from exc
+        self._observations_handled += 1
+        return {"sample_error": error}
+
+    def _handle_observation_batch(self, payload: dict) -> dict:
+        observations = payload.get("observations")
+        if not isinstance(observations, list):
+            raise _BadRequest("field 'observations' must be a list")
+        errors = [self._handle_observation(entry)["sample_error"] for entry in observations]
+        return {"accepted": len(errors), "sample_errors": errors}
+
+    def _handle_prediction(self, query: dict) -> dict:
+        try:
+            user_id = int(query["user_id"][0])
+            service_id = int(query["service_id"][0])
+        except (KeyError, ValueError, IndexError) as exc:
+            raise _BadRequest(
+                "query must include integer user_id and service_id"
+            ) from exc
+        if user_id < 0 or service_id < 0:
+            raise _BadRequest("ids must be non-negative")
+        return {
+            "user_id": user_id,
+            "service_id": service_id,
+            "prediction": self.model.predict(user_id, service_id),
+        }
+
+    def _handle_prediction_batch(self, payload: dict) -> dict:
+        user_id = _require(payload, "user_id", int)
+        service_ids = payload.get("service_ids")
+        if not isinstance(service_ids, list) or not service_ids:
+            raise _BadRequest("field 'service_ids' must be a non-empty list")
+        predictions = {}
+        for raw in service_ids:
+            try:
+                service_id = int(raw)
+            except (TypeError, ValueError) as exc:
+                raise _BadRequest("service_ids must be integers") from exc
+            if user_id < 0 or service_id < 0:
+                raise _BadRequest("ids must be non-negative")
+            predictions[str(service_id)] = self.model.predict(user_id, service_id)
+        return {"user_id": user_id, "predictions": predictions}
+
+    def _handle_status(self) -> dict:
+        return {
+            "observations_handled": self._observations_handled,
+            "updates_applied": self.model.updates_applied,
+            "stored_samples": self.model.n_stored_samples,
+            "background_replays": (
+                self.trainer.replays_applied if self.trainer is not None else 0
+            ),
+        }
+
+    def _make_handler(self):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # Silence per-request stderr logging.
+            def log_message(self, format, *args):  # noqa: A002 (stdlib API)
+                pass
+
+            def _send(self, status: int, body: dict) -> None:
+                data = json.dumps(body).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def _read_json(self) -> dict:
+                length = int(self.headers.get("Content-Length", 0))
+                raw = self.rfile.read(length) if length else b"{}"
+                try:
+                    payload = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    raise _BadRequest(f"invalid JSON body: {exc}") from exc
+                if not isinstance(payload, dict):
+                    raise _BadRequest("JSON body must be an object")
+                return payload
+
+            def do_GET(self):
+                parsed = urlparse(self.path)
+                try:
+                    if parsed.path == "/predictions":
+                        self._send(200, server._handle_prediction(parse_qs(parsed.query)))
+                    elif parsed.path == "/status":
+                        self._send(200, server._handle_status())
+                    else:
+                        self._send(404, {"error": f"unknown path {parsed.path}"})
+                except _BadRequest as exc:
+                    self._send(400, {"error": str(exc)})
+
+            def do_POST(self):
+                parsed = urlparse(self.path)
+                try:
+                    payload = self._read_json()
+                    if parsed.path == "/observations":
+                        self._send(200, server._handle_observation(payload))
+                    elif parsed.path == "/observations/batch":
+                        self._send(200, server._handle_observation_batch(payload))
+                    elif parsed.path == "/predictions/batch":
+                        self._send(200, server._handle_prediction_batch(payload))
+                    else:
+                        self._send(404, {"error": f"unknown path {parsed.path}"})
+                except _BadRequest as exc:
+                    self._send(400, {"error": str(exc)})
+
+        return Handler

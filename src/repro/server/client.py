@@ -1,0 +1,97 @@
+"""Python client for the prediction server (Fig. 3's user-side stub).
+
+The paper's execution middleware talks to the prediction service through a
+standard interface; this client is that stub.  It is synchronous and uses
+only the standard library, so an application (or the example scripts) can
+talk to a :class:`~repro.server.app.PredictionServer` with no extra
+dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+
+
+class PredictionServiceError(RuntimeError):
+    """Raised when the server rejects a request or is unreachable."""
+
+
+class PredictionClient:
+    """HTTP client bound to one prediction-server address."""
+
+    def __init__(self, address: tuple[str, int], timeout: float = 5.0) -> None:
+        host, port = address
+        self._base = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: "dict | None" = None) -> dict:
+        data = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            self._base + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except Exception:
+                detail = ""
+            raise PredictionServiceError(
+                f"{method} {path} failed with HTTP {exc.code}: {detail}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise PredictionServiceError(
+                f"cannot reach prediction service at {self._base}: {exc.reason}"
+            ) from exc
+
+    # -- the Fig. 3 interface -------------------------------------------------
+    def report_observation(
+        self, user_id: int, service_id: int, value: float, timestamp: float
+    ) -> float:
+        """Upload one observed QoS sample; returns its pre-update error."""
+        body = self._request(
+            "POST",
+            "/observations",
+            {
+                "timestamp": timestamp,
+                "user_id": user_id,
+                "service_id": service_id,
+                "value": value,
+            },
+        )
+        return float(body["sample_error"])
+
+    def report_observations(self, observations: "list[dict]") -> int:
+        """Upload many samples; returns how many were accepted."""
+        body = self._request(
+            "POST", "/observations/batch", {"observations": observations}
+        )
+        return int(body["accepted"])
+
+    def predict(self, user_id: int, service_id: int) -> float:
+        """Predicted QoS for one (user, service) pair."""
+        query = urllib.parse.urlencode(
+            {"user_id": user_id, "service_id": service_id}
+        )
+        body = self._request("GET", f"/predictions?{query}")
+        return float(body["prediction"])
+
+    def predict_candidates(self, user_id: int, service_ids: "list[int]") -> dict[int, float]:
+        """Predicted QoS for a candidate pool, keyed by service id."""
+        body = self._request(
+            "POST",
+            "/predictions/batch",
+            {"user_id": user_id, "service_ids": list(service_ids)},
+        )
+        return {int(k): float(v) for k, v in body["predictions"].items()}
+
+    def status(self) -> dict:
+        """Server-side model statistics."""
+        return self._request("GET", "/status")

@@ -1,0 +1,7 @@
+"""Simulation utilities: a slice-aware clock and churn schedules for the
+scalability experiment (users/services joining and leaving mid-run)."""
+
+from repro.simulation.clock import SimClock
+from repro.simulation.churn import ChurnEvent, ChurnSchedule
+
+__all__ = ["SimClock", "ChurnEvent", "ChurnSchedule"]

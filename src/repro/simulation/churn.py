@@ -1,0 +1,104 @@
+"""Churn schedules: users and services joining/leaving over simulated time.
+
+The paper's scalability experiment (Fig. 14, Section V-G) warms the model up
+on 80% of entities and injects the remaining 20% at t = 400 s.  A
+:class:`ChurnSchedule` generalizes this: a time-ordered list of join/leave
+events that an experiment pops as its clock advances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.sampling import split_entities
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnEvent:
+    """One entity joining or leaving at a point in simulated time."""
+
+    timestamp: float
+    entity_kind: str  # "user" | "service"
+    entity_id: int
+    action: str  # "join" | "leave"
+
+    def __post_init__(self) -> None:
+        if self.entity_kind not in ("user", "service"):
+            raise ValueError(
+                f"entity_kind must be 'user' or 'service', got {self.entity_kind!r}"
+            )
+        if self.action not in ("join", "leave"):
+            raise ValueError(f"action must be 'join' or 'leave', got {self.action!r}")
+        if self.entity_id < 0:
+            raise ValueError(f"entity_id must be non-negative, got {self.entity_id}")
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be non-negative, got {self.timestamp}")
+
+
+class ChurnSchedule:
+    """A time-ordered queue of churn events.
+
+    Build with :meth:`paper_scalability` for the Fig. 14 scenario, or pass an
+    arbitrary event list.  ``pop_due(now)`` returns (and consumes) every
+    event with ``timestamp <= now``, in order.
+    """
+
+    def __init__(self, events: "list[ChurnEvent] | None" = None) -> None:
+        self._events = sorted(events or [], key=lambda event: event.timestamp)
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._events) - self._cursor
+
+    @property
+    def all_events(self) -> list[ChurnEvent]:
+        return list(self._events)
+
+    def peek(self) -> "ChurnEvent | None":
+        if self._cursor >= len(self._events):
+            return None
+        return self._events[self._cursor]
+
+    def pop_due(self, now: float) -> list[ChurnEvent]:
+        """Consume and return all events with ``timestamp <= now``."""
+        due: list[ChurnEvent] = []
+        while self._cursor < len(self._events):
+            event = self._events[self._cursor]
+            if event.timestamp > now:
+                break
+            due.append(event)
+            self._cursor += 1
+        return due
+
+    @classmethod
+    def paper_scalability(
+        cls,
+        n_users: int,
+        n_services: int,
+        join_time: float = 400.0,
+        existing_fraction: float = 0.8,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> tuple["ChurnSchedule", np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The Fig. 14 scenario.
+
+        Returns ``(schedule, existing_users, new_users, existing_services,
+        new_services)``: the existing 80% are implicitly present from t = 0
+        (the schedule contains no events for them), and every remaining
+        entity joins at ``join_time``.
+        """
+        rng = spawn_rng(rng)
+        existing_users, new_users = split_entities(n_users, existing_fraction, rng)
+        existing_services, new_services = split_entities(
+            n_services, existing_fraction, rng
+        )
+        events = [
+            ChurnEvent(timestamp=join_time, entity_kind="user", entity_id=int(uid), action="join")
+            for uid in new_users
+        ] + [
+            ChurnEvent(timestamp=join_time, entity_kind="service", entity_id=int(sid), action="join")
+            for sid in new_services
+        ]
+        return cls(events), existing_users, new_users, existing_services, new_services

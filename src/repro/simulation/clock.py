@@ -1,0 +1,63 @@
+"""Simulated time, aligned to the dataset's slice structure.
+
+Experiments never consult the wall clock for *logical* time (timestamps on
+observations, expiry decisions, churn events); they advance a
+:class:`SimClock` explicitly.  This keeps every run exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    Args:
+        slice_seconds: duration of one time slice (the paper's 15 minutes).
+        start:         initial time in seconds.
+    """
+
+    def __init__(self, slice_seconds: float = 900.0, start: float = 0.0) -> None:
+        check_positive("slice_seconds", slice_seconds)
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        self.slice_seconds = slice_seconds
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def current_slice(self) -> int:
+        return int(self._now // self.slice_seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative seconds ({seconds})")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time (must not move backwards)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, target={timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def advance_to_next_slice(self) -> float:
+        """Jump to the start of the next slice boundary."""
+        next_slice = self.current_slice + 1
+        return self.advance_to(next_slice * self.slice_seconds)
+
+    def slice_start(self, slice_id: int | None = None) -> float:
+        """Start time of ``slice_id`` (default: the current slice)."""
+        if slice_id is None:
+            slice_id = self.current_slice
+        if slice_id < 0:
+            raise ValueError(f"slice_id must be non-negative, got {slice_id}")
+        return slice_id * self.slice_seconds

@@ -1,0 +1,19 @@
+"""Shared utilities: RNG management, validation helpers, table rendering."""
+
+from repro.utils.rng import spawn_rng
+from repro.utils.tables import render_table
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_shape_match,
+)
+
+__all__ = [
+    "spawn_rng",
+    "render_table",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "check_shape_match",
+]

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment harness output.
+
+The benchmark harness reproduces the paper's tables as aligned ASCII so the
+rows can be compared against the published numbers side by side.  No
+third-party table library is used to keep the dependency set minimal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are formatted with ``precision`` decimal places; everything else
+    is ``str()``-ed.  Returns the table as a single string (no trailing
+    newline) so callers can ``print`` or log it.
+    """
+    formatted = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+    widths = [
+        max(len(header), *(len(row[col]) for row in formatted)) if formatted else len(header)
+        for col, header in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in formatted:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[object], ys: Sequence[float], precision: int = 3) -> str:
+    """Render a named (x, y) series as two aligned columns.
+
+    Used for figure reproductions where the paper plots a curve: the harness
+    prints the underlying series instead.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} x-values but {len(ys)} y-values")
+    rows = [(x, float(y)) for x, y in zip(xs, ys)]
+    return render_table(["x", name], rows, precision=precision)

@@ -1,0 +1,134 @@
+"""Tests for workflow-level QoS aggregation (reference [11] rules)."""
+
+import pytest
+
+from repro.adaptation.aggregation import (
+    Branch,
+    Loop,
+    Parallel,
+    Sequence_,
+    Task,
+    aggregate,
+    predicted_workflow_qos,
+)
+
+VALUES = {"A": 1.0, "B": 2.0, "C": 0.5, "D": 0.25}
+
+
+class TestTask:
+    def test_leaf_lookup(self):
+        assert Task("A").response_time(VALUES) == 1.0
+        assert Task("A").throughput(VALUES) == 1.0
+
+    def test_missing_value(self):
+        with pytest.raises(KeyError, match="Z"):
+            Task("Z").response_time(VALUES)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Task("")
+
+
+class TestSequence:
+    def test_response_time_sums(self):
+        node = Sequence_([Task("A"), Task("B"), Task("C")])
+        assert node.response_time(VALUES) == pytest.approx(3.5)
+
+    def test_throughput_is_bottleneck(self):
+        node = Sequence_([Task("A"), Task("B"), Task("C")])
+        assert node.throughput(VALUES) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequence_([])
+
+
+class TestParallel:
+    def test_response_time_is_max(self):
+        node = Parallel([Task("A"), Task("B")])
+        assert node.response_time(VALUES) == 2.0
+
+    def test_throughput_sums(self):
+        node = Parallel([Task("A"), Task("B")])
+        assert node.throughput(VALUES) == 3.0
+
+
+class TestBranch:
+    def test_weighted_response_time(self):
+        node = Branch([Task("A"), Task("B")], [0.25, 0.75])
+        assert node.response_time(VALUES) == pytest.approx(0.25 * 1.0 + 0.75 * 2.0)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            Branch([Task("A"), Task("B")], [0.5, 0.4])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Branch([Task("A")], [0.5, 0.5])
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Branch([Task("A"), Task("B")], [1.5, -0.5])
+
+
+class TestLoop:
+    def test_response_time_multiplies(self):
+        node = Loop(Task("A"), iterations=4)
+        assert node.response_time(VALUES) == 4.0
+
+    def test_throughput_unchanged(self):
+        node = Loop(Task("A"), iterations=4)
+        assert node.throughput(VALUES) == 1.0
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            Loop(Task("A"), iterations=0)
+
+
+class TestComposition:
+    def _tree(self):
+        # A ; (B || C) ; loop(D, 3)
+        return Sequence_([Task("A"), Parallel([Task("B"), Task("C")]), Loop(Task("D"), 3)])
+
+    def test_nested_response_time(self):
+        assert self._tree().response_time(VALUES) == pytest.approx(1.0 + 2.0 + 0.75)
+
+    def test_nested_throughput(self):
+        # min(A, B + C, D) = min(1.0, 2.5, 0.25)
+        assert self._tree().throughput(VALUES) == 0.25
+
+    def test_task_names_collected(self):
+        assert self._tree().task_names() == {"A", "B", "C", "D"}
+
+    def test_duplicate_tasks_rejected(self):
+        node = Sequence_([Task("A"), Task("A")])
+        with pytest.raises(ValueError, match="duplicate"):
+            node.task_names()
+
+    def test_aggregate_dispatch(self):
+        tree = self._tree()
+        assert aggregate(tree, VALUES) == tree.response_time(VALUES)
+        assert aggregate(tree, VALUES, "throughput") == tree.throughput(VALUES)
+        with pytest.raises(ValueError, match="attribute"):
+            aggregate(tree, VALUES, "jitter")
+
+    def test_aggregate_missing_tasks_named(self):
+        with pytest.raises(KeyError, match="D"):
+            aggregate(self._tree(), {"A": 1.0, "B": 1.0, "C": 1.0})
+
+
+class TestPredictedWorkflowQoS:
+    class _StubPredictor:
+        def predict(self, user_id, service_id):
+            return float(service_id) / 10.0
+
+    def test_predicts_through_bindings(self):
+        tree = Sequence_([Task("A"), Task("B")])
+        bindings = {"A": 10, "B": 30}
+        value = predicted_workflow_qos(tree, bindings, self._StubPredictor(), user_id=0)
+        assert value == pytest.approx(1.0 + 3.0)
+
+    def test_missing_binding_rejected(self):
+        tree = Sequence_([Task("A"), Task("B")])
+        with pytest.raises(KeyError, match="B"):
+            predicted_workflow_qos(tree, {"A": 1}, self._StubPredictor(), user_id=0)

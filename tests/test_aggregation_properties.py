@@ -1,0 +1,108 @@
+"""Property-based tests for the workflow QoS aggregation rules.
+
+Hypothesis generates random composition trees and per-task QoS values; the
+classic structural inequalities of Zeng et al.'s rules must always hold.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptation.aggregation import Branch, Loop, Parallel, Sequence_, Task
+
+qos = st.floats(min_value=1e-3, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def tree_and_values(draw, max_depth=3):
+    """A random composition tree with unique task names + a value mapping."""
+    counter = {"next": 0}
+
+    def fresh_task():
+        name = f"t{counter['next']}"
+        counter["next"] += 1
+        return Task(name)
+
+    def build(depth):
+        if depth >= max_depth or draw(st.booleans()):
+            return fresh_task()
+        kind = draw(st.sampled_from(["seq", "par", "branch", "loop"]))
+        if kind == "loop":
+            return Loop(build(depth + 1), iterations=draw(st.integers(1, 4)))
+        n_children = draw(st.integers(2, 3))
+        children = [build(depth + 1) for __ in range(n_children)]
+        if kind == "seq":
+            return Sequence_(children)
+        if kind == "par":
+            return Parallel(children)
+        raw = [draw(st.floats(0.05, 1.0)) for __ in range(n_children)]
+        total = sum(raw)
+        return Branch(children, [value / total for value in raw])
+
+    tree = build(0)
+    values = {name: draw(qos) for name in tree.task_names()}
+    return tree, values
+
+
+class TestStructuralInvariants:
+    @given(data=tree_and_values())
+    @settings(max_examples=120, deadline=None)
+    def test_outputs_positive_and_finite(self, data):
+        tree, values = data
+        assert np.isfinite(tree.response_time(values))
+        assert tree.response_time(values) > 0
+        assert np.isfinite(tree.throughput(values))
+        assert tree.throughput(values) > 0
+
+    @given(data=tree_and_values())
+    @settings(max_examples=120, deadline=None)
+    def test_response_time_bounds(self, data):
+        """End-to-end RT is at least the max single task (everything runs at
+        least once on some path... except exclusive branches, which weight)
+        and at most iterations-weighted sum of all tasks."""
+        tree, values = data
+        rt = tree.response_time(values)
+        # Upper bound: every task contributes at most (4^depth) times; use a
+        # generous structural bound of 4^3 * sum.
+        assert rt <= 64 * sum(values.values()) + 1e-9
+        assert rt >= min(values.values()) * 0.05 - 1e-9  # branch floors
+
+    @given(data=tree_and_values())
+    @settings(max_examples=120, deadline=None)
+    def test_throughput_bounded_by_total_capacity(self, data):
+        """Workflow throughput can never exceed the sum of all task
+        throughputs (parallel fan-out is the only amplifier)."""
+        tree, values = data
+        assert tree.throughput(values) <= sum(values.values()) + 1e-9
+
+    @given(data=tree_and_values(), factor=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=80, deadline=None)
+    def test_homogeneity(self, data, factor):
+        """All rules are linear-homogeneous: scaling every task's QoS by a
+        factor scales the workflow QoS by the same factor."""
+        tree, values = data
+        scaled = {name: value * factor for name, value in values.items()}
+        assert tree.response_time(scaled) == np.float64(
+            factor
+        ) * tree.response_time(values) or np.isclose(
+            tree.response_time(scaled), factor * tree.response_time(values), rtol=1e-9
+        )
+        assert np.isclose(
+            tree.throughput(scaled), factor * tree.throughput(values), rtol=1e-9
+        )
+
+    @given(data=tree_and_values())
+    @settings(max_examples=80, deadline=None)
+    def test_monotonicity_in_each_task(self, data):
+        """Making one task slower never makes the workflow faster, and
+        reducing one task's throughput never raises the workflow's."""
+        tree, values = data
+        rt_before = tree.response_time(values)
+        tp_before = tree.throughput(values)
+        victim = sorted(tree.task_names())[0]
+        worse = dict(values)
+        worse[victim] = values[victim] * 2.0  # slower RT
+        assert tree.response_time(worse) >= rt_before - 1e-12
+        starved = dict(values)
+        starved[victim] = values[victim] * 0.5  # lower TP
+        assert tree.throughput(starved) <= tp_before + 1e-12

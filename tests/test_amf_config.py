@@ -1,0 +1,68 @@
+"""Tests for AMFConfig validation and presets."""
+
+import pytest
+
+from repro.core import AMFConfig
+
+
+class TestPresets:
+    def test_defaults_match_paper(self):
+        config = AMFConfig()
+        assert config.rank == 10
+        assert config.learning_rate == 0.8
+        assert config.lambda_u == 0.001
+        assert config.beta == 0.3
+
+    def test_response_time_preset(self):
+        config = AMFConfig.for_response_time()
+        assert config.alpha == -0.007
+        assert config.value_max == 20.0
+
+    def test_throughput_preset(self):
+        config = AMFConfig.for_throughput()
+        assert config.alpha == -0.05
+        assert config.value_max == 7000.0
+
+    def test_preset_overrides(self):
+        config = AMFConfig.for_response_time(rank=5, learning_rate=0.1)
+        assert config.rank == 5
+        assert config.learning_rate == 0.1
+        assert config.alpha == -0.007  # preserved
+
+    def test_with_updates(self):
+        config = AMFConfig().with_updates(beta=0.5)
+        assert config.beta == 0.5
+        assert AMFConfig().beta == 0.3  # original untouched
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("rank", 0),
+            ("learning_rate", 0.0),
+            ("learning_rate", -1.0),
+            ("lambda_u", -0.1),
+            ("lambda_s", -0.1),
+            ("beta", 1.5),
+            ("beta", -0.1),
+            ("value_floor", 0.0),
+            ("expiry_seconds", 0.0),
+            ("init_scale", 0.0),
+            ("init_error", 0.0),
+            ("normalized_floor", 0.0),
+            ("grad_clip", 0.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            AMFConfig(**{field: value})
+
+    def test_inverted_value_range_rejected(self):
+        with pytest.raises(ValueError, match="value_max"):
+            AMFConfig(value_min=10.0, value_max=5.0)
+
+    def test_frozen(self):
+        config = AMFConfig()
+        with pytest.raises(AttributeError):
+            config.rank = 20

@@ -1,0 +1,87 @@
+"""Tests for the BiasedMF extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BiasedMF, BiasedMFConfig, PMF, PMFConfig
+from repro.datasets import train_test_split_matrix
+from repro.datasets.schema import QoSMatrix
+from repro.metrics import mae, mre
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("rank", 0),
+            ("learning_rate", 0.0),
+            ("regularization", -0.1),
+            ("bias_regularization", -0.1),
+            ("momentum", 2.0),
+            ("max_iters", 0),
+        ],
+    )
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(ValueError):
+            BiasedMFConfig(**{field: value})
+
+
+class TestTraining:
+    def test_loss_decreases(self, rank_one_matrix):
+        config = BiasedMFConfig(value_min=0.0, value_max=5.0, max_iters=80)
+        model = BiasedMF(config, rng=0).fit(rank_one_matrix)
+        assert model.loss_trace[-1] < model.loss_trace[0]
+
+    def test_fits_additive_structure_exactly(self):
+        """Pure row+column structure is what the biases are for."""
+        rows = np.linspace(1.0, 3.0, 10)
+        cols = np.linspace(0.5, 2.0, 15)
+        values = rows[:, None] + cols[None, :]
+        matrix = QoSMatrix.dense(values)
+        train, test = train_test_split_matrix(matrix, 0.5, rng=0)
+        config = BiasedMFConfig(value_min=0.0, value_max=6.0, max_iters=400)
+        model = BiasedMF(config, rng=0).fit(train)
+        r, c = test.observed_indices()
+        assert mae(model.predict_entries(r, c), test.values[r, c]) < 0.15
+
+    def test_beats_plain_pmf_on_twin(self, small_dataset):
+        """The additive biases capture the user/service effects the twin
+        bakes in, so BiasedMF must beat bias-free PMF."""
+        matrix = small_dataset.slice(0)
+        train, test = train_test_split_matrix(matrix, 0.3, rng=1)
+        r, c = test.observed_indices()
+        actual = test.values[r, c]
+        pmf = PMF(PMFConfig(), rng=1).fit(train)
+        biased = BiasedMF(BiasedMFConfig(), rng=1).fit(train)
+        assert mre(biased.predict_entries(r, c), actual) < mre(
+            pmf.predict_entries(r, c), actual
+        )
+
+    def test_predictions_in_range(self, small_dataset):
+        matrix = small_dataset.slice(0)
+        train, __ = train_test_split_matrix(matrix, 0.3, rng=0)
+        predictions = BiasedMF(BiasedMFConfig(), rng=0).fit(train).predict_matrix()
+        assert predictions.min() >= 0.0
+        assert predictions.max() <= 20.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BiasedMF().predict_matrix()
+
+    def test_empty_rejected(self):
+        empty = QoSMatrix(values=np.zeros((2, 2)), mask=np.zeros((2, 2), dtype=bool))
+        with pytest.raises(ValueError):
+            BiasedMF().fit(empty)
+
+    def test_deterministic(self, rank_one_matrix):
+        config = BiasedMFConfig(value_min=0.0, value_max=5.0, max_iters=30)
+        a = BiasedMF(config, rng=5).fit(rank_one_matrix).predict_matrix()
+        b = BiasedMF(config, rng=5).fit(rank_one_matrix).predict_matrix()
+        np.testing.assert_array_equal(a, b)
+
+    def test_backoff_keeps_loss_finite(self, rank_one_matrix):
+        config = BiasedMFConfig(
+            value_min=0.0, value_max=5.0, learning_rate=500.0, max_iters=50
+        )
+        model = BiasedMF(config, rng=0).fit(rank_one_matrix)
+        assert np.all(np.isfinite(model.loss_trace))

@@ -1,0 +1,79 @@
+"""Tests for the trivial mean predictors (sanity floors)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GlobalMean, ItemMean, UserMean
+from repro.datasets.schema import QoSMatrix
+
+
+@pytest.fixture
+def sparse_matrix():
+    values = np.array(
+        [
+            [1.0, 2.0, 3.0],
+            [4.0, 0.0, 6.0],
+            [0.0, 0.0, 0.0],  # user 2 has no observations
+        ]
+    )
+    mask = np.array(
+        [
+            [True, True, True],
+            [True, False, True],
+            [False, False, False],
+        ]
+    )
+    return QoSMatrix(values=values, mask=mask)
+
+
+class TestGlobalMean:
+    def test_predicts_observed_mean(self, sparse_matrix):
+        model = GlobalMean().fit(sparse_matrix)
+        expected = np.mean([1, 2, 3, 4, 6])
+        assert np.all(model.predict_matrix() == pytest.approx(expected))
+
+    def test_shape(self, sparse_matrix):
+        assert GlobalMean().fit(sparse_matrix).predict_matrix().shape == (3, 3)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            GlobalMean().predict_matrix()
+
+    def test_empty_matrix_rejected(self):
+        empty = QoSMatrix(values=np.zeros((2, 2)), mask=np.zeros((2, 2), dtype=bool))
+        with pytest.raises(ValueError, match="empty"):
+            GlobalMean().fit(empty)
+
+
+class TestUserMean:
+    def test_row_means(self, sparse_matrix):
+        predictions = UserMean().fit(sparse_matrix).predict_matrix()
+        assert predictions[0, 0] == pytest.approx(2.0)  # mean(1, 2, 3)
+        assert predictions[1, 1] == pytest.approx(5.0)  # mean(4, 6)
+
+    def test_empty_row_falls_back_to_global(self, sparse_matrix):
+        predictions = UserMean().fit(sparse_matrix).predict_matrix()
+        assert predictions[2, 0] == pytest.approx(np.mean([1, 2, 3, 4, 6]))
+
+    def test_constant_within_row(self, sparse_matrix):
+        predictions = UserMean().fit(sparse_matrix).predict_matrix()
+        assert np.all(predictions[0] == predictions[0, 0])
+
+
+class TestItemMean:
+    def test_column_means(self, sparse_matrix):
+        predictions = ItemMean().fit(sparse_matrix).predict_matrix()
+        assert predictions[0, 0] == pytest.approx(2.5)  # mean(1, 4)
+        assert predictions[0, 1] == pytest.approx(2.0)  # only user 0 observed
+
+    def test_constant_within_column(self, sparse_matrix):
+        predictions = ItemMean().fit(sparse_matrix).predict_matrix()
+        assert np.all(predictions[:, 0] == predictions[0, 0])
+
+    def test_predict_entries_consistency(self, sparse_matrix):
+        model = ItemMean().fit(sparse_matrix)
+        rows = np.array([0, 1])
+        cols = np.array([2, 2])
+        np.testing.assert_array_equal(
+            model.predict_entries(rows, cols), model.predict_matrix()[rows, cols]
+        )

@@ -1,0 +1,119 @@
+"""Tests for the PMF baseline (batch matrix factorization, Eq. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PMF, PMFConfig
+from repro.datasets import train_test_split_matrix
+from repro.datasets.schema import QoSMatrix
+from repro.metrics import mae, mre
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = PMFConfig()
+        assert config.rank == 10
+        assert config.value_max == 20.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("rank", 0),
+            ("learning_rate", 0.0),
+            ("regularization", -0.1),
+            ("momentum", 1.5),
+            ("max_iters", 0),
+            ("tolerance", 0.0),
+            ("init_scale", 0.0),
+        ],
+    )
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(ValueError):
+            PMFConfig(**{field: value})
+
+    def test_inverted_range(self):
+        with pytest.raises(ValueError, match="value_max"):
+            PMFConfig(value_min=5.0, value_max=1.0)
+
+
+class TestTraining:
+    def test_loss_decreases(self, rank_one_matrix):
+        config = PMFConfig(value_min=0.0, value_max=5.0, max_iters=100)
+        model = PMF(config, rng=0).fit(rank_one_matrix)
+        trace = model.loss_trace
+        assert trace[-1] < trace[0]
+
+    def test_loss_monotone_after_backoff(self, rank_one_matrix):
+        """The back-off guard keeps the trace from exploding."""
+        config = PMFConfig(value_min=0.0, value_max=5.0, learning_rate=50.0, max_iters=60)
+        model = PMF(config, rng=0).fit(rank_one_matrix)
+        trace = np.array(model.loss_trace)
+        assert np.all(np.isfinite(trace))
+        assert trace[-1] <= trace[0]
+
+    def test_early_stop_on_convergence(self, rank_one_matrix):
+        config = PMFConfig(value_min=0.0, value_max=5.0, tolerance=0.05, max_iters=500)
+        model = PMF(config, rng=0).fit(rank_one_matrix)
+        assert model.iterations_run < 500
+
+    def test_fits_rank_one(self, rank_one_matrix):
+        config = PMFConfig(value_min=0.0, value_max=5.0, max_iters=400)
+        train, test = train_test_split_matrix(rank_one_matrix, 0.5, rng=0)
+        model = PMF(config, rng=0).fit(train)
+        rows, cols = test.observed_indices()
+        assert mae(model.predict_entries(rows, cols), test.values[rows, cols]) < 0.25
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PMF().predict_matrix()
+
+    def test_empty_rejected(self):
+        empty = QoSMatrix(values=np.zeros((3, 3)), mask=np.zeros((3, 3), dtype=bool))
+        with pytest.raises(ValueError, match="empty"):
+            PMF().fit(empty)
+
+    def test_deterministic_given_seed(self, rank_one_matrix):
+        config = PMFConfig(value_min=0.0, value_max=5.0, max_iters=30)
+        a = PMF(config, rng=7).fit(rank_one_matrix).predict_matrix()
+        b = PMF(config, rng=7).fit(rank_one_matrix).predict_matrix()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPredictions:
+    def test_within_value_range(self, small_dataset):
+        matrix = small_dataset.slice(0)
+        train, __ = train_test_split_matrix(matrix, 0.3, rng=0)
+        model = PMF(PMFConfig(), rng=0).fit(train)
+        predictions = model.predict_matrix()
+        assert predictions.min() >= 0.0
+        assert predictions.max() <= 20.0
+
+    def test_beats_global_mean_on_twin(self, small_dataset):
+        matrix = small_dataset.slice(0)
+        train, test = train_test_split_matrix(matrix, 0.3, rng=1)
+        model = PMF(PMFConfig(), rng=1).fit(train)
+        rows, cols = test.observed_indices()
+        actual = test.values[rows, cols]
+        pmf_mae = mae(model.predict_entries(rows, cols), actual)
+        mean_mae = mae(np.full(actual.shape, train.observed_values().mean()), actual)
+        assert pmf_mae < mean_mae
+
+    def test_amf_beats_pmf_on_relative_error(self, small_dataset):
+        """The paper's headline comparison, at test scale."""
+        from repro.core import AdaptiveMatrixFactorization, AMFConfig, StreamTrainer
+        from repro.datasets.stream import stream_from_matrix
+
+        matrix = small_dataset.slice(0)
+        train, test = train_test_split_matrix(matrix, 0.3, rng=2)
+        rows, cols = test.observed_indices()
+        actual = test.values[rows, cols]
+
+        pmf = PMF(PMFConfig(), rng=2).fit(train)
+        pmf_mre = mre(pmf.predict_entries(rows, cols), actual)
+
+        amf = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=2)
+        amf.ensure_user(matrix.n_users - 1)
+        amf.ensure_service(matrix.n_services - 1)
+        StreamTrainer(amf).process(stream_from_matrix(train, rng=2))
+        amf_mre = mre(amf.predict_matrix()[rows, cols], actual)
+        assert amf_mre < pmf_mre

@@ -1,0 +1,105 @@
+"""Tests for the per-pair time-series predictors (working-service art)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EWMAPredictor, LastValuePredictor, MovingAveragePredictor
+from repro.datasets.schema import QoSRecord
+
+
+def record(u, s, value, t=0.0):
+    return QoSRecord(timestamp=t, user_id=u, service_id=s, value=value)
+
+
+class TestLastValue:
+    def test_returns_latest(self):
+        predictor = LastValuePredictor()
+        predictor.observe(record(0, 0, 1.0))
+        predictor.observe(record(0, 0, 2.5))
+        assert predictor.predict(0, 0) == 2.5
+
+    def test_pairs_independent(self):
+        predictor = LastValuePredictor()
+        predictor.observe(record(0, 0, 1.0))
+        predictor.observe(record(0, 1, 9.0))
+        assert predictor.predict(0, 0) == 1.0
+
+    def test_cannot_predict_candidates(self):
+        """The defining limitation: no history, no forecast."""
+        predictor = LastValuePredictor()
+        predictor.observe(record(0, 0, 1.0))
+        assert not predictor.can_predict(0, 1)
+        with pytest.raises(KeyError, match="candidate"):
+            predictor.predict(0, 1)
+
+
+class TestEWMA:
+    def test_first_observation_is_estimate(self):
+        predictor = EWMAPredictor(beta=0.3)
+        predictor.observe(record(0, 0, 4.0))
+        assert predictor.predict(0, 0) == 4.0
+
+    def test_ema_formula(self):
+        predictor = EWMAPredictor(beta=0.25)
+        predictor.observe(record(0, 0, 4.0))
+        predictor.observe(record(0, 0, 8.0))
+        assert predictor.predict(0, 0) == pytest.approx(0.25 * 8.0 + 0.75 * 4.0)
+
+    def test_converges_to_constant_signal(self):
+        predictor = EWMAPredictor(beta=0.3)
+        for __ in range(60):
+            predictor.observe(record(0, 0, 2.0))
+        assert predictor.predict(0, 0) == pytest.approx(2.0)
+
+    def test_tracks_shift(self):
+        predictor = EWMAPredictor(beta=0.5)
+        predictor.observe(record(0, 0, 1.0))
+        for __ in range(20):
+            predictor.observe(record(0, 0, 5.0))
+        assert predictor.predict(0, 0) == pytest.approx(5.0, rel=0.01)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            EWMAPredictor(beta=1.5)
+
+    def test_no_history_raises(self):
+        with pytest.raises(KeyError):
+            EWMAPredictor().predict(0, 0)
+
+
+class TestMovingAverage:
+    def test_averages_window(self):
+        predictor = MovingAveragePredictor(window=3)
+        for value in (1.0, 2.0, 3.0):
+            predictor.observe(record(0, 0, value))
+        assert predictor.predict(0, 0) == pytest.approx(2.0)
+
+    def test_window_evicts_old(self):
+        predictor = MovingAveragePredictor(window=2)
+        for value in (10.0, 1.0, 3.0):
+            predictor.observe(record(0, 0, value))
+        assert predictor.predict(0, 0) == pytest.approx(2.0)  # mean(1, 3)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MovingAveragePredictor(window=0)
+
+    def test_no_history_raises(self):
+        with pytest.raises(KeyError):
+            MovingAveragePredictor().predict(0, 0)
+
+    def test_forecast_quality_on_ar1(self):
+        """On a mean-reverting series, averaging beats last-value."""
+        rng = np.random.default_rng(0)
+        mean = 2.0
+        series = mean + 0.5 * rng.standard_normal(200)
+        last, moving = LastValuePredictor(), MovingAveragePredictor(window=10)
+        last_errors, moving_errors = [], []
+        for k, value in enumerate(series[:-1]):
+            last.observe(record(0, 0, float(value), t=float(k)))
+            moving.observe(record(0, 0, float(value), t=float(k)))
+            nxt = series[k + 1]
+            if k > 10:
+                last_errors.append(abs(last.predict(0, 0) - nxt))
+                moving_errors.append(abs(moving.predict(0, 0) - nxt))
+        assert np.mean(moving_errors) < np.mean(last_errors)

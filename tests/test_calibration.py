@@ -1,0 +1,76 @@
+"""Tests for confidence calibration from the AMF error trackers."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveMatrixFactorization, AMFConfig, StreamTrainer
+from repro.datasets import generate_dataset, train_test_split_matrix
+from repro.datasets.stream import stream_from_matrix
+from repro.metrics.calibration import (
+    calibration_report,
+    expected_relative_error,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    data = generate_dataset(n_users=40, n_services=80, n_slices=1, seed=3)
+    train, test = train_test_split_matrix(data.slice(0), 0.3, rng=3)
+    model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=3)
+    model.ensure_user(39)
+    model.ensure_service(79)
+    StreamTrainer(model).process(stream_from_matrix(train, rng=3))
+    rows, cols = test.observed_indices()
+    return model, rows, cols, test.values[rows, cols]
+
+
+class TestExpectedError:
+    def test_average_of_trackers(self, trained):
+        model, rows, cols, __ = trained
+        expected = expected_relative_error(model, rows[:5], cols[:5])
+        for k in range(5):
+            manual = (
+                model.weights.user_error(int(rows[k]))
+                + model.weights.service_error(int(cols[k]))
+            ) / 2.0
+            assert expected[k] == pytest.approx(manual)
+
+    def test_new_entity_has_maximal_expectation(self, trained):
+        model, *_ = trained
+        model.ensure_user(1000)
+        expected = expected_relative_error(
+            model, np.array([1000]), np.array([0])
+        )
+        trained_expected = expected_relative_error(model, np.array([0]), np.array([0]))
+        assert expected[0] > trained_expected[0]
+
+    def test_shape_mismatch_rejected(self, trained):
+        model, *_ = trained
+        with pytest.raises(ValueError):
+            expected_relative_error(model, np.array([0, 1]), np.array([0]))
+
+
+class TestCalibrationReport:
+    def test_structure(self, trained):
+        model, rows, cols, actual = trained
+        report = calibration_report(model, rows, cols, actual, n_buckets=4)
+        assert report.counts.sum() == rows.size
+        assert len(report.realized_median) == 4
+        assert "calibration" in report.to_text().lower()
+
+    def test_confidence_is_informative(self, trained):
+        """Expected error must rank-correlate positively with realized
+        error — the trackers carry real signal about prediction quality."""
+        model, rows, cols, actual = trained
+        report = calibration_report(model, rows, cols, actual, n_buckets=5)
+        assert report.rank_correlation > 0.05
+
+    def test_invalid_buckets(self, trained):
+        model, rows, cols, actual = trained
+        with pytest.raises(ValueError):
+            calibration_report(model, rows, cols, actual, n_buckets=1)
+
+    def test_too_few_pairs_rejected(self, trained):
+        model, rows, cols, actual = trained
+        with pytest.raises(ValueError, match="at least"):
+            calibration_report(model, rows[:2], cols[:2], actual[:2], n_buckets=5)

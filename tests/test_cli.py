@@ -1,0 +1,68 @@
+"""Tests for the ``python -m repro`` experiment CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_registered(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.attribute == ["response_time", "throughput"]
+        assert args.density == [0.10, 0.20, 0.30, 0.40, 0.50]
+        assert not args.paper_scale
+
+    def test_scale_overrides(self):
+        args = build_parser().parse_args(
+            ["fig9", "--users", "10", "--services", "20", "--seed", "7"]
+        )
+        assert (args.users, args.services, args.seed) == (10, 20, 7)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_invalid_attribute_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--attribute", "jitter"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_fig9_smoke(self, capsys):
+        code = main(["fig9", "--users", "20", "--services", "40", "--slices", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out
+
+    def test_fig2_fig6_smoke(self, capsys):
+        code = main(
+            ["fig2-fig6", "--users", "20", "--services", "40", "--slices", "2"]
+        )
+        assert code == 0
+        assert "Fig. 6" in capsys.readouterr().out
+
+    def test_table1_smoke(self, capsys):
+        code = main(
+            [
+                "table1",
+                "--users", "20", "--services", "40", "--slices", "1",
+                "--reruns", "1",
+                "--density", "0.3",
+                "--attribute", "response_time",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "AMF" in out

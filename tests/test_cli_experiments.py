@@ -1,0 +1,46 @@
+"""CLI smoke tests for the remaining experiment dispatchers at tiny scale.
+
+test_cli.py covers the parser and the fast dispatchers; this file runs the
+heavier experiment entry points through the same ``main()`` path with
+aggressively reduced sizes, so a CLI wiring regression in any artifact is
+caught without minutes of runtime.
+"""
+
+import pytest
+
+from repro.cli import main
+
+TINY_ARGS = ["--users", "24", "--services", "48", "--slices", "2", "--reruns", "1"]
+
+
+@pytest.mark.parametrize(
+    "experiment,extra,expect",
+    [
+        ("fig7-8", ["--attribute", "response_time"], "Fig. 7"),
+        ("fig10", ["--attribute", "response_time", "--density", "0.3"], "Fig. 10"),
+        (
+            "fig11",
+            ["--attribute", "response_time", "--density", "0.3"],
+            "Fig. 11",
+        ),
+        ("fig12", ["--attribute", "response_time", "--density", "0.2", "0.4"], "Fig. 12"),
+        ("fig13", ["--density", "0.3"], "Fig. 13"),
+        ("fig14", ["--density", "0.3"], "Fig. 14"),
+        ("all-slices", ["--attribute", "response_time", "--density", "0.3"], "all slices"),
+        ("selection", ["--attribute", "response_time", "--density", "0.3"], "selection"),
+    ],
+)
+def test_cli_dispatch(experiment, extra, expect, capsys):
+    code = main([experiment, *TINY_ARGS, *extra])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert expect.lower() in out.lower()
+
+
+def test_cli_fig12_overrides_density_list(capsys):
+    code = main(
+        ["fig12", *TINY_ARGS, "--attribute", "response_time", "--density", "0.2", "0.4"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "20%" in out and "40%" in out

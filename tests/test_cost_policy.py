@@ -1,0 +1,95 @@
+"""Tests for the cost-aware adaptation policy."""
+
+import pytest
+
+from repro.adaptation import (
+    SLA,
+    AbstractTask,
+    CostAwarePolicy,
+    QoSPredictionService,
+    ServiceRegistry,
+    Workflow,
+)
+from repro.core import AMFConfig
+
+
+@pytest.fixture
+def world():
+    """Service 1 is fast, 2 is equally fast but expensive, 0 is slow/free."""
+    registry = ServiceRegistry()
+    for sid in range(3):
+        registry.register(sid, "t")
+    workflow = Workflow(name="w", tasks=[AbstractTask("A", "t")])
+    workflow.bind("A", 0)
+    predictor = QoSPredictionService(AMFConfig.for_response_time(), rng=0)
+    for k in range(200):
+        predictor.report_observation(0, 0, 6.0, timestamp=float(k))
+        predictor.report_observation(0, 1, 0.5, timestamp=float(k))
+        predictor.report_observation(0, 2, 0.4, timestamp=float(k))
+    return registry, workflow, predictor
+
+
+def violate_twice(policy, workflow, registry, predictor):
+    first = policy.on_observation(0, workflow, "A", 9.0, 0.0, registry, predictor)
+    second = policy.on_observation(0, workflow, "A", 9.0, 1.0, registry, predictor)
+    return first or second
+
+
+class TestCostAwarePolicy:
+    def test_prefers_cheap_equivalent(self, world):
+        registry, workflow, predictor = world
+        policy = CostAwarePolicy(
+            SLA(attribute="rt", threshold=2.0),
+            prices={2: 10.0},  # service 2 marginally faster but pricey
+            cost_weight=0.5,
+        )
+        action = violate_twice(policy, workflow, registry, predictor)
+        assert action is not None
+        assert action.new_service_id == 1  # free and nearly as fast
+
+    def test_zero_cost_weight_ignores_prices(self, world):
+        registry, workflow, predictor = world
+        policy = CostAwarePolicy(
+            SLA(attribute="rt", threshold=2.0),
+            prices={2: 1000.0},
+            cost_weight=0.0,
+        )
+        action = violate_twice(policy, workflow, registry, predictor)
+        assert action is not None
+        assert action.new_service_id == 2  # raw predicted QoS wins
+
+    def test_spend_tracked(self, world):
+        registry, workflow, predictor = world
+        # Service 2 is priced out of contention, so the slightly slower but
+        # affordable service 1 wins and its price is committed.
+        policy = CostAwarePolicy(
+            SLA(attribute="rt", threshold=2.0),
+            prices={1: 3.0, 2: 50.0},
+            cost_weight=0.1,
+        )
+        action = violate_twice(policy, workflow, registry, predictor)
+        assert action is not None and action.new_service_id == 1
+        assert policy.spend_committed == pytest.approx(3.0)
+
+    def test_no_action_when_nothing_scores_better(self, world):
+        registry, workflow, predictor = world
+        # Every alternative is priced out of contention.
+        policy = CostAwarePolicy(
+            SLA(attribute="rt", threshold=2.0),
+            prices={1: 100.0, 2: 100.0},
+            cost_weight=1.0,
+        )
+        assert violate_twice(policy, workflow, registry, predictor) is None
+
+    def test_debounce_inherited(self, world):
+        registry, workflow, predictor = world
+        policy = CostAwarePolicy(SLA(attribute="rt", threshold=2.0))
+        # A single spike is not a sustained violation.
+        assert (
+            policy.on_observation(0, workflow, "A", 9.0, 0.0, registry, predictor)
+            is None
+        )
+
+    def test_negative_cost_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CostAwarePolicy(SLA(attribute="rt", threshold=2.0), cost_weight=-1.0)

@@ -1,0 +1,159 @@
+"""Tests for the thread-safe model facade and the background trainer."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveMatrixFactorization, AMFConfig
+from repro.core.daemon import BackgroundTrainer, ConcurrentModel
+from repro.datasets.schema import QoSRecord
+
+
+def record(u, s, value, t=0.0):
+    return QoSRecord(timestamp=t, user_id=u, service_id=s, value=value)
+
+
+def make_model(seed=0):
+    return ConcurrentModel(
+        AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=seed)
+    )
+
+
+class TestConcurrentModel:
+    def test_delegates_operations(self):
+        model = make_model()
+        error = model.observe(record(0, 0, 1.0))
+        assert error > 0
+        assert model.n_stored_samples == 1
+        assert model.updates_applied == 1
+        assert 0 <= model.predict(0, 0) <= 20.0
+
+    def test_predict_registers_entities(self):
+        model = make_model()
+        value = model.predict(5, 9)  # never observed
+        assert np.isfinite(value)
+
+    def test_concurrent_observers_consistent(self):
+        """N threads each observe disjoint pairs; totals must be exact."""
+        model = make_model()
+        per_thread = 200
+        n_threads = 4
+
+        def work(thread_id):
+            for k in range(per_thread):
+                model.observe(record(thread_id, k % 50, 1.0 + thread_id, t=float(k)))
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert model.updates_applied == per_thread * n_threads
+        assert model.n_stored_samples == n_threads * 50
+
+    def test_concurrent_reads_and_writes_stay_finite(self):
+        model = make_model()
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            k = 0
+            while not stop.is_set():
+                model.observe(record(k % 10, k % 20, 0.5 + (k % 7) * 0.3, t=float(k)))
+                k += 1
+
+        def reader():
+            while not stop.is_set():
+                matrix = model.predict_matrix()
+                if matrix.size and not np.all(np.isfinite(matrix)):
+                    failures.append("non-finite prediction")
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+
+class TestBackgroundTrainer:
+    def test_replays_while_running(self):
+        model = make_model()
+        for k in range(100):
+            model.observe(record(k % 5, k % 8, 1.0, t=0.0))
+        trainer = BackgroundTrainer(model, clock=lambda: 0.0)
+        with trainer:
+            deadline = time.time() + 3.0
+            while trainer.replays_applied == 0 and time.time() < deadline:
+                time.sleep(0.01)
+        assert trainer.replays_applied > 0
+        assert not trainer.running
+
+    def test_improves_training_error(self):
+        model = make_model()
+        rng = np.random.default_rng(0)
+        base = np.outer(rng.uniform(0.5, 2, 8), rng.uniform(0.5, 2, 12))
+        for u in range(8):
+            for s in range(12):
+                model.observe(record(u, s, float(base[u, s]), t=0.0))
+        before = model.training_error()
+        trainer = BackgroundTrainer(model, clock=lambda: 0.0)
+        with trainer:
+            time.sleep(0.5)
+        assert model.training_error() < before
+
+    def test_expires_stale_samples(self):
+        model = make_model()
+        for k in range(50):
+            model.observe(record(k % 5, k, 1.0, t=0.0))
+        trainer = BackgroundTrainer(model, clock=lambda: 10_000.0)
+        with trainer:
+            deadline = time.time() + 3.0
+            while model.n_stored_samples > 0 and time.time() < deadline:
+                time.sleep(0.01)
+        assert model.n_stored_samples == 0
+        assert trainer.expired == 50
+
+    def test_idles_on_empty_store(self):
+        model = make_model()
+        trainer = BackgroundTrainer(model)
+        with trainer:
+            time.sleep(0.05)
+            assert trainer.replays_applied == 0  # nothing to replay, no crash
+
+    def test_start_idempotent_and_restartable(self):
+        model = make_model()
+        model.observe(record(0, 0, 1.0))
+        trainer = BackgroundTrainer(model, clock=lambda: 0.0)
+        trainer.start()
+        trainer.start()  # no-op
+        assert trainer.running
+        trainer.stop()
+        assert not trainer.running
+        trainer.start()  # restart after stop
+        assert trainer.running
+        trainer.stop()
+
+    def test_invalid_construction(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            BackgroundTrainer(model, batch_size=0)
+        with pytest.raises(ValueError):
+            BackgroundTrainer(model, idle_sleep=0.0)
+
+    def test_observations_during_replay(self):
+        """Arrivals and background replay interleave without corruption."""
+        model = make_model()
+        for k in range(50):
+            model.observe(record(k % 5, k % 9, 1.0, t=0.0))
+        trainer = BackgroundTrainer(model, clock=lambda: 0.0)
+        with trainer:
+            for k in range(300):
+                model.observe(record(k % 7, k % 11, 2.0, t=0.0))
+        matrix = model.predict_matrix()
+        assert np.all(np.isfinite(matrix))
+        assert model.updates_applied >= 350

@@ -1,0 +1,187 @@
+"""Tests for the execution engine and the tensor-backed QoS oracle."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation import (
+    SLA,
+    AbstractTask,
+    ExecutionEngine,
+    GreedyReoptimizePolicy,
+    QoSPredictionService,
+    ServiceRegistry,
+    TensorQoSOracle,
+    ThresholdPolicy,
+    UserManager,
+    Workflow,
+)
+from repro.core import AMFConfig
+from repro.datasets import generate_dataset
+
+
+@pytest.fixture(scope="module")
+def oracle_data():
+    return generate_dataset(n_users=6, n_services=12, n_slices=4, seed=9)
+
+
+class TestTensorQoSOracle:
+    def test_slice_lookup(self, oracle_data):
+        oracle = TensorQoSOracle(oracle_data, noise_sigma=0.0, rng=0)
+        assert oracle.slice_at(0.0) == 0
+        assert oracle.slice_at(899.9) == 0
+        assert oracle.slice_at(900.0) == 1
+
+    def test_wraps_past_end(self, oracle_data):
+        oracle = TensorQoSOracle(oracle_data, noise_sigma=0.0, rng=0)
+        assert oracle.slice_at(4 * 900.0) == 0
+
+    def test_noiseless_matches_tensor(self, oracle_data):
+        oracle = TensorQoSOracle(oracle_data, noise_sigma=0.0, rng=0)
+        assert oracle.value(2, 3, 950.0) == oracle_data.tensor[1, 2, 3]
+
+    def test_noise_stays_in_range(self, oracle_data):
+        oracle = TensorQoSOracle(oracle_data, noise_sigma=0.5, rng=0)
+        values = [oracle.value(0, 0, 0.0) for __ in range(100)]
+        assert min(values) >= 0.0
+        assert max(values) <= oracle_data.value_max
+
+    def test_negative_time_rejected(self, oracle_data):
+        oracle = TensorQoSOracle(oracle_data, rng=0)
+        with pytest.raises(ValueError):
+            oracle.slice_at(-1.0)
+
+    def test_negative_noise_rejected(self, oracle_data):
+        with pytest.raises(ValueError):
+            TensorQoSOracle(oracle_data, noise_sigma=-0.1)
+
+
+def build_engine(oracle_data, policy=None, sla=None):
+    registry = ServiceRegistry()
+    for sid in range(12):
+        registry.register(sid, "t")
+    workflow = Workflow(name="w", tasks=[AbstractTask("A", "t"), AbstractTask("B", "t")])
+    workflow.bind("A", 0)
+    workflow.bind("B", 1)
+    predictor = QoSPredictionService(AMFConfig.for_response_time(), rng=0)
+    oracle = TensorQoSOracle(oracle_data, noise_sigma=0.0, rng=0)
+    return ExecutionEngine(
+        user_id=0,
+        workflow=workflow,
+        registry=registry,
+        predictor=predictor,
+        policy=policy or GreedyReoptimizePolicy(period=1e9),
+        oracle=oracle,
+        sla=sla,
+        users=UserManager(),
+    )
+
+
+class TestExecutionEngine:
+    def test_execute_once_sums_components(self, oracle_data):
+        engine = build_engine(oracle_data)
+        total = engine.execute_once(now=0.0)
+        expected = oracle_data.tensor[0, 0, 0] + oracle_data.tensor[0, 0, 1]
+        assert total == pytest.approx(expected)
+        assert engine.stats.invocations == 2
+        assert engine.stats.executions == 1
+
+    def test_observations_reach_predictor(self, oracle_data):
+        engine = build_engine(oracle_data)
+        engine.execute_once(now=0.0)
+        assert engine.predictor.observations_handled == 2
+
+    def test_run_counts(self, oracle_data):
+        engine = build_engine(oracle_data)
+        stats = engine.run(start=0.0, interval=10.0, count=5)
+        assert stats.executions == 5
+        assert len(stats.per_execution_times) == 5
+        assert stats.mean_execution_time == pytest.approx(
+            np.mean(stats.per_execution_times)
+        )
+
+    def test_sla_violations_counted(self, oracle_data):
+        sla = SLA(attribute="rt", threshold=0.0)  # everything violates
+        engine = build_engine(oracle_data, sla=sla)
+        engine.execute_once(now=0.0)
+        assert engine.stats.sla_violations == 2
+        assert engine.stats.violation_rate == 1.0
+
+    def test_policy_action_applied(self, oracle_data):
+        policy = GreedyReoptimizePolicy(period=1.0)
+        engine = build_engine(oracle_data, policy=policy)
+        engine.run(start=0.0, interval=10.0, count=10)
+        # The greedy policy will almost surely move off the initial binding.
+        if policy.actions_taken:
+            assert engine.stats.adaptations == len(engine.stats.actions)
+            assert engine.workflow.working_services() != [0, 1]
+
+    def test_unbound_workflow_rejected(self, oracle_data):
+        registry = ServiceRegistry()
+        registry.register(0, "t")
+        workflow = Workflow(name="w", tasks=[AbstractTask("A", "t")])
+        with pytest.raises(ValueError, match="fully bound"):
+            ExecutionEngine(
+                user_id=0,
+                workflow=workflow,
+                registry=registry,
+                predictor=QoSPredictionService(rng=0),
+                policy=GreedyReoptimizePolicy(),
+                oracle=TensorQoSOracle(oracle_data, rng=0),
+            )
+
+    def test_binding_to_unavailable_service_rejected(self, oracle_data):
+        registry = ServiceRegistry()
+        registry.register(0, "t")
+        registry.deregister(0)
+        workflow = Workflow(name="w", tasks=[AbstractTask("A", "t")])
+        workflow.bind("A", 0)
+        with pytest.raises(ValueError, match="unavailable"):
+            ExecutionEngine(
+                user_id=0,
+                workflow=workflow,
+                registry=registry,
+                predictor=QoSPredictionService(rng=0),
+                policy=GreedyReoptimizePolicy(),
+                oracle=TensorQoSOracle(oracle_data, rng=0),
+            )
+
+    def test_invalid_run_parameters(self, oracle_data):
+        engine = build_engine(oracle_data)
+        with pytest.raises(ValueError):
+            engine.run(start=0.0, interval=0.0, count=1)
+        with pytest.raises(ValueError):
+            engine.run(start=0.0, interval=1.0, count=-1)
+
+    def test_adaptation_reduces_response_time_end_to_end(self, oracle_data):
+        """The paper's premise: prediction-driven adaptation beats static
+        binding when the initial binding is poor."""
+        # Find the worst service for user 0 in slice 0 and bind to it.
+        worst = int(np.argmax(oracle_data.tensor[0, 0, :]))
+        registry = ServiceRegistry()
+        for sid in range(12):
+            registry.register(sid, "t")
+        workflow = Workflow(name="w", tasks=[AbstractTask("A", "t")])
+        workflow.bind("A", worst)
+        predictor = QoSPredictionService(AMFConfig.for_response_time(), rng=0)
+        sla = SLA(attribute="rt", threshold=float(np.median(oracle_data.tensor)))
+        engine = ExecutionEngine(
+            user_id=0,
+            workflow=workflow,
+            registry=registry,
+            predictor=predictor,
+            policy=ThresholdPolicy(sla, window=2, min_violations=2, improvement_margin=0.0),
+            oracle=TensorQoSOracle(oracle_data, noise_sigma=0.0, rng=0),
+            sla=sla,
+        )
+        # Teach the predictor about the candidates from other users first.
+        rng = np.random.default_rng(0)
+        oracle = TensorQoSOracle(oracle_data, noise_sigma=0.0, rng=1)
+        for __ in range(800):
+            u = int(rng.integers(1, 6))
+            s = int(rng.integers(0, 12))
+            predictor.report_observation(u, s, oracle.value(u, s, 0.0), 0.0)
+        stats = engine.run(start=0.0, interval=30.0, count=30)
+        assert stats.adaptations >= 1
+        first_exec = stats.per_execution_times[0]
+        late_mean = np.mean(stats.per_execution_times[-10:])
+        assert late_mean < first_exec

@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Each example is executed in-process (import + ``main()``) with stdout
+captured; the fast ones run as-is, the slower simulation examples are
+exercised through their building blocks elsewhere (test_engine,
+test_integration) and only import-checked here.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesImport:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart",
+            "online_stream",
+            "runtime_adaptation",
+            "churn_scalability",
+            "workflow_composition",
+            "persistence_and_replay",
+            "prediction_service",
+        ],
+    )
+    def test_importable_with_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+
+
+class TestFastExamplesRun:
+    def test_quickstart_output(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "held-out accuracy" in out
+        assert "MRE=" in out
+
+    def test_persistence_and_replay_output(self, capsys):
+        load_example("persistence_and_replay").main()
+        out = capsys.readouterr().out
+        assert "predictions identical: True" in out
+        assert "trace replay reproduces training: True" in out

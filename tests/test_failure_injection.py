@@ -1,0 +1,210 @@
+"""Failure-injection tests: the system under hostile or degenerate inputs.
+
+These exercise the paths an operator actually hits: corrupt observations,
+extreme QoS values, services vanishing between decision and application,
+oracles failing mid-run, and pathological streams.  The contract under
+test is always one of: a clean, descriptive error; graceful skipping; or
+documented degraded behavior — never silent corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adaptation import (
+    SLA,
+    AbstractTask,
+    ExecutionEngine,
+    QoSPredictionService,
+    ServiceRegistry,
+    TensorQoSOracle,
+    ThresholdPolicy,
+    Workflow,
+)
+from repro.adaptation.policies import AdaptationAction, AdaptationPolicy
+from repro.core import AdaptiveMatrixFactorization, AMFConfig, StreamTrainer
+from repro.datasets import generate_dataset
+from repro.datasets.schema import QoSRecord
+
+
+def record(u, s, value, t=0.0):
+    return QoSRecord(timestamp=t, user_id=u, service_id=s, value=value)
+
+
+class TestHostileObservations:
+    def test_nan_value_rejected_at_record_boundary(self):
+        with pytest.raises(ValueError, match="finite"):
+            record(0, 0, float("nan"))
+
+    def test_inf_value_rejected_at_record_boundary(self):
+        with pytest.raises(ValueError, match="finite"):
+            record(0, 0, float("inf"))
+
+    def test_negative_qos_clamped_not_propagated(self):
+        """Negative raw values (clock skew artifacts) clamp to the floor
+        instead of poisoning the transform."""
+        model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=0)
+        model.observe(record(0, 0, -5.0))
+        assert np.isfinite(model.predict(0, 0))
+
+    def test_value_beyond_rmax_clamped(self):
+        model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=0)
+        for __ in range(50):
+            model.observe(record(0, 0, 1e9))
+        assert model.predict(0, 0) <= 20.0
+
+    def test_alternating_extremes_stay_finite(self):
+        """A flapping service (floor <-> ceiling) must not blow up factors."""
+        model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=0)
+        for k in range(500):
+            model.observe(record(0, 0, 20.0 if k % 2 else 0.001, t=float(k)))
+        assert np.all(np.isfinite(model.user_factors()))
+        assert 0.0 <= model.predict(0, 0) <= 20.0
+
+    def test_single_user_monoculture(self):
+        """All observations from one user: no division blow-ups anywhere."""
+        model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=0)
+        for s in range(100):
+            model.observe(record(0, s, 0.5 + 0.01 * s))
+        trainer = StreamTrainer(model)
+        report = trainer.replay_until_converged(now=0.0)
+        assert np.isfinite(report.final_error)
+
+    def test_out_of_order_timestamps_accepted(self):
+        """Late-arriving (older) samples are data, not errors."""
+        model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=0)
+        model.observe(record(0, 0, 1.0, t=1000.0))
+        model.observe(record(0, 1, 1.0, t=10.0))  # older than the previous
+        assert model.n_stored_samples == 2
+
+
+class TestAdaptationFailures:
+    def _world(self):
+        data = generate_dataset(n_users=4, n_services=6, n_slices=2, seed=0)
+        registry = ServiceRegistry()
+        for sid in range(6):
+            registry.register(sid, "t")
+        workflow = Workflow(name="w", tasks=[AbstractTask("A", "t")])
+        workflow.bind("A", 0)
+        predictor = QoSPredictionService(AMFConfig.for_response_time(), rng=0)
+        sla = SLA(attribute="rt", threshold=1.0)
+        return data, registry, workflow, predictor, sla
+
+    def test_candidate_vanishes_between_decision_and_application(self):
+        """The engine must skip an adaptation whose target was deregistered
+        after the policy decided."""
+        data, registry, workflow, predictor, sla = self._world()
+
+        class VanishingTarget(AdaptationPolicy):
+            def on_observation(self, user_id, workflow, task_name, observed_value,
+                               now, registry, predictor):
+                registry.deregister(3)  # decision target disappears...
+                return AdaptationAction(
+                    task_name=task_name,
+                    old_service_id=workflow.bound_service(task_name),
+                    new_service_id=3,  # ...right before this is applied
+                    reason="test",
+                    decided_at=now,
+                )
+
+        engine = ExecutionEngine(
+            user_id=0,
+            workflow=workflow,
+            registry=registry,
+            predictor=predictor,
+            policy=VanishingTarget(),
+            oracle=TensorQoSOracle(data, noise_sigma=0.0, rng=0),
+            sla=sla,
+        )
+        engine.execute_once(now=0.0)
+        assert engine.stats.adaptations == 0
+        assert workflow.bound_service("A") == 0  # binding untouched
+
+    def test_all_candidates_deregistered_mid_run(self):
+        data, registry, workflow, predictor, sla = self._world()
+        policy = ThresholdPolicy(sla, window=2, min_violations=1, improvement_margin=0.0)
+        engine = ExecutionEngine(
+            user_id=0,
+            workflow=workflow,
+            registry=registry,
+            predictor=predictor,
+            policy=policy,
+            oracle=TensorQoSOracle(data, noise_sigma=0.0, rng=0),
+            sla=sla,
+        )
+        for sid in range(1, 6):
+            registry.deregister(sid)
+        stats = engine.run(start=0.0, interval=10.0, count=20)
+        assert stats.executions == 20  # keeps running on the only binding
+        assert stats.adaptations == 0
+
+    def test_oracle_failure_propagates_cleanly(self):
+        """A broken ground-truth source is a hard error, not silent zeros."""
+        data, registry, workflow, predictor, sla = self._world()
+
+        class BrokenOracle(TensorQoSOracle):
+            def value(self, user_id, service_id, now):
+                raise ConnectionError("measurement backend down")
+
+        engine = ExecutionEngine(
+            user_id=0,
+            workflow=workflow,
+            registry=registry,
+            predictor=predictor,
+            policy=ThresholdPolicy(sla),
+            oracle=BrokenOracle(data, rng=0),
+            sla=sla,
+        )
+        with pytest.raises(ConnectionError, match="backend down"):
+            engine.execute_once(now=0.0)
+        assert engine.stats.executions == 0  # nothing half-counted
+
+    def test_policy_exception_propagates(self):
+        data, registry, workflow, predictor, sla = self._world()
+
+        class BrokenPolicy(AdaptationPolicy):
+            def on_observation(self, *args, **kwargs):
+                raise RuntimeError("policy bug")
+
+        engine = ExecutionEngine(
+            user_id=0,
+            workflow=workflow,
+            registry=registry,
+            predictor=predictor,
+            policy=BrokenPolicy(),
+            oracle=TensorQoSOracle(data, noise_sigma=0.0, rng=0),
+            sla=sla,
+        )
+        with pytest.raises(RuntimeError, match="policy bug"):
+            engine.execute_once(now=0.0)
+
+
+class TestDegenerateTraining:
+    def test_empty_stream_trainer_process(self):
+        model = AdaptiveMatrixFactorization(rng=0)
+        report = StreamTrainer(model).process([])
+        assert report.arrivals == 0
+        assert report.epochs == 0
+
+    def test_single_sample_training(self):
+        model = AdaptiveMatrixFactorization(rng=0)
+        report = StreamTrainer(model).process([record(0, 0, 1.0)])
+        assert report.arrivals == 1
+        assert np.isfinite(model.predict(0, 0))
+
+    def test_duplicate_heavy_stream(self):
+        """1000 samples, all the same pair: store holds 1, training sane."""
+        model = AdaptiveMatrixFactorization(rng=0)
+        StreamTrainer(model).process(
+            [record(0, 0, 2.0, t=float(k)) for k in range(1000)]
+        )
+        assert model.n_stored_samples == 1
+        assert model.predict(0, 0) == pytest.approx(2.0, rel=0.3)
+
+    def test_everything_expires_mid_training(self):
+        model = AdaptiveMatrixFactorization(AMFConfig(expiry_seconds=5.0), rng=0)
+        trainer = StreamTrainer(model)
+        report = trainer.process(
+            [record(k % 3, k % 4, 1.0, t=0.0) for k in range(30)], now=1000.0
+        )
+        assert model.n_stored_samples == 0
+        assert np.isfinite(report.final_error) or np.isnan(report.final_error)

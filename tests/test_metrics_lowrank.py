@@ -1,0 +1,83 @@
+"""Tests for the singular-spectrum utilities behind Fig. 9."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import QoSMatrix
+from repro.metrics.lowrank import effective_rank, normalized_singular_values
+
+
+class TestNormalizedSingularValues:
+    def test_leading_value_is_one(self):
+        rng = np.random.default_rng(0)
+        spectrum = normalized_singular_values(rng.random((10, 15)))
+        assert spectrum[0] == pytest.approx(1.0)
+
+    def test_descending(self):
+        rng = np.random.default_rng(0)
+        spectrum = normalized_singular_values(rng.random((10, 15)))
+        assert np.all(np.diff(spectrum) <= 1e-12)
+
+    def test_rank_one_matrix(self):
+        matrix = np.outer(np.arange(1, 5), np.arange(1, 7))
+        spectrum = normalized_singular_values(matrix, top_k=3)
+        assert spectrum[0] == pytest.approx(1.0)
+        assert spectrum[1] == pytest.approx(0.0, abs=1e-10)
+
+    def test_identity_flat_spectrum(self):
+        spectrum = normalized_singular_values(np.eye(5))
+        np.testing.assert_allclose(spectrum, np.ones(5))
+
+    def test_top_k_truncation(self):
+        rng = np.random.default_rng(0)
+        assert normalized_singular_values(rng.random((8, 8)), top_k=3).shape == (3,)
+
+    def test_sparse_matrix_mean_fill(self):
+        rng = np.random.default_rng(0)
+        matrix = QoSMatrix(
+            values=rng.random((6, 8)) + 1.0, mask=rng.random((6, 8)) > 0.3
+        )
+        spectrum = normalized_singular_values(matrix)
+        assert spectrum[0] == 1.0
+        assert len(spectrum) == 6
+
+    def test_fill_modes(self):
+        rng = np.random.default_rng(0)
+        matrix = QoSMatrix(
+            values=rng.random((6, 8)) + 1.0, mask=rng.random((6, 8)) > 0.3
+        )
+        mean_fill = normalized_singular_values(matrix, fill="mean")
+        zero_fill = normalized_singular_values(matrix, fill="zero")
+        assert not np.allclose(mean_fill, zero_fill)
+        with pytest.raises(ValueError, match="fill"):
+            normalized_singular_values(matrix, fill="median")
+
+    def test_zero_matrix_rejected(self):
+        with pytest.raises(ValueError, match="positive singular"):
+            normalized_singular_values(np.zeros((4, 4)))
+
+    def test_invalid_top_k(self):
+        with pytest.raises(ValueError):
+            normalized_singular_values(np.eye(3), top_k=0)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            normalized_singular_values(np.ones(5))
+
+
+class TestEffectiveRank:
+    def test_rank_one(self):
+        matrix = np.outer(np.arange(1, 5), np.arange(1, 7)).astype(float)
+        assert effective_rank(matrix) == 1
+
+    def test_identity_needs_most_dimensions(self):
+        assert effective_rank(np.eye(10), energy=0.9) == 9
+
+    def test_low_rank_synthetic_qos(self, small_dataset):
+        """Fig. 9 claim on the twin: 90% of energy in a handful of SVs."""
+        matrix = small_dataset.slice(0)
+        assert effective_rank(matrix) <= 12
+
+    def test_invalid_energy(self):
+        with pytest.raises(ValueError):
+            effective_rank(np.eye(3), energy=0.0)

@@ -1,0 +1,110 @@
+"""Tests for the adaptation-oriented selection metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import selection_regret, sla_confusion, top_k_hit_rate
+
+
+class TestTopKHitRate:
+    def test_exact_hit(self):
+        predicted = np.array([0.5, 1.0, 2.0])
+        actual = np.array([0.4, 1.1, 2.2])
+        assert top_k_hit_rate(predicted, actual, k=1) == 1.0
+
+    def test_miss(self):
+        predicted = np.array([0.5, 1.0])  # picks candidate 0
+        actual = np.array([2.0, 0.3])  # candidate 1 is actually best
+        assert top_k_hit_rate(predicted, actual, k=1) == 0.0
+
+    def test_k_relaxation(self):
+        predicted = np.array([0.5, 1.0, 2.0])  # picks 0
+        actual = np.array([1.0, 0.5, 2.0])  # 0 is actual 2nd best
+        assert top_k_hit_rate(predicted, actual, k=1) == 0.0
+        assert top_k_hit_rate(predicted, actual, k=2) == 1.0
+
+    def test_higher_is_better(self):
+        predicted = np.array([10.0, 5.0])  # throughput: picks 0
+        actual = np.array([9.0, 4.0])
+        assert top_k_hit_rate(predicted, actual, k=1, lower_is_better=False) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_hit_rate(np.ones(3), np.ones(3), k=4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_hit_rate(np.array([]), np.array([]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_hit_rate(np.ones((2, 2)), np.ones((2, 2)))
+
+
+class TestSelectionRegret:
+    def test_zero_on_correct_pick(self):
+        predicted = np.array([0.5, 1.0])
+        actual = np.array([0.6, 1.2])
+        assert selection_regret(predicted, actual) == 0.0
+
+    def test_regret_value(self):
+        predicted = np.array([0.5, 1.0])  # picks 0
+        actual = np.array([2.0, 0.5])  # best is 1 at 0.5; picked 0 costs 2.0
+        assert selection_regret(predicted, actual) == pytest.approx(1.5)
+
+    def test_higher_is_better_direction(self):
+        predicted = np.array([10.0, 50.0])  # picks 1
+        actual = np.array([100.0, 40.0])  # best is 0 at 100
+        assert selection_regret(predicted, actual, lower_is_better=False) == pytest.approx(60.0)
+
+    def test_never_negative(self):
+        rng = np.random.default_rng(0)
+        for __ in range(50):
+            predicted = rng.random(6)
+            actual = rng.random(6)
+            assert selection_regret(predicted, actual) >= 0.0
+
+
+class TestSLAConfusion:
+    def test_perfect_predictions(self):
+        actual = np.array([1.0, 3.0, 5.0, 7.0])
+        result = sla_confusion(actual, actual, threshold=4.0)
+        assert result["accuracy"] == 1.0
+        assert result["precision"] == 1.0
+        assert result["recall"] == 1.0
+
+    def test_counts(self):
+        predicted = np.array([5.0, 1.0, 5.0, 1.0])
+        actual = np.array([5.0, 5.0, 1.0, 1.0])
+        result = sla_confusion(predicted, actual, threshold=4.0)
+        assert result["tp"] == 1 and result["fn"] == 1
+        assert result["fp"] == 1 and result["tn"] == 1
+        assert result["accuracy"] == 0.5
+
+    def test_throughput_direction(self):
+        # Throughput below the threshold is the violation.
+        predicted = np.array([10.0, 100.0])
+        actual = np.array([5.0, 200.0])
+        result = sla_confusion(predicted, actual, threshold=50.0, lower_is_better=False)
+        assert result["tp"] == 1 and result["tn"] == 1
+
+    def test_paper_motivating_example(self):
+        """The Section IV-C-1 example expressed as decisions: MAE-optimal
+        prediction (a) causes a wrong adaptation, (b) does not."""
+        actual = np.array([1.0, 100.0])
+        prediction_a = np.array([8.0, 99.0])
+        prediction_b = np.array([0.9, 92.0])
+        # Service 1's SLA: violate when RT > 5.
+        a = sla_confusion(prediction_a[:1], actual[:1], threshold=5.0)
+        b = sla_confusion(prediction_b[:1], actual[:1], threshold=5.0)
+        assert a["fp"] == 1  # (a) wrongly predicts a violation
+        assert b["fp"] == 0
+
+    def test_nan_when_undefined(self):
+        result = sla_confusion(np.array([1.0]), np.array([1.0]), threshold=5.0)
+        assert np.isnan(result["precision"])  # no predicted violations
+        assert np.isnan(result["recall"])  # no actual violations
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sla_confusion(np.array([]), np.array([]), threshold=1.0)

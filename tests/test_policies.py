@@ -1,0 +1,135 @@
+"""Tests for the adaptation policies."""
+
+import pytest
+
+from repro.adaptation import (
+    SLA,
+    AbstractTask,
+    GreedyReoptimizePolicy,
+    QoSPredictionService,
+    ServiceRegistry,
+    ThresholdPolicy,
+    Workflow,
+)
+from repro.core import AMFConfig
+
+
+@pytest.fixture
+def world():
+    """Registry with 3 'weather' candidates, a bound workflow, and a
+    predictor taught that service 1 is fast and services 0/2 are slow."""
+    registry = ServiceRegistry()
+    for sid in range(3):
+        registry.register(sid, "weather")
+    workflow = Workflow(name="w", tasks=[AbstractTask("A", "weather")])
+    workflow.bind("A", 0)
+    predictor = QoSPredictionService(AMFConfig.for_response_time(), rng=0)
+    for k in range(200):
+        predictor.report_observation(0, 0, 6.0, timestamp=float(k))
+        predictor.report_observation(0, 1, 0.3, timestamp=float(k))
+        predictor.report_observation(0, 2, 7.0, timestamp=float(k))
+    return registry, workflow, predictor
+
+
+def observe(policy, workflow, registry, predictor, value, now=0.0):
+    return policy.on_observation(
+        user_id=0,
+        workflow=workflow,
+        task_name="A",
+        observed_value=value,
+        now=now,
+        registry=registry,
+        predictor=predictor,
+    )
+
+
+class TestThresholdPolicy:
+    def _policy(self, **kwargs):
+        defaults = dict(window=3, min_violations=2, improvement_margin=0.1)
+        defaults.update(kwargs)
+        return ThresholdPolicy(SLA(attribute="rt", threshold=2.0), **defaults)
+
+    def test_no_action_when_compliant(self, world):
+        registry, workflow, predictor = world
+        policy = self._policy()
+        assert observe(policy, workflow, registry, predictor, 1.0) is None
+
+    def test_single_spike_debounced(self, world):
+        registry, workflow, predictor = world
+        policy = self._policy()
+        assert observe(policy, workflow, registry, predictor, 9.0) is None
+
+    def test_sustained_violation_triggers_switch(self, world):
+        registry, workflow, predictor = world
+        policy = self._policy()
+        observe(policy, workflow, registry, predictor, 9.0)
+        action = observe(policy, workflow, registry, predictor, 9.0, now=5.0)
+        assert action is not None
+        assert action.old_service_id == 0
+        assert action.new_service_id == 1  # the fast candidate by prediction
+        assert action.decided_at == 5.0
+        assert policy.actions_taken == 1
+
+    def test_no_switch_without_predicted_improvement(self, world):
+        registry, workflow, predictor = world
+        # Current service 1 (the fast one) — no candidate beats it.
+        workflow.bind("A", 1)
+        policy = self._policy()
+        observe(policy, workflow, registry, predictor, 9.0)
+        assert observe(policy, workflow, registry, predictor, 9.0) is None
+
+    def test_no_switch_without_candidates(self, world):
+        registry, workflow, predictor = world
+        for sid in (1, 2):
+            registry.deregister(sid)
+        policy = self._policy()
+        observe(policy, workflow, registry, predictor, 9.0)
+        assert observe(policy, workflow, registry, predictor, 9.0) is None
+
+    def test_monitor_resets_after_action(self, world):
+        registry, workflow, predictor = world
+        policy = self._policy()
+        observe(policy, workflow, registry, predictor, 9.0)
+        action = observe(policy, workflow, registry, predictor, 9.0)
+        assert action is not None
+        # Window was reset: a single new violation is not sustained.
+        assert observe(policy, workflow, registry, predictor, 9.0) is None
+
+    def test_per_user_monitors_independent(self, world):
+        registry, workflow, predictor = world
+        policy = self._policy()
+        policy.on_observation(0, workflow, "A", 9.0, 0.0, registry, predictor)
+        # A different user's first violation must not inherit user 0's count.
+        action = policy.on_observation(1, workflow, "A", 9.0, 0.0, registry, predictor)
+        assert action is None
+
+    def test_invalid_margin_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(SLA(attribute="rt", threshold=2.0), improvement_margin=1.5)
+
+
+class TestGreedyReoptimizePolicy:
+    def test_rebinds_to_best_predicted(self, world):
+        registry, workflow, predictor = world
+        policy = GreedyReoptimizePolicy(period=100.0)
+        action = observe(policy, workflow, registry, predictor, 1.0, now=0.0)
+        assert action is not None
+        assert action.new_service_id == 1
+
+    def test_respects_period(self, world):
+        registry, workflow, predictor = world
+        policy = GreedyReoptimizePolicy(period=100.0)
+        observe(policy, workflow, registry, predictor, 1.0, now=0.0)
+        # Still inside the period: no new decision even if the binding moved.
+        assert observe(policy, workflow, registry, predictor, 1.0, now=50.0) is None
+        assert observe(policy, workflow, registry, predictor, 1.0, now=150.0) is not None
+
+    def test_no_action_when_already_best(self, world):
+        registry, workflow, predictor = world
+        workflow.bind("A", 1)
+        policy = GreedyReoptimizePolicy(period=100.0)
+        assert observe(policy, workflow, registry, predictor, 1.0, now=0.0) is None
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            GreedyReoptimizePolicy(period=0.0)

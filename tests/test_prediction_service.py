@@ -1,0 +1,79 @@
+"""Tests for the QoSPredictionService facade (Fig. 3 pipeline)."""
+
+import pytest
+
+from repro.adaptation import QoSPredictionService
+from repro.core import AMFConfig
+
+
+class TestReporting:
+    def test_observation_count(self):
+        service = QoSPredictionService(rng=0)
+        service.report_observation(0, 0, 1.0, timestamp=0.0)
+        service.report_observation(0, 1, 2.0, timestamp=1.0)
+        assert service.observations_handled == 2
+
+    def test_updates_model_online(self):
+        service = QoSPredictionService(rng=0, replay_budget=0)
+        service.report_observation(0, 0, 1.0, timestamp=0.0)
+        assert service.model.updates_applied == 1
+
+    def test_replay_budget_applies_extra_updates(self):
+        budgeted = QoSPredictionService(rng=0, replay_budget=5)
+        budgeted.report_observation(0, 0, 1.0, timestamp=0.0)
+        assert budgeted.model.updates_applied == 6  # 1 arrival + 5 replays
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            QoSPredictionService(replay_budget=-1)
+
+
+class TestPrediction:
+    def test_predict_registers_unknown_entities(self):
+        service = QoSPredictionService(rng=0)
+        # Never-observed pair: prediction still works (random factors).
+        value = service.predict(3, 7)
+        assert 0.0 <= value <= service.model.config.value_max
+
+    def test_repeated_observations_converge(self):
+        service = QoSPredictionService(AMFConfig.for_response_time(), rng=0)
+        for k in range(300):
+            service.report_observation(0, 0, 2.0, timestamp=float(k))
+        assert service.predict(0, 0) == pytest.approx(2.0, rel=0.2)
+
+    def test_predict_candidates_keys(self):
+        service = QoSPredictionService(rng=0)
+        predictions = service.predict_candidates(0, [3, 5, 9])
+        assert set(predictions) == {3, 5, 9}
+
+    def test_best_candidate_lower_is_better(self):
+        service = QoSPredictionService(AMFConfig.for_response_time(), rng=0)
+        # Teach the model: service 0 fast, service 1 slow, for user 0.
+        for k in range(300):
+            service.report_observation(0, 0, 0.3, timestamp=float(k))
+            service.report_observation(0, 1, 8.0, timestamp=float(k))
+        best, predicted = service.best_candidate(0, [0, 1])
+        assert best == 0
+        assert predicted < 2.0
+
+    def test_best_candidate_higher_is_better(self):
+        service = QoSPredictionService(
+            AMFConfig.for_throughput(), rng=0
+        )
+        for k in range(300):
+            service.report_observation(0, 0, 5.0, timestamp=float(k))
+            service.report_observation(0, 1, 500.0, timestamp=float(k))
+        best, __ = service.best_candidate(0, [0, 1], lower_is_better=False)
+        assert best == 1
+
+    def test_best_candidate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            QoSPredictionService(rng=0).best_candidate(0, [])
+
+    def test_synchronize_runs_replay(self):
+        service = QoSPredictionService(rng=0, replay_budget=0)
+        for k in range(50):
+            service.report_observation(k % 5, k % 7, 1.0, timestamp=0.0)
+        before = service.model.updates_applied
+        service.synchronize(now=0.0)
+        assert service.model.updates_applied > before

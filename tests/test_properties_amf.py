@@ -1,0 +1,126 @@
+"""Property-based and stateful tests of AMF's core invariants.
+
+These complement the example-based tests with hypothesis-driven coverage:
+whatever stream of operations reaches the model, its structural invariants
+must hold — predictions stay in the value range, the sample store's
+bookkeeping stays consistent, and training never produces non-finite state.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import AdaptiveMatrixFactorization, AMFConfig
+from repro.core.amf import _SampleStore
+from repro.datasets.schema import QoSRecord
+
+qos_values = st.floats(min_value=0.0, max_value=20.0, allow_nan=False)
+user_ids = st.integers(min_value=0, max_value=15)
+service_ids = st.integers(min_value=0, max_value=25)
+
+observations = st.lists(
+    st.tuples(user_ids, service_ids, qos_values), min_size=1, max_size=120
+)
+
+
+class TestModelProperties:
+    @given(samples=observations)
+    @settings(max_examples=60, deadline=None)
+    def test_predictions_always_in_value_range(self, samples):
+        model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=0)
+        for k, (u, s, value) in enumerate(samples):
+            model.observe(QoSRecord(timestamp=float(k), user_id=u, service_id=s, value=value))
+        predictions = model.predict_matrix()
+        assert np.all(predictions >= 0.0)
+        assert np.all(predictions <= 20.0)
+        assert np.all(np.isfinite(predictions))
+
+    @given(samples=observations)
+    @settings(max_examples=60, deadline=None)
+    def test_factors_stay_finite(self, samples):
+        model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=1)
+        for k, (u, s, value) in enumerate(samples):
+            model.observe(QoSRecord(timestamp=float(k), user_id=u, service_id=s, value=value))
+        assert np.all(np.isfinite(model.user_factors()))
+        assert np.all(np.isfinite(model.service_factors()))
+
+    @given(samples=observations)
+    @settings(max_examples=40, deadline=None)
+    def test_error_trackers_bounded(self, samples):
+        """EMA errors stay within [0, max(seen error, init)]."""
+        model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=2)
+        max_error = 1.0
+        for k, (u, s, value) in enumerate(samples):
+            error = model.observe(
+                QoSRecord(timestamp=float(k), user_id=u, service_id=s, value=value)
+            )
+            max_error = max(max_error, error)
+        for u in range(model.n_users):
+            assert 0.0 <= model.weights.user_error(u) <= max_error + 1e-9
+        for s in range(model.n_services):
+            assert 0.0 <= model.weights.service_error(s) <= max_error + 1e-9
+
+    @given(samples=observations, replays=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_store_never_exceeds_unique_pairs(self, samples, replays):
+        model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=3)
+        for k, (u, s, value) in enumerate(samples):
+            model.observe(QoSRecord(timestamp=float(k), user_id=u, service_id=s, value=value))
+        unique_pairs = len({(u, s) for u, s, __ in samples})
+        assert model.n_stored_samples == unique_pairs
+        model.replay_many(now=float(len(samples)), count=replays)
+        assert model.n_stored_samples <= unique_pairs
+
+    @given(samples=observations)
+    @settings(max_examples=30, deadline=None)
+    def test_observe_stream_is_deterministic(self, samples):
+        def run():
+            model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=4)
+            for k, (u, s, value) in enumerate(samples):
+                model.observe(
+                    QoSRecord(timestamp=float(k), user_id=u, service_id=s, value=value)
+                )
+            return model.predict_matrix()
+
+        np.testing.assert_array_equal(run(), run())
+
+
+class SampleStoreMachine(RuleBasedStateMachine):
+    """Stateful check: the store matches a reference dict under any
+    interleaving of put/discard/pick operations."""
+
+    def __init__(self):
+        super().__init__()
+        self.store = _SampleStore()
+        self.reference: dict[tuple[int, int], tuple[float, float]] = {}
+        self.rng = np.random.default_rng(0)
+
+    @rule(u=user_ids, s=service_ids, t=st.floats(0, 1e6, allow_nan=False), v=qos_values)
+    def put(self, u, s, t, v):
+        self.store.put(u, s, t, v)
+        self.reference[(u, s)] = (t, v)
+
+    @rule(u=user_ids, s=service_ids)
+    def discard(self, u, s):
+        self.store.discard(u, s)
+        self.reference.pop((u, s), None)
+
+    @rule()
+    def random_pick_is_member(self):
+        if self.reference:
+            u, s, t, v = self.store.random_pick(self.rng)
+            assert self.reference[(u, s)] == (t, v)
+
+    @invariant()
+    def sizes_match(self):
+        assert len(self.store) == len(self.reference)
+        assert set(self.store.keys()) == set(self.reference)
+
+    @invariant()
+    def contents_match(self):
+        for key, expected in self.reference.items():
+            assert self.store.get(*key) == expected
+
+
+TestSampleStoreStateful = SampleStoreMachine.TestCase

@@ -1,0 +1,121 @@
+"""Tests for the service registry and user manager."""
+
+import pytest
+
+from repro.adaptation import ServiceEntry, ServiceRegistry, UserManager
+
+
+class TestServiceEntry:
+    def test_default_name(self):
+        entry = ServiceEntry(service_id=3, task_type="weather")
+        assert entry.name == "weather-3"
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceEntry(service_id=-1, task_type="x")
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceEntry(service_id=0, task_type="")
+
+
+class TestServiceRegistry:
+    def test_register_and_lookup(self):
+        registry = ServiceRegistry()
+        registry.register(0, "weather")
+        assert 0 in registry
+        assert registry.get(0).task_type == "weather"
+        assert len(registry) == 1
+
+    def test_double_register_rejected(self):
+        registry = ServiceRegistry()
+        registry.register(0, "weather")
+        with pytest.raises(ValueError, match="already"):
+            registry.register(0, "payment")
+
+    def test_candidates_filtered_by_type(self):
+        registry = ServiceRegistry()
+        registry.register(0, "weather")
+        registry.register(1, "payment")
+        registry.register(2, "weather")
+        assert registry.candidates_for("weather") == [0, 2]
+
+    def test_candidates_exclude(self):
+        registry = ServiceRegistry()
+        registry.register(0, "weather")
+        registry.register(1, "weather")
+        assert registry.candidates_for("weather", exclude={0}) == [1]
+
+    def test_deregister_hides_from_candidates(self):
+        registry = ServiceRegistry()
+        registry.register(0, "weather")
+        registry.deregister(0)
+        assert registry.candidates_for("weather") == []
+        assert not registry.is_available(0)
+        assert 0 in registry  # history retained
+
+    def test_reinstate(self):
+        registry = ServiceRegistry()
+        registry.register(0, "weather")
+        registry.deregister(0)
+        registry.reinstate(0)
+        assert registry.is_available(0)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            ServiceRegistry().get(7)
+
+    def test_task_types(self):
+        registry = ServiceRegistry()
+        registry.register(0, "a")
+        registry.register(1, "b")
+        assert registry.task_types() == {"a", "b"}
+
+    def test_all_ids_availability_filter(self):
+        registry = ServiceRegistry()
+        registry.register(0, "a")
+        registry.register(1, "a")
+        registry.deregister(0)
+        assert registry.all_ids() == [1]
+        assert registry.all_ids(include_unavailable=True) == [0, 1]
+
+    def test_unavailable_id_not_available(self):
+        assert not ServiceRegistry().is_available(3)
+
+
+class TestUserManager:
+    def test_join_and_active(self):
+        users = UserManager()
+        users.join(3, at=5.0)
+        assert 3 in users
+        assert users.is_active(3)
+        assert users.active_users() == [3]
+
+    def test_leave(self):
+        users = UserManager()
+        users.join(3)
+        users.leave(3)
+        assert not users.is_active(3)
+        assert users.active_users() == []
+
+    def test_rejoin_reactivates(self):
+        users = UserManager()
+        users.join(3)
+        users.leave(3)
+        users.join(3)
+        assert users.is_active(3)
+
+    def test_leave_unknown_raises(self):
+        with pytest.raises(KeyError):
+            UserManager().leave(9)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            UserManager().join(-1)
+
+    def test_len_counts_all_known(self):
+        users = UserManager()
+        users.join(1)
+        users.join(2)
+        users.leave(1)
+        assert len(users) == 2

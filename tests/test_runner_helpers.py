@@ -1,0 +1,95 @@
+"""Tests for the experiment runner helpers not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dataset, train_test_split_matrix
+from repro.experiments.runner import (
+    ExperimentScale,
+    evaluate_amf,
+    evaluate_batch_predictor,
+    make_amf_config,
+    make_baselines,
+    make_pmf_config,
+)
+from repro.experiments.runner import test_entries as extract_test_entries
+
+
+@pytest.fixture(scope="module")
+def split():
+    matrix = generate_dataset(n_users=25, n_services=50, n_slices=1, seed=6).slice(0)
+    return train_test_split_matrix(matrix, 0.3, rng=6)
+
+
+class TestEvaluateAMF:
+    def test_result_fields(self, split):
+        train, test = split
+        result = evaluate_amf(train, test, make_amf_config("rt"), rng=6)
+        assert result.approach == "AMF"
+        assert set(result.metrics) == {"MAE", "MRE", "NPRE"}
+        assert result.fit_seconds > 0
+        assert result["MRE"] == result.metrics["MRE"]
+
+    def test_return_model_flag(self, split):
+        train, test = split
+        result, model = evaluate_amf(
+            train, test, make_amf_config("rt"), rng=6, return_model=True
+        )
+        assert model.n_users == train.n_users
+        assert np.isfinite(result.metrics["MRE"])
+
+    def test_deterministic_given_seed(self, split):
+        train, test = split
+        a = evaluate_amf(train, test, make_amf_config("rt"), rng=11)
+        b = evaluate_amf(train, test, make_amf_config("rt"), rng=11)
+        assert a.metrics == b.metrics
+
+
+class TestEvaluateBatch:
+    def test_wraps_predictor(self, split):
+        train, test = split
+        predictor = make_baselines("rt", rng=6)["UIPCC"]
+        result = evaluate_batch_predictor("UIPCC", predictor, train, test)
+        assert result.approach == "UIPCC"
+        assert result.fit_seconds > 0
+
+    def test_test_entries_alignment(self, split):
+        __, test = split
+        rows, cols, actual = extract_test_entries(test)
+        assert rows.shape == cols.shape == actual.shape
+        np.testing.assert_array_equal(actual, test.values[rows, cols])
+
+
+class TestMakeBaselines:
+    def test_default_lineup(self):
+        assert set(make_baselines("rt", rng=0)) == {"UPCC", "IPCC", "UIPCC", "PMF"}
+
+    def test_extensions_flag_adds_biased_mf(self):
+        lineup = make_baselines("rt", rng=0, include_extensions=True)
+        assert "BiasedMF" in lineup
+
+    def test_tp_biased_mf_range(self):
+        lineup = make_baselines("tp", rng=0, include_extensions=True)
+        assert lineup["BiasedMF"].config.value_max == 7000.0
+
+    def test_pmf_config_per_attribute(self):
+        assert make_pmf_config("rt").regularization == pytest.approx(0.01)
+        assert make_pmf_config("tp").regularization == pytest.approx(1e-5)
+        assert make_pmf_config("rt", regularization=0.5).regularization == 0.5
+
+
+class TestScalePresets:
+    def test_tiny_smaller_than_quick(self):
+        tiny, quick = ExperimentScale.tiny(), ExperimentScale.quick()
+        assert tiny.n_users < quick.n_users
+        assert tiny.n_services < quick.n_services
+
+    def test_with_updates_preserves_rest(self):
+        scale = ExperimentScale.quick().with_updates(seed=7)
+        assert scale.seed == 7
+        assert scale.n_users == ExperimentScale.quick().n_users
+
+    def test_dataset_attribute_routing(self):
+        scale = ExperimentScale.tiny()
+        assert scale.dataset("rt").attribute == "response_time"
+        assert scale.dataset("tp").attribute == "throughput"

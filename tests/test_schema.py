@@ -1,0 +1,138 @@
+"""Tests for repro.datasets.schema: QoSRecord, QoSMatrix, TimeSlicedQoS."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import QoSMatrix, QoSRecord, TimeSlicedQoS
+
+
+class TestQoSRecord:
+    def test_fields(self):
+        record = QoSRecord(timestamp=1.5, user_id=2, service_id=3, value=0.7, slice_id=1)
+        assert (record.user_id, record.service_id) == (2, 3)
+        assert record.value == 0.7
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            QoSRecord(timestamp=0, user_id=-1, service_id=0, value=1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            QoSRecord(timestamp=0, user_id=0, service_id=-2, value=1.0)
+
+    def test_non_finite_value_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            QoSRecord(timestamp=0, user_id=0, service_id=0, value=float("nan"))
+
+    def test_default_slice_id(self):
+        assert QoSRecord(timestamp=0, user_id=0, service_id=0, value=1.0).slice_id == -1
+
+    def test_frozen(self):
+        record = QoSRecord(timestamp=0, user_id=0, service_id=0, value=1.0)
+        with pytest.raises(AttributeError):
+            record.value = 2.0
+
+
+class TestQoSMatrix:
+    def test_density(self, paper_example_matrix):
+        assert paper_example_matrix.density == pytest.approx(12 / 20)
+
+    def test_observed_values_count(self, paper_example_matrix):
+        assert paper_example_matrix.observed_values().size == 12
+
+    def test_observed_indices_align_with_mask(self, paper_example_matrix):
+        rows, cols = paper_example_matrix.observed_indices()
+        assert np.all(paper_example_matrix.mask[rows, cols])
+        assert rows.size == paper_example_matrix.mask.sum()
+
+    def test_dense_constructor(self):
+        matrix = QoSMatrix.dense(np.ones((3, 4)))
+        assert matrix.density == 1.0
+        assert matrix.shape == (3, 4)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same shape"):
+            QoSMatrix(values=np.ones((2, 2)), mask=np.ones((2, 3), dtype=bool))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            QoSMatrix(values=np.ones(4), mask=np.ones(4, dtype=bool))
+
+    def test_records_roundtrip(self, paper_example_matrix):
+        records = paper_example_matrix.records(timestamp=5.0, slice_id=2)
+        assert len(records) == 12
+        assert all(r.timestamp == 5.0 and r.slice_id == 2 for r in records)
+        first = records[0]
+        assert paper_example_matrix.values[first.user_id, first.service_id] == first.value
+
+    def test_copy_is_independent(self, paper_example_matrix):
+        clone = paper_example_matrix.copy()
+        clone.values[0, 0] = 99.0
+        clone.mask[0, 0] = False
+        assert paper_example_matrix.values[0, 0] == 1.4
+        assert paper_example_matrix.mask[0, 0]
+
+    def test_filled_uses_fill_value(self, paper_example_matrix):
+        dense = paper_example_matrix.filled(fill_value=-7.0)
+        assert dense[0, 1] == -7.0  # unobserved
+        assert dense[0, 0] == 1.4  # observed
+
+    def test_empty_matrix_density_zero(self):
+        matrix = QoSMatrix(values=np.zeros((0, 0)), mask=np.zeros((0, 0), dtype=bool))
+        assert matrix.density == 0.0
+
+
+class TestTimeSlicedQoS:
+    def _make(self, n_slices=3, n_users=4, n_services=5) -> TimeSlicedQoS:
+        rng = np.random.default_rng(0)
+        tensor = rng.uniform(0.1, 5.0, size=(n_slices, n_users, n_services))
+        mask = rng.random(tensor.shape) > 0.2
+        return TimeSlicedQoS(tensor=tensor, mask=mask)
+
+    def test_dimensions(self):
+        data = self._make()
+        assert (data.n_slices, data.n_users, data.n_services) == (3, 4, 5)
+
+    def test_slice_returns_copy(self):
+        data = self._make()
+        matrix = data.slice(1)
+        matrix.values[0, 0] = 99.0
+        assert data.tensor[1, 0, 0] != 99.0
+
+    def test_slice_bounds_checked(self):
+        data = self._make()
+        with pytest.raises(IndexError):
+            data.slice(3)
+        with pytest.raises(IndexError):
+            data.slice(-1)
+
+    def test_statistics_keys_and_values(self):
+        data = self._make()
+        stats = data.statistics()
+        assert stats["n_users"] == 4
+        observed = data.tensor[data.mask]
+        assert stats["mean"] == pytest.approx(observed.mean())
+        assert stats["max"] == pytest.approx(observed.max())
+
+    def test_observed_values_respects_mask(self):
+        data = self._make()
+        assert data.observed_values().size == int(data.mask.sum())
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError, match="3-D"):
+            TimeSlicedQoS(tensor=np.ones((2, 2)), mask=np.ones((2, 2), dtype=bool))
+
+    def test_bad_value_range_rejected(self):
+        with pytest.raises(ValueError, match="value_max"):
+            TimeSlicedQoS(
+                tensor=np.ones((1, 2, 2)),
+                mask=np.ones((1, 2, 2), dtype=bool),
+                value_min=5.0,
+                value_max=1.0,
+            )
+
+    def test_bad_slice_seconds_rejected(self):
+        with pytest.raises(ValueError, match="slice_seconds"):
+            TimeSlicedQoS(
+                tensor=np.ones((1, 2, 2)),
+                mask=np.ones((1, 2, 2), dtype=bool),
+                slice_seconds=0.0,
+            )

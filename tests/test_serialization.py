@@ -1,0 +1,109 @@
+"""Tests for AMF model save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveMatrixFactorization,
+    AMFConfig,
+    StreamTrainer,
+    load_model,
+    save_model,
+)
+from repro.datasets.schema import QoSRecord
+
+
+def trained_model(seed=0, n=300):
+    model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=seed)
+    rng = np.random.default_rng(seed)
+    for k in range(n):
+        model.observe(
+            QoSRecord(
+                timestamp=float(k),
+                user_id=int(rng.integers(10)),
+                service_id=int(rng.integers(20)),
+                value=float(rng.uniform(0.1, 5.0)),
+            )
+        )
+    return model
+
+
+class TestRoundTrip:
+    def test_predictions_identical(self, tmp_path):
+        model = trained_model()
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        restored = load_model(path, rng=1)
+        np.testing.assert_array_equal(restored.predict_matrix(), model.predict_matrix())
+
+    def test_config_restored(self, tmp_path):
+        model = AdaptiveMatrixFactorization(
+            AMFConfig.for_throughput(rank=7, beta=0.4), rng=0
+        )
+        model.observe(QoSRecord(timestamp=0, user_id=0, service_id=0, value=10.0))
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.config == model.config
+
+    def test_error_trackers_restored(self, tmp_path):
+        model = trained_model()
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        restored = load_model(path)
+        np.testing.assert_allclose(
+            restored.weights.user_error_snapshot(), model.weights.user_error_snapshot()
+        )
+        np.testing.assert_allclose(
+            restored.weights.service_error_snapshot(),
+            model.weights.service_error_snapshot(),
+        )
+
+    def test_sample_store_restored(self, tmp_path):
+        model = trained_model()
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.n_stored_samples == model.n_stored_samples
+        for key in model._store.keys():
+            assert restored._store.get(*key) == model._store.get(*key)
+
+    def test_updates_counter_restored(self, tmp_path):
+        model = trained_model()
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        assert load_model(path).updates_applied == model.updates_applied
+
+    def test_restored_model_keeps_learning(self, tmp_path):
+        """A restored model must continue online training seamlessly."""
+        model = trained_model()
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        restored = load_model(path, rng=2)
+        trainer = StreamTrainer(restored)
+        report = trainer.replay_until_converged(now=float(10**6 - 1))
+        assert report.replays > 0 or report.expired > 0
+        restored.observe(QoSRecord(timestamp=0, user_id=50, service_id=60, value=1.0))
+        assert restored.n_users == 51  # new entities still register
+
+    def test_empty_model_roundtrip(self, tmp_path):
+        model = AdaptiveMatrixFactorization(rng=0)
+        path = str(tmp_path / "empty.npz")
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.n_users == 0
+        assert restored.n_stored_samples == 0
+
+    def test_newer_format_rejected(self, tmp_path):
+        import repro.core.serialization as serialization
+
+        model = trained_model(n=10)
+        path = str(tmp_path / "model.npz")
+        original = serialization.FORMAT_VERSION
+        try:
+            serialization.FORMAT_VERSION = 99
+            save_model(model, path)
+        finally:
+            serialization.FORMAT_VERSION = original
+        with pytest.raises(ValueError, match="newer"):
+            load_model(path)

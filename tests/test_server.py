@@ -1,0 +1,165 @@
+"""Tests for the HTTP prediction service and its client."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core import AMFConfig
+from repro.server import PredictionClient, PredictionServer
+from repro.server.client import PredictionServiceError
+
+
+@pytest.fixture()
+def server():
+    instance = PredictionServer(
+        AMFConfig.for_response_time(), rng=0, background_replay=False
+    )
+    with instance:
+        yield instance
+
+
+@pytest.fixture()
+def client(server):
+    return PredictionClient(server.address)
+
+
+class TestObservations:
+    def test_report_returns_sample_error(self, client):
+        error = client.report_observation(0, 0, value=1.5, timestamp=0.0)
+        assert error > 0
+
+    def test_batch_report(self, client):
+        observations = [
+            {"timestamp": float(k), "user_id": k % 3, "service_id": k % 5, "value": 1.0}
+            for k in range(20)
+        ]
+        assert client.report_observations(observations) == 20
+
+    def test_missing_field_is_client_error(self, client, server):
+        with pytest.raises(PredictionServiceError, match="400"):
+            client._request("POST", "/observations", {"user_id": 0})
+
+    def test_invalid_value_is_client_error(self, client):
+        with pytest.raises(PredictionServiceError, match="400"):
+            client._request(
+                "POST",
+                "/observations",
+                {"timestamp": 0.0, "user_id": 0, "service_id": 0, "value": "nan"},
+            )
+
+
+class TestPredictions:
+    def test_predict_roundtrip(self, client):
+        for k in range(200):
+            client.report_observation(0, 0, value=2.0, timestamp=float(k))
+        assert client.predict(0, 0) == pytest.approx(2.0, rel=0.3)
+
+    def test_predict_unknown_pair_is_finite(self, client):
+        value = client.predict(7, 13)
+        assert 0.0 <= value <= 20.0
+
+    def test_predict_candidates(self, client):
+        predictions = client.predict_candidates(0, [1, 2, 3])
+        assert set(predictions) == {1, 2, 3}
+        assert all(0.0 <= v <= 20.0 for v in predictions.values())
+
+    def test_negative_ids_rejected(self, client):
+        with pytest.raises(PredictionServiceError, match="400"):
+            client._request("GET", "/predictions?user_id=-1&service_id=0")
+
+    def test_missing_query_rejected(self, client):
+        with pytest.raises(PredictionServiceError, match="400"):
+            client._request("GET", "/predictions")
+
+    def test_empty_candidate_list_rejected(self, client):
+        with pytest.raises(PredictionServiceError, match="400"):
+            client.predict_candidates(0, [])
+
+
+class TestStatusAndProtocol:
+    def test_status_counts(self, client):
+        client.report_observation(0, 0, value=1.0, timestamp=0.0)
+        status = client.status()
+        assert status["observations_handled"] == 1
+        assert status["updates_applied"] >= 1
+        assert status["stored_samples"] == 1
+
+    def test_unknown_path_404(self, server):
+        host, port = server.address
+        request = urllib.request.Request(f"http://{host}:{port}/nope")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 404
+
+    def test_malformed_json_400(self, server):
+        host, port = server.address
+        request = urllib.request.Request(
+            f"http://{host}:{port}/observations",
+            data=b"{not json",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+
+    def test_non_object_body_400(self, server):
+        host, port = server.address
+        request = urllib.request.Request(
+            f"http://{host}:{port}/observations",
+            data=json.dumps([1, 2]).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+
+    def test_unreachable_server_raises(self):
+        client = PredictionClient(("127.0.0.1", 1), timeout=0.5)
+        with pytest.raises(PredictionServiceError, match="cannot reach"):
+            client.status()
+
+
+class TestEndToEnd:
+    def test_background_replay_improves_served_model(self):
+        """With the daemon on, the served predictions converge between
+        requests — the 'online updating' box of Fig. 3."""
+        import time
+
+        with PredictionServer(
+            AMFConfig.for_response_time(), rng=1, background_replay=True
+        ) as server:
+            client = PredictionClient(server.address)
+            import numpy as np
+
+            rng = np.random.default_rng(0)
+            base = np.outer(rng.uniform(0.5, 2, 6), rng.uniform(0.5, 2, 10))
+            observations = [
+                {"timestamp": 0.0, "user_id": u, "service_id": s, "value": float(base[u, s])}
+                for u in range(6)
+                for s in range(10)
+            ]
+            client.report_observations(observations)
+            deadline = time.time() + 3.0
+            while client.status()["background_replays"] < 2000 and time.time() < deadline:
+                time.sleep(0.02)
+            errors = [
+                abs(client.predict(u, s) - base[u, s]) / base[u, s]
+                for u in range(6)
+                for s in range(10)
+            ]
+            assert float(np.median(errors)) < 0.25
+
+    def test_collaborative_prediction_across_clients(self):
+        """Two 'applications' share one service: user 1's uploads improve
+        the service profile user 0 is predicted against."""
+        with PredictionServer(
+            AMFConfig.for_response_time(), rng=2, background_replay=False
+        ) as server:
+            a = PredictionClient(server.address)
+            b = PredictionClient(server.address)
+            for k in range(150):
+                a.report_observation(0, 0, value=1.0, timestamp=float(k))
+                b.report_observation(1, 0, value=1.0, timestamp=float(k))
+            status = a.status()
+            assert status["observations_handled"] == 300

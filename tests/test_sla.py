@@ -1,0 +1,86 @@
+"""Tests for SLA thresholds and the sliding-window violation monitor."""
+
+import pytest
+
+from repro.adaptation import SLA, SLAMonitor
+
+
+class TestSLA:
+    def test_response_time_direction(self):
+        sla = SLA(attribute="response_time", threshold=2.0)
+        assert sla.violated(3.0)
+        assert not sla.violated(1.0)
+        assert not sla.violated(2.0)  # boundary is compliant
+
+    def test_throughput_direction(self):
+        sla = SLA(attribute="throughput", threshold=50.0, lower_is_better=False)
+        assert sla.violated(10.0)
+        assert not sla.violated(100.0)
+
+    def test_margin_orientation(self):
+        rt = SLA(attribute="rt", threshold=2.0)
+        assert rt.margin(1.5) == pytest.approx(0.5)  # compliant: positive
+        assert rt.margin(3.0) == pytest.approx(-1.0)
+        tp = SLA(attribute="tp", threshold=50.0, lower_is_better=False)
+        assert tp.margin(60.0) == pytest.approx(10.0)
+        assert tp.margin(40.0) == pytest.approx(-10.0)
+
+    def test_non_finite_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SLA(attribute="rt", threshold=float("nan"))
+
+
+class TestSLAMonitor:
+    def _monitor(self, window=3, min_violations=2):
+        return SLAMonitor(
+            SLA(attribute="rt", threshold=2.0),
+            window=window,
+            min_violations=min_violations,
+        )
+
+    def test_single_spike_not_sustained(self):
+        monitor = self._monitor()
+        assert not monitor.observe(5.0)  # one violation out of window 3
+
+    def test_sustained_violation_detected(self):
+        monitor = self._monitor()
+        monitor.observe(5.0)
+        assert monitor.observe(5.0)  # 2 of last 3
+
+    def test_window_slides(self):
+        monitor = self._monitor()
+        monitor.observe(5.0)
+        monitor.observe(1.0)
+        monitor.observe(1.0)
+        # The early violation has slid out of the window.
+        assert not monitor.observe(5.0)
+
+    def test_reset_clears_window(self):
+        monitor = self._monitor()
+        monitor.observe(5.0)
+        monitor.reset()
+        assert not monitor.observe(5.0)  # back to 1-of-3
+
+    def test_lifetime_counters_survive_reset(self):
+        monitor = self._monitor()
+        monitor.observe(5.0)
+        monitor.observe(1.0)
+        monitor.reset()
+        assert monitor.total_observations == 2
+        assert monitor.total_violations == 1
+        assert monitor.violation_rate == pytest.approx(0.5)
+
+    def test_violation_rate_empty(self):
+        assert self._monitor().violation_rate == 0.0
+
+    def test_min_violations_one_is_immediate(self):
+        monitor = self._monitor(window=3, min_violations=1)
+        assert monitor.observe(5.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            self._monitor(window=0)
+
+    def test_invalid_min_violations(self):
+        with pytest.raises(ValueError):
+            self._monitor(window=3, min_violations=4)

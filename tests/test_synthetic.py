@@ -1,0 +1,165 @@
+"""Tests for the WS-DREAM statistical twin generator.
+
+The generator's contract is distributional: ranges, calibrated means, skew,
+approximate low rank, temporal persistence, user-specificity, and RT/TP
+anti-correlation.  Each test checks one of those properties on a fixed seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig, WSDreamGenerator, generate_dataset
+
+
+@pytest.fixture(scope="module")
+def pair():
+    config = SyntheticConfig().scaled(50, 120, 16)
+    return WSDreamGenerator(config, seed=7).generate_pair()
+
+
+class TestConfig:
+    def test_defaults_match_paper_scale(self):
+        config = SyntheticConfig()
+        assert (config.n_users, config.n_services, config.n_slices) == (142, 4500, 64)
+        assert config.slice_seconds == 900.0
+
+    def test_scaled_copy(self):
+        scaled = SyntheticConfig().scaled(10, 20, 3)
+        assert (scaled.n_users, scaled.n_services, scaled.n_slices) == (10, 20, 3)
+        assert SyntheticConfig().n_users == 142  # original untouched
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_users", 0),
+            ("slice_seconds", 0.0),
+            ("temporal_rho", 1.5),
+            ("timeout_prob", -0.1),
+            ("missing_rate", 2.0),
+            ("rt_mean", 0.0),
+            ("user_sigma", -1.0),
+        ],
+    )
+    def test_invalid_config_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            SyntheticConfig(**{field: value})
+
+
+class TestShapesAndRanges:
+    def test_tensor_shapes(self, pair):
+        rt, tp = pair
+        assert rt.tensor.shape == (16, 50, 120)
+        assert tp.tensor.shape == (16, 50, 120)
+
+    def test_rt_within_range(self, pair):
+        rt, __ = pair
+        assert rt.tensor.min() >= 0.0
+        assert rt.tensor.max() <= 20.0
+
+    def test_tp_within_range(self, pair):
+        __, tp = pair
+        assert tp.tensor.min() >= 0.0
+        assert tp.tensor.max() <= 7000.0
+
+    def test_attributes_labelled(self, pair):
+        rt, tp = pair
+        assert rt.attribute == "response_time" and rt.unit == "s"
+        assert tp.attribute == "throughput" and tp.unit == "kbps"
+
+    def test_masks_identical_between_attributes(self, pair):
+        """One invocation yields both measurements, so the masks agree."""
+        rt, tp = pair
+        np.testing.assert_array_equal(rt.mask, tp.mask)
+
+    def test_missing_rate_respected(self, pair):
+        rt, __ = pair
+        observed_fraction = rt.mask.mean()
+        assert observed_fraction == pytest.approx(0.98, abs=0.01)
+
+
+class TestDistributionalProperties:
+    def test_rt_mean_calibrated(self, pair):
+        rt, __ = pair
+        assert rt.observed_values().mean() == pytest.approx(1.33, rel=0.25)
+
+    def test_rt_right_skewed(self, pair):
+        rt, __ = pair
+        values = rt.observed_values()
+        assert np.median(values) < values.mean()  # heavy right tail
+
+    def test_timeout_spike_present(self, pair):
+        rt, __ = pair
+        assert (rt.tensor == 20.0).mean() > 0.001
+
+    def test_low_rank_structure(self, pair):
+        """Fig. 9 property: leading singular values dominate the spectrum."""
+        rt, __ = pair
+        spectrum = np.linalg.svd(rt.tensor[0], compute_uv=False)
+        top5 = (spectrum[:5] ** 2).sum()
+        assert top5 / (spectrum**2).sum() > 0.5
+
+    def test_user_specificity(self, pair):
+        """Different users see systematically different QoS on the same
+        services (Fig. 2(b) property)."""
+        rt, __ = pair
+        user_means = rt.tensor[0].mean(axis=1)
+        assert user_means.max() / user_means.min() > 1.5
+
+    def test_temporal_persistence(self, pair):
+        """Adjacent slices correlate more than distant ones (AR(1))."""
+        rt, __ = pair
+        log_rt = np.log(np.maximum(rt.tensor, 1e-3))
+        flat = log_rt.reshape(rt.n_slices, -1)
+        adjacent = np.corrcoef(flat[0], flat[1])[0, 1]
+        distant = np.corrcoef(flat[0], flat[15])[0, 1]
+        assert adjacent > distant
+
+    def test_fluctuation_around_stable_mean(self, pair):
+        """Fig. 2(a): per-pair values vary over time but stay around a mean."""
+        rt, __ = pair
+        series = rt.tensor[:, 0, 0]
+        assert series.std() > 0
+        assert series.std() < series.mean() * 2
+
+    def test_rt_tp_anticorrelated(self, pair):
+        rt, tp = pair
+        log_rt = np.log(np.maximum(rt.tensor[0].ravel(), 1e-3))
+        log_tp = np.log(np.maximum(tp.tensor[0].ravel(), 1e-3))
+        assert np.corrcoef(log_rt, log_tp)[0, 1] < -0.3
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        config = SyntheticConfig().scaled(10, 20, 2)
+        a = WSDreamGenerator(config, seed=3).generate_response_time()
+        b = WSDreamGenerator(config, seed=3).generate_response_time()
+        np.testing.assert_array_equal(a.tensor, b.tensor)
+        np.testing.assert_array_equal(a.mask, b.mask)
+
+    def test_different_seed_different_data(self):
+        config = SyntheticConfig().scaled(10, 20, 2)
+        a = WSDreamGenerator(config, seed=3).generate_response_time()
+        b = WSDreamGenerator(config, seed=4).generate_response_time()
+        assert not np.allclose(a.tensor, b.tensor)
+
+    def test_rt_consistent_between_pair_and_single(self):
+        config = SyntheticConfig().scaled(10, 20, 2)
+        pair_rt, __ = WSDreamGenerator(config, seed=3).generate_pair()
+        single_rt = WSDreamGenerator(config, seed=3).generate_response_time()
+        np.testing.assert_array_equal(pair_rt.tensor, single_rt.tensor)
+
+
+class TestGenerateDatasetHelper:
+    def test_default_shape(self):
+        data = generate_dataset(n_users=12, n_services=20, n_slices=2, seed=0)
+        assert (data.n_slices, data.n_users, data.n_services) == (2, 12, 20)
+
+    def test_attribute_aliases(self):
+        rt = generate_dataset(n_users=5, n_services=8, n_slices=1, seed=0, attribute="rt")
+        tp = generate_dataset(n_users=5, n_services=8, n_slices=1, seed=0, attribute="tp")
+        assert rt.attribute == "response_time"
+        assert tp.attribute == "throughput"
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(ValueError, match="attribute"):
+            generate_dataset(attribute="latency")

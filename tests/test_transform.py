@@ -1,0 +1,165 @@
+"""Tests for repro.core.transform: sigmoid link and the Box-Cox pipeline.
+
+Includes hypothesis property tests for the invariants the paper relies on:
+Box-Cox is strictly increasing (rank-preserving) and invertible, and the
+normalizer maps [value_min, value_max] onto [0, 1] monotonically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transform import (
+    BoxCoxTransform,
+    QoSNormalizer,
+    logit,
+    sigmoid,
+    sigmoid_derivative,
+)
+
+alphas = st.one_of(
+    st.just(0.0),
+    st.just(1.0),
+    st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+)
+qos_values = st.floats(min_value=1e-3, max_value=20.0, allow_nan=False)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(0.0) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        assert sigmoid(2.0) + sigmoid(-2.0) == pytest.approx(1.0)
+
+    def test_extreme_values_do_not_overflow(self):
+        assert sigmoid(1000.0) == pytest.approx(1.0)
+        assert sigmoid(-1000.0) == pytest.approx(0.0)
+
+    def test_vectorized(self):
+        out = sigmoid(np.array([-1.0, 0.0, 1.0]))
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(sigmoid(0.3), float)
+
+    def test_derivative_matches_finite_difference(self):
+        xs = np.linspace(-4, 4, 17)
+        h = 1e-6
+        numeric = (sigmoid(xs + h) - sigmoid(xs - h)) / (2 * h)
+        np.testing.assert_allclose(sigmoid_derivative(xs), numeric, atol=1e-8)
+
+    def test_derivative_peak_at_zero(self):
+        assert sigmoid_derivative(0.0) == pytest.approx(0.25)
+
+    def test_logit_inverts_sigmoid(self):
+        xs = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(logit(sigmoid(xs)), xs, atol=1e-9)
+
+    def test_logit_clips_edges(self):
+        assert np.isfinite(logit(0.0))
+        assert np.isfinite(logit(1.0))
+
+
+class TestBoxCox:
+    def test_alpha_zero_is_log(self):
+        transform = BoxCoxTransform(alpha=0.0)
+        assert transform.forward(np.e) == pytest.approx(1.0)
+
+    def test_alpha_one_is_shifted_identity(self):
+        transform = BoxCoxTransform(alpha=1.0)
+        assert transform.forward(3.0) == pytest.approx(2.0)  # (x - 1) / 1
+
+    def test_paper_alpha_rt(self):
+        # Spot value: (x^a - 1)/a with a = -0.007, x = 2.
+        transform = BoxCoxTransform(alpha=-0.007)
+        expected = (2.0**-0.007 - 1.0) / -0.007
+        assert transform.forward(2.0) == pytest.approx(expected)
+
+    def test_floor_clamps_zero_input(self):
+        transform = BoxCoxTransform(alpha=-0.05, floor=1e-3)
+        assert np.isfinite(transform.forward(0.0))
+        assert transform.forward(0.0) == transform.forward(1e-3)
+
+    @given(alpha=alphas, x=qos_values)
+    @settings(max_examples=200)
+    def test_roundtrip(self, alpha, x):
+        transform = BoxCoxTransform(alpha=alpha)
+        assert transform.inverse(transform.forward(x)) == pytest.approx(x, rel=1e-6)
+
+    @given(alpha=alphas, x=qos_values, y=qos_values)
+    @settings(max_examples=200)
+    def test_strictly_increasing(self, alpha, x, y):
+        transform = BoxCoxTransform(alpha=alpha)
+        if abs(x - y) < 1e-9:
+            return
+        low, high = sorted((x, y))
+        assert transform.forward(low) < transform.forward(high)
+
+    def test_vectorized_matches_scalar(self):
+        transform = BoxCoxTransform(alpha=-0.007)
+        xs = np.array([0.5, 1.0, 5.0])
+        vector = transform.forward(xs)
+        for k, x in enumerate(xs):
+            assert vector[k] == pytest.approx(transform.forward(float(x)))
+
+    def test_invalid_floor_rejected(self):
+        with pytest.raises(ValueError, match="floor"):
+            BoxCoxTransform(alpha=0.0, floor=0.0)
+
+
+class TestQoSNormalizer:
+    def test_maps_bounds_to_unit_interval(self):
+        normalizer = QoSNormalizer(alpha=-0.007, value_min=0.0, value_max=20.0)
+        assert normalizer.normalize(1e-3) == pytest.approx(0.0, abs=1e-9)
+        assert normalizer.normalize(20.0) == pytest.approx(1.0)
+
+    def test_out_of_range_clipped(self):
+        normalizer = QoSNormalizer(alpha=1.0, value_min=0.0, value_max=10.0)
+        assert normalizer.normalize(25.0) == 1.0
+        assert normalizer.normalize(-5.0) == 0.0
+
+    def test_linear_factory(self):
+        normalizer = QoSNormalizer.linear(0.0, 10.0)
+        assert normalizer.alpha == 1.0
+        assert normalizer.normalize(5.0) == pytest.approx(0.5, abs=1e-3)
+
+    @given(x=qos_values)
+    @settings(max_examples=150)
+    def test_roundtrip_rt_config(self, x):
+        normalizer = QoSNormalizer(alpha=-0.007, value_min=0.0, value_max=20.0)
+        assert normalizer.denormalize(normalizer.normalize(x)) == pytest.approx(
+            x, rel=1e-5, abs=1e-5
+        )
+
+    @given(x=qos_values, y=qos_values)
+    @settings(max_examples=150)
+    def test_rank_preserving(self, x, y):
+        normalizer = QoSNormalizer(alpha=-0.05, value_min=0.0, value_max=20.0)
+        if abs(x - y) < 1e-9:
+            return
+        low, high = sorted((x, y))
+        assert normalizer.normalize(low) <= normalizer.normalize(high)
+
+    def test_transformed_skew_reduced_on_lognormal(self):
+        """The point of the transform (Fig. 7 -> Fig. 8): less skew."""
+        rng = np.random.default_rng(0)
+        raw = np.clip(rng.lognormal(mean=0.0, sigma=1.0, size=5000), 0, 20)
+        normalizer = QoSNormalizer(alpha=-0.007, value_min=0.0, value_max=20.0)
+        transformed = np.asarray(normalizer.normalize(raw))
+
+        def skew(v):
+            return abs(np.mean((v - v.mean()) ** 3) / v.std() ** 3)
+
+        assert skew(transformed) < skew(raw) / 2
+
+    def test_degenerate_range_rejected(self):
+        with pytest.raises(ValueError, match="value_max"):
+            QoSNormalizer(alpha=1.0, value_min=5.0, value_max=5.0)
+
+    def test_denormalize_clamps_to_value_max(self):
+        normalizer = QoSNormalizer(alpha=-0.007, value_min=0.0, value_max=20.0)
+        assert normalizer.denormalize(1.0) <= 20.0
+        assert normalizer.denormalize(2.0) <= 20.0  # clipped input

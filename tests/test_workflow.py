@@ -1,0 +1,92 @@
+"""Tests for workflows, tasks, and bindings."""
+
+import pytest
+
+from repro.adaptation import AbstractTask, ServiceBinding, Workflow
+
+
+def make_workflow():
+    tasks = [
+        AbstractTask(name="A", task_type="weather"),
+        AbstractTask(name="B", task_type="payment"),
+        AbstractTask(name="C", task_type="shipping"),
+    ]
+    return Workflow(name="pipeline", tasks=tasks)
+
+
+class TestAbstractTask:
+    def test_fields(self):
+        task = AbstractTask(name="A", task_type="weather")
+        assert task.task_type == "weather"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            AbstractTask(name="", task_type="x")
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(ValueError):
+            AbstractTask(name="A", task_type="")
+
+
+class TestServiceBinding:
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceBinding(task_name="A", service_id=-1)
+
+
+class TestWorkflow:
+    def test_empty_workflow_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Workflow(name="w", tasks=[])
+
+    def test_duplicate_task_names_rejected(self):
+        tasks = [AbstractTask("A", "x"), AbstractTask("A", "y")]
+        with pytest.raises(ValueError, match="duplicate"):
+            Workflow(name="w", tasks=tasks)
+
+    def test_task_lookup(self):
+        workflow = make_workflow()
+        assert workflow.task("B").task_type == "payment"
+        with pytest.raises(KeyError):
+            workflow.task("Z")
+
+    def test_bind_and_lookup(self):
+        workflow = make_workflow()
+        binding = workflow.bind("A", 42, at=10.0)
+        assert binding.bound_at == 10.0
+        assert workflow.bound_service("A") == 42
+
+    def test_rebind_replaces(self):
+        workflow = make_workflow()
+        workflow.bind("A", 1)
+        workflow.bind("A", 2)
+        assert workflow.bound_service("A") == 2
+
+    def test_bind_unknown_task_rejected(self):
+        with pytest.raises(KeyError):
+            make_workflow().bind("Z", 1)
+
+    def test_unbound_lookup_raises(self):
+        with pytest.raises(KeyError, match="not bound"):
+            make_workflow().binding("A")
+
+    def test_is_fully_bound(self):
+        workflow = make_workflow()
+        assert not workflow.is_fully_bound()
+        for k, task in enumerate(workflow.tasks):
+            workflow.bind(task.name, k)
+        assert workflow.is_fully_bound()
+
+    def test_working_services_in_task_order(self):
+        workflow = make_workflow()
+        workflow.bind("A", 5)
+        workflow.bind("B", 3)
+        workflow.bind("C", 9)
+        assert workflow.working_services() == [5, 3, 9]
+
+    def test_bindings_snapshot_is_copy(self):
+        workflow = make_workflow()
+        workflow.bind("A", 5)
+        snapshot = workflow.bindings()
+        snapshot["A"] = ServiceBinding(task_name="A", service_id=99)
+        assert workflow.bound_service("A") == 5
