@@ -1,0 +1,71 @@
+"""Scalar vs vectorized replay kernel: throughput and accuracy parity.
+
+Not a paper artifact — this bench quantifies the conflict-free block
+kernel's speedup over the sequential reference loop on the same warm model
+(the ``test_bench_core_throughput`` configuration), and checks that the
+speed does not come at an accuracy cost: both kernels run the full
+``evaluate_amf`` protocol and must land on matching Section V-B metrics.
+
+Run with ``pytest benchmarks/test_bench_replay_kernel.py --benchmark-only -s``
+to see the steps/sec comparison and the metric rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveMatrixFactorization, AMFConfig
+from repro.datasets import generate_dataset, train_test_split_matrix
+from repro.datasets.schema import QoSRecord
+from repro.experiments.runner import evaluate_amf, make_amf_config
+
+
+def _warm_model(kernel, n_users=100, n_services=200, n_samples=5000, seed=0):
+    model = AdaptiveMatrixFactorization(
+        AMFConfig.for_response_time(kernel=kernel), rng=seed
+    )
+    rng = np.random.default_rng(seed)
+    records = [
+        QoSRecord(
+            timestamp=float(k),
+            user_id=int(rng.integers(n_users)),
+            service_id=int(rng.integers(n_services)),
+            value=float(rng.uniform(0.05, 5.0)),
+        )
+        for k in range(n_samples)
+    ]
+    model.observe_many(records)
+    return model
+
+
+@pytest.mark.parametrize("kernel", ["scalar", "vectorized"])
+def test_bench_replay_kernel_throughput(benchmark, kernel):
+    """Replay steps/sec per kernel on the shared warm-model configuration."""
+    model = _warm_model(kernel)
+
+    def replay_batch():
+        model.replay_many(now=0.0, count=1000)
+
+    benchmark(replay_batch)
+    steps_per_sec = 1000.0 / benchmark.stats["mean"]
+    print(f"\n  {kernel}: {steps_per_sec:,.0f} replay steps/sec")
+    assert benchmark.stats["mean"] < 1.0
+
+
+def test_kernel_accuracy_parity():
+    """Both kernels land on matching MAE/MRE/NPRE under the full protocol."""
+    matrix = generate_dataset(
+        n_users=60, n_services=120, n_slices=1, seed=5
+    ).slice(0)
+    train, test = train_test_split_matrix(matrix, train_density=0.3, rng=5)
+    config = make_amf_config("response_time")
+    results = {
+        kernel: evaluate_amf(train, test, config, rng=9, kernel=kernel)
+        for kernel in ("scalar", "vectorized")
+    }
+    for metric in ("MAE", "MRE", "NPRE"):
+        scalar_value = results["scalar"][metric]
+        vectorized_value = results["vectorized"][metric]
+        print(f"  {metric}: scalar={scalar_value:.4f} vectorized={vectorized_value:.4f}")
+        # Same seeded stream and RNG draws: the kernels differ only by
+        # floating-point ordering, so metrics must agree tightly.
+        assert vectorized_value == pytest.approx(scalar_value, rel=0.02, abs=1e-3)

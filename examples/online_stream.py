@@ -25,7 +25,8 @@ def main() -> None:
     model.ensure_service(data.n_services - 1)
     trainer = StreamTrainer(model)
 
-    print(f"{'slice':>5} | {'AMF MRE':>8} {'AMF cost':>9} | {'PMF MRE':>8} {'PMF cost':>9}")
+    print(f"{'slice':>5} | {'AMF MRE':>8} {'AMF cost':>9} {'steps/sec':>10} | "
+          f"{'PMF MRE':>8} {'PMF cost':>9}")
     for t in range(data.n_slices):
         matrix = data.slice(t)
         train, test = train_test_split_matrix(matrix, train_density=0.3, rng=100 + t)
@@ -41,8 +42,10 @@ def main() -> None:
             rng=100 + t,
         )
         started = time.perf_counter()
-        trainer.process(stream)
+        report = trainer.process(stream)
         amf_cost = time.perf_counter() - started
+        amf_steps = report.arrivals + report.replays
+        amf_rate = amf_steps / report.wall_seconds if report.wall_seconds else 0.0
         amf_mre = mre(model.predict_matrix()[rows, cols], actual)
 
         # Offline: PMF must retrain from scratch to see the new slice.
@@ -51,12 +54,15 @@ def main() -> None:
         pmf_cost = time.perf_counter() - started
         pmf_mre = mre(pmf.predict_entries(rows, cols), actual)
 
-        print(f"{t:>5} | {amf_mre:>8.3f} {amf_cost:>8.2f}s | "
+        print(f"{t:>5} | {amf_mre:>8.3f} {amf_cost:>8.2f}s {amf_rate:>10,.0f} | "
               f"{pmf_mre:>8.3f} {pmf_cost:>8.2f}s")
 
     print(f"\ntotal online updates applied: {model.updates_applied}, "
           f"samples currently retained: {model.n_stored_samples} "
           f"(older slices expired per the 15-minute window)")
+    print(f"replay kernel: {model.config.kernel!r} "
+          f"(steps/sec column counts arrival + replay SGD steps per wall second; "
+          f"switch with AMFConfig(kernel='scalar'))")
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ from repro.core.transform import (
     sigmoid_derivative,
 )
 from repro.core.weights import AdaptiveWeights
+from repro.core.kernel import iter_conflict_free_blocks, partition_conflict_free
 from repro.core.amf import AdaptiveMatrixFactorization
 from repro.core.online import StreamTrainer, TrainReport
 from repro.core.serialization import load_model, save_model
@@ -25,6 +26,8 @@ __all__ = [
     "sigmoid",
     "sigmoid_derivative",
     "AdaptiveWeights",
+    "partition_conflict_free",
+    "iter_conflict_free_blocks",
     "AdaptiveMatrixFactorization",
     "StreamTrainer",
     "TrainReport",

@@ -14,15 +14,28 @@ The model additionally keeps a bounded store of the latest observation per
 (user, service) pair so that Algorithm 1's replay loop can re-sample
 existing data between arrivals and expire observations older than the
 configured time window.
+
+Replay runs through one of two kernels (``AMFConfig.kernel``):
+
+* ``"scalar"`` — the sequential reference loop, one Python-level SGD step
+  per drawn sample, exactly Algorithm 1's order of operations.
+* ``"vectorized"`` (default) — draws the whole batch at once, partitions it
+  into conflict-free blocks (no user and no service repeated within a
+  block; see :mod:`repro.core.kernel`), and executes each block as a single
+  fused NumPy pass.  Within a block every sample reads its entities'
+  pre-step state, so block execution is semantically equivalent to the
+  sequential simultaneous update, at an order of magnitude more steps/sec.
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable
 
 import numpy as np
 
 from repro.core.config import AMFConfig
+from repro.core.kernel import partition_conflict_free
 from repro.core.transform import QoSNormalizer, sigmoid
 from repro.core.weights import AdaptiveWeights
 from repro.datasets.schema import QoSRecord
@@ -69,6 +82,17 @@ class _GrowableFactors:
         """Copy of all initialized rows, shape ``(size, rank)``."""
         return self._rows[: self._size].copy()
 
+    def view(self) -> np.ndarray:
+        """Read-only no-copy view of the initialized rows.
+
+        For the read-heavy paths (``training_error``, ``predict_matrix``)
+        that previously paid a full-matrix copy per call; use :meth:`matrix`
+        when the caller needs an owned snapshot.
+        """
+        out = self._rows[: self._size]
+        out.flags.writeable = False
+        return out
+
 
 class _SampleStore:
     """Latest observation per (user, service) pair with O(1) random pick.
@@ -76,41 +100,156 @@ class _SampleStore:
     Backs Algorithm 1's replay loop: ``random_pick`` implements line 11
     (uniformly pick an existing sample) and ``discard`` implements line 15
     (drop an expired sample, i.e. set ``I_ij = 0``).
+
+    Storage is columnar: parallel arrays (user id, service id, timestamp,
+    raw value, cached normalized value) indexed by a dense position, plus a
+    key -> position dict, so the vectorized replay kernel can gather a whole
+    drawn batch with fancy indexing instead of per-sample dict lookups.  The
+    normalized value is cached at :meth:`put` time — Box-Cox runs once per
+    observation, not once per replay step.  Per-user and per-service key
+    indices make entity removal O(degree) instead of O(store).
     """
 
     def __init__(self) -> None:
-        self._data: dict[tuple[int, int], tuple[float, float]] = {}
         self._keys: list[tuple[int, int]] = []
         self._positions: dict[tuple[int, int], int] = {}
+        capacity = 16
+        self._users = np.empty(capacity, dtype=np.intp)
+        self._services = np.empty(capacity, dtype=np.intp)
+        self._timestamps = np.empty(capacity, dtype=float)
+        self._values = np.empty(capacity, dtype=float)
+        self._norms = np.empty(capacity, dtype=float)
+        self._user_index: dict[int, set[int]] = {}
+        self._service_index: dict[int, set[int]] = {}
 
     def __len__(self) -> int:
         return len(self._keys)
 
     def __contains__(self, key: tuple[int, int]) -> bool:
-        return key in self._data
+        return key in self._positions
 
-    def put(self, user_id: int, service_id: int, timestamp: float, value: float) -> None:
+    def _grow(self, needed: int) -> None:
+        capacity = max(self._users.size * 2, needed)
+        size = len(self._keys)
+        for name in ("_users", "_services", "_timestamps", "_values", "_norms"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[:size] = old[:size]
+            setattr(self, name, grown)
+
+    def put(
+        self,
+        user_id: int,
+        service_id: int,
+        timestamp: float,
+        value: float,
+        norm: float = float("nan"),
+    ) -> None:
+        """Insert or refresh the latest sample for ``(user_id, service_id)``.
+
+        ``norm`` caches the normalized value ``r`` so replay never re-runs
+        the Box-Cox transform; callers that never replay may omit it.
+        """
         key = (user_id, service_id)
-        if key not in self._data:
-            self._positions[key] = len(self._keys)
+        position = self._positions.get(key)
+        if position is None:
+            position = len(self._keys)
+            if position >= self._users.size:
+                self._grow(position + 1)
+            self._positions[key] = position
             self._keys.append(key)
-        self._data[key] = (timestamp, value)
+            self._users[position] = user_id
+            self._services[position] = service_id
+            self._user_index.setdefault(user_id, set()).add(service_id)
+            self._service_index.setdefault(service_id, set()).add(user_id)
+        self._timestamps[position] = timestamp
+        self._values[position] = value
+        self._norms[position] = norm
 
     def get(self, user_id: int, service_id: int) -> tuple[float, float]:
-        return self._data[(user_id, service_id)]
+        position = self._positions[(user_id, service_id)]
+        return float(self._timestamps[position]), float(self._values[position])
+
+    def norm(self, user_id: int, service_id: int) -> float:
+        """The cached normalized value for a stored pair (NaN if never set)."""
+        return float(self._norms[self._positions[(user_id, service_id)]])
 
     def discard(self, user_id: int, service_id: int) -> None:
         key = (user_id, service_id)
-        if key not in self._data:
+        position = self._positions.pop(key, None)
+        if position is None:
             return
         # Swap-remove from the key list to keep random_pick O(1).
-        position = self._positions.pop(key)
-        last_key = self._keys[-1]
-        self._keys[position] = last_key
-        self._keys.pop()
-        if last_key != key:
+        last = len(self._keys) - 1
+        if position != last:
+            last_key = self._keys[last]
+            self._keys[position] = last_key
             self._positions[last_key] = position
-        del self._data[key]
+            self._users[position] = self._users[last]
+            self._services[position] = self._services[last]
+            self._timestamps[position] = self._timestamps[last]
+            self._values[position] = self._values[last]
+            self._norms[position] = self._norms[last]
+        self._keys.pop()
+        services = self._user_index[user_id]
+        services.discard(service_id)
+        if not services:
+            del self._user_index[user_id]
+        users = self._service_index[service_id]
+        users.discard(user_id)
+        if not users:
+            del self._service_index[service_id]
+
+    def drop_user(self, user_id: int) -> int:
+        """Discard every sample of ``user_id``; O(degree), not O(store)."""
+        services = self._user_index.get(user_id)
+        if not services:
+            return 0
+        dropped = 0
+        for service_id in list(services):
+            self.discard(user_id, service_id)
+            dropped += 1
+        return dropped
+
+    def drop_service(self, service_id: int) -> int:
+        """Discard every sample of ``service_id``; symmetric to drop_user."""
+        users = self._service_index.get(service_id)
+        if not users:
+            return 0
+        dropped = 0
+        for user_id in list(users):
+            self.discard(user_id, service_id)
+            dropped += 1
+        return dropped
+
+    def purge_expired(self, now: float, expiry_seconds: float) -> int:
+        """Drop every sample older than the expiry window in one sweep.
+
+        Vectorized staleness test over the timestamp column, then a single
+        compaction pass rebuilding positions and entity indices — no
+        per-key ``get`` calls, no key-list copy.
+        """
+        size = len(self._keys)
+        if size == 0:
+            return 0
+        stale = (now - self._timestamps[:size]) >= expiry_seconds
+        n_stale = int(np.count_nonzero(stale))
+        if n_stale == 0:
+            return 0
+        keep = np.flatnonzero(~stale)
+        n_keep = keep.size
+        for name in ("_users", "_services", "_timestamps", "_values", "_norms"):
+            column = getattr(self, name)
+            column[:n_keep] = column[:size][keep]
+        old_keys = self._keys
+        self._keys = [old_keys[i] for i in keep.tolist()]
+        self._positions = {key: i for i, key in enumerate(self._keys)}
+        self._user_index = {}
+        self._service_index = {}
+        for user_id, service_id in self._keys:
+            self._user_index.setdefault(user_id, set()).add(service_id)
+            self._service_index.setdefault(service_id, set()).add(user_id)
+        return n_stale
 
     def random_pick(self, rng: np.random.Generator) -> tuple[int, int, float, float]:
         """Return ``(user_id, service_id, timestamp, value)`` uniformly."""
@@ -118,12 +257,31 @@ class _SampleStore:
             raise LookupError("sample store is empty")
         # Same sampling primitive as replay_many's batched draw, so one
         # replay_step consumes exactly one uniform from the stream.
-        key = self._keys[int(rng.random() * len(self._keys))]
-        timestamp, value = self._data[key]
-        return key[0], key[1], timestamp, value
+        position = int(rng.random() * len(self._keys))
+        key = self._keys[position]
+        return (
+            key[0],
+            key[1],
+            float(self._timestamps[position]),
+            float(self._values[position]),
+        )
 
     def keys(self) -> list[tuple[int, int]]:
         return list(self._keys)
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """No-copy views ``(users, services, timestamps, values, norms)``.
+
+        Valid until the next mutating call; fancy-index to keep a snapshot.
+        """
+        size = len(self._keys)
+        return (
+            self._users[:size],
+            self._services[:size],
+            self._timestamps[:size],
+            self._values[:size],
+            self._norms[:size],
+        )
 
 
 class AdaptiveMatrixFactorization:
@@ -180,7 +338,7 @@ class AdaptiveMatrixFactorization:
         """Scalar fast path of ``self.normalizer.normalize`` (Eqs. 3-4)."""
         value = value if value > self._bc_floor else self._bc_floor
         if abs(self._bc_alpha) < 1e-8:
-            transformed = np.log(value)
+            transformed = math.log(value)
         else:
             transformed = (value**self._bc_alpha - 1.0) / self._bc_alpha
         r = (transformed - self._bc_low) / (self._bc_high - self._bc_low)
@@ -227,22 +385,19 @@ class AdaptiveMatrixFactorization:
         """Handle a user leaving: reset its factors/error and drop its samples.
 
         If the user later rejoins it is treated as new (Algorithm 1 line 5).
+        Sample removal is O(user degree) via the store's per-user index.
         """
         if user_id < self.n_users:
             self._user_factors.reinitialize(user_id)
             self.weights.reset_user(user_id)
-            for u, s in self._store.keys():
-                if u == user_id:
-                    self._store.discard(u, s)
+            self._store.drop_user(user_id)
 
     def forget_service(self, service_id: int) -> None:
         """Handle a service being discontinued; symmetric to ``forget_user``."""
         if service_id < self.n_services:
             self._service_factors.reinitialize(service_id)
             self.weights.reset_service(service_id)
-            for u, s in self._store.keys():
-                if s == service_id:
-                    self._store.discard(u, s)
+            self._store.drop_service(service_id)
 
     # ------------------------------------------------------------------
     # Online updates (Algorithm 1)
@@ -250,14 +405,20 @@ class AdaptiveMatrixFactorization:
     def observe(self, record: QoSRecord) -> float:
         """Ingest a newly observed sample (Algorithm 1 lines 3-9).
 
-        Registers new entities, stores the sample for later replay, applies
-        one online SGD step, and returns the sample's relative error ``e_ij``
+        Registers new entities, stores the sample for later replay (caching
+        its normalized value so replay never re-runs Box-Cox), applies one
+        online SGD step, and returns the sample's relative error ``e_ij``
         *before* the step (a cheap, continuously available accuracy signal).
         """
         self.ensure_user(record.user_id)
         self.ensure_service(record.service_id)
-        self._store.put(record.user_id, record.service_id, record.timestamp, record.value)
-        return self._online_update(record.user_id, record.service_id, record.value)
+        r = self._normalize_scalar(record.value)
+        if r < self.config.normalized_floor:
+            r = self.config.normalized_floor
+        self._store.put(
+            record.user_id, record.service_id, record.timestamp, record.value, r
+        )
+        return self._online_update(record.user_id, record.service_id, r)
 
     def observe_many(self, records: Iterable[QoSRecord]) -> list[float]:
         """Ingest a batch of samples in order; returns per-sample errors."""
@@ -271,11 +432,13 @@ class AdaptiveMatrixFactorization:
         online update is applied and the sample's pre-update relative error is
         returned.  Raises ``LookupError`` when no samples are retained.
         """
-        user_id, service_id, timestamp, value = self._store.random_pick(self._rng)
+        user_id, service_id, timestamp, __ = self._store.random_pick(self._rng)
         if now - timestamp >= self.config.expiry_seconds:
             self._store.discard(user_id, service_id)
             return None
-        return self._online_update(user_id, service_id, value)
+        return self._online_update(
+            user_id, service_id, self._store.norm(user_id, service_id)
+        )
 
     def purge_expired(self, now: float) -> int:
         """Drop every stored sample older than the expiry window.
@@ -286,63 +449,212 @@ class AdaptiveMatrixFactorization:
         of wasting half their draws discovering stale ones.  Returns the
         number of samples dropped.
         """
-        expiry = self.config.expiry_seconds
-        stale = [
-            key
-            for key in self._store.keys()
-            if now - self._store.get(key[0], key[1])[0] >= expiry
-        ]
-        for user_id, service_id in stale:
-            self._store.discard(user_id, service_id)
-        return len(stale)
+        return self._store.purge_expired(now, self.config.expiry_seconds)
 
-    def replay_many(self, now: float, count: int) -> tuple[int, int, float]:
-        """Run up to ``count`` replay iterations in a tight loop.
+    def replay_many(
+        self, now: float, count: int, kernel: str | None = None
+    ) -> tuple[int, int, float]:
+        """Run up to ``count`` replay iterations.
 
         Equivalent to calling :meth:`replay_step` ``count`` times, but draws
         all random indices in one batch.  Returns ``(applied, expired,
         mean_error)`` where ``mean_error`` is the average pre-update relative
         error of the applied steps (NaN when none applied).  Stops early if
         the store empties.
+
+        ``kernel`` overrides ``config.kernel`` for this call: ``"scalar"``
+        executes the sequential reference loop, ``"vectorized"`` the
+        conflict-free block kernel.  Both consume the same uniform draws, so
+        when no sample expires mid-batch they replay the same sample
+        sequence; the vectorized kernel resolves expiry against the
+        pre-batch store rather than interleaved with the updates.
         """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
+        kernel = self.config.kernel if kernel is None else kernel
+        if kernel == "vectorized":
+            return self._replay_many_vectorized(now, count)
+        if kernel != "scalar":
+            raise ValueError(f"kernel must be 'scalar' or 'vectorized', got {kernel!r}")
+        return self._replay_many_scalar(now, count)
+
+    def _replay_many_scalar(self, now: float, count: int) -> tuple[int, int, float]:
+        """Sequential reference kernel: one Python-level step per draw."""
         store = self._store
         expiry = self.config.expiry_seconds
         uniforms = self._rng.random(count)
         applied = 0
         expired = 0
         error_sum = 0.0
+        # Local aliases stay valid across discard(): the store only ever
+        # swap-removes inside these same objects during replay (no put, so
+        # no reallocation).
+        keys = store._keys
+        positions = store._positions
+        timestamps = store._timestamps
+        norms = store._norms
         for k in range(count):
-            size = len(store._keys)
+            size = len(keys)
             if size == 0:
                 break
-            key = store._keys[int(uniforms[k] * size)]
-            timestamp, value = store._data[key]
-            if now - timestamp >= expiry:
+            key = keys[int(uniforms[k] * size)]
+            position = positions[key]
+            if now - timestamps[position] >= expiry:
                 store.discard(key[0], key[1])
                 expired += 1
                 continue
-            error_sum += self._online_update(key[0], key[1], value)
+            error_sum += self._online_update(key[0], key[1], float(norms[position]))
             applied += 1
         mean_error = error_sum / applied if applied else float("nan")
         return applied, expired, mean_error
 
-    def _online_update(self, user_id: int, service_id: int, raw_value: float) -> float:
-        """The ``OnlineUpdate`` function of Algorithm 1 (Eqs. 12-17)."""
-        config = self.config
-        r = self._normalize_scalar(raw_value)
-        if r < config.normalized_floor:
-            r = config.normalized_floor
+    def _replay_many_vectorized(self, now: float, count: int) -> tuple[int, int, float]:
+        """Conflict-free block kernel: the whole batch in fused NumPy passes."""
+        store = self._store
+        uniforms = self._rng.random(count)  # same RNG consumption as scalar
+        size = len(store._keys)
+        if size == 0 or count == 0:
+            return 0, 0, float("nan")
+        indices = (uniforms * size).astype(np.intp)
+        # Gather the drawn batch before any discard moves rows around.
+        users = store._users[indices]
+        services = store._services[indices]
+        norms = store._norms[indices]
+        fresh = (now - store._timestamps[indices]) < self.config.expiry_seconds
+        expired = 0
+        if not fresh.all():
+            stale_positions = np.unique(indices[~fresh])
+            stale_keys = [store._keys[i] for i in stale_positions.tolist()]
+            for user_id, service_id in stale_keys:
+                store.discard(user_id, service_id)
+            expired = len(stale_keys)
+            users = users[fresh]
+            services = services[fresh]
+            norms = norms[fresh]
+        applied = int(users.size)
+        if applied == 0:
+            return 0, expired, float("nan")
 
+        # Schedule: permute the batch so each conflict-free block is one
+        # contiguous slice (blocks stay in order, per-entity draw order is
+        # preserved inside the permutation).
+        blocks = partition_conflict_free(users, services)
+        order = np.argsort(blocks, kind="stable")
+        users = users[order]
+        services = services[order]
+        r = norms[order]
+        inv_r = 1.0 / r
+        inv_r_sq = inv_r * inv_r
+        boundaries = np.cumsum(np.bincount(blocks)).tolist()
+
+        # Hoist every per-step constant out of the block loop.
+        config = self.config
+        learning_rate = config.learning_rate
+        lambda_u = config.lambda_u
+        lambda_s = config.lambda_s
+        grad_clip = config.grad_clip
+        relative_loss = self._relative_loss
+        beta = self.weights.beta
+        user_rows = self._user_factors._rows
+        service_rows = self._service_factors._rows
+        # Replayed entities were registered at observe time; ensure() is a
+        # cheap idempotent guard for store states rebuilt by hand.
+        self.weights._user_errors.ensure(int(users.max()))
+        self.weights._service_errors.ensure(int(services.max()))
+        user_errors = self.weights._user_errors._values
+        service_errors = self.weights._service_errors._values
+
+        error_sum = 0.0
+        vectorized_steps = 0
+        start = 0
+        for stop in boundaries:
+            width = stop - start
+            if width < 6:
+                # Tail blocks of a few samples: fixed NumPy dispatch overhead
+                # exceeds the scalar step cost, so fall back per sample
+                # (_online_update counts its own steps).
+                for k in range(start, stop):
+                    error_sum += self._online_update(
+                        int(users[k]), int(services[k]), float(r[k])
+                    )
+                start = stop
+                continue
+            block = slice(start, stop)
+            start = stop
+            block_users = users[block]
+            block_services = services[block]
+            block_r = r[block]
+            u_block = user_rows[block_users]
+            s_block = service_rows[block_services]
+            x = np.einsum("ij,ij->i", u_block, s_block)
+            # Stable sigmoid, same branch math as the scalar kernel.
+            exp_neg = np.exp(-np.abs(x))
+            g = np.where(x >= 0.0, 1.0, exp_neg) / (1.0 + exp_neg)
+            g_prime = g * (1.0 - g)
+
+            difference = g - block_r
+            sample_errors = np.abs(difference) * inv_r[block]  # Eq. 15
+            error_sum += float(sample_errors.sum())
+
+            # Adaptive weights (Eqs. 12-14), inlined from
+            # AdaptiveWeights.observe_many: conflict-freedom makes the
+            # scatter write-back safe.
+            e_u = user_errors[block_users]
+            e_s = service_errors[block_services]
+            total = e_u + e_s
+            if total.min() > 0.0:
+                w_u = e_u / total
+                w_s = e_s / total
+            else:
+                safe = np.where(total > 0.0, total, 1.0)
+                w_u = np.where(total > 0.0, e_u / safe, 0.5)
+                w_s = np.where(total > 0.0, e_s / safe, 0.5)
+            ema_u = beta * w_u
+            ema_s = beta * w_s
+            user_errors[block_users] = ema_u * sample_errors + (1.0 - ema_u) * e_u
+            service_errors[block_services] = (
+                ema_s * sample_errors + (1.0 - ema_s) * e_s
+            )
+
+            if relative_loss:
+                residual = difference * g_prime * inv_r_sq[block]  # Eq. 6 gradient
+            else:
+                residual = difference * g_prime  # Eq. 5 gradient (ablation)
+            # min/max ufunc pair: same clamp as np.clip without its
+            # fromnumeric wrapper overhead (measurable at this block size).
+            np.minimum(residual, grad_clip, out=residual)
+            np.maximum(residual, -grad_clip, out=residual)
+            step_u = learning_rate * w_u
+            step_s = learning_rate * w_s
+            # Simultaneous update (Algorithm 1 line 24): both gradients use
+            # the pre-step vectors, same rewrite as the scalar kernel's
+            # fused scale-and-subtract.
+            new_u = (1.0 - step_u * lambda_u)[:, None] * u_block
+            new_u -= (step_u * residual)[:, None] * s_block
+            new_s = (1.0 - step_s * lambda_s)[:, None] * s_block
+            new_s -= (step_s * residual)[:, None] * u_block
+            user_rows[block_users] = new_u
+            service_rows[block_services] = new_s
+            vectorized_steps += width
+
+        self._updates_applied += vectorized_steps
+        return applied, expired, error_sum / applied
+
+    def _online_update(self, user_id: int, service_id: int, r: float) -> float:
+        """The ``OnlineUpdate`` function of Algorithm 1 (Eqs. 12-17).
+
+        ``r`` is the sample's normalized value, already floored at
+        ``config.normalized_floor`` (cached in the store at observe time).
+        """
+        config = self.config
         u_vector = self._user_factors.row(user_id)
         s_vector = self._service_factors.row(service_id)
         x = float(u_vector.dot(s_vector))
         # Inline stable sigmoid (scalar hot path).
         if x >= 0:
-            g = 1.0 / (1.0 + np.exp(-x))
+            g = 1.0 / (1.0 + math.exp(-x))
         else:
-            exp_x = np.exp(x)
+            exp_x = math.exp(x)
             g = exp_x / (1.0 + exp_x)
         g_prime = g * (1.0 - g)
 
@@ -395,25 +707,20 @@ class AdaptiveMatrixFactorization:
         """Dense prediction matrix over all known users and services."""
         if self.n_users == 0 or self.n_services == 0:
             return np.zeros((self.n_users, self.n_services))
-        inner = self._user_factors.matrix() @ self._service_factors.matrix().T
+        inner = self._user_factors.view() @ self._service_factors.view().T
         return np.asarray(self.normalizer.denormalize(sigmoid(inner)), dtype=float)
 
     def training_error(self) -> float:
-        """Mean relative error over all retained samples (convergence signal)."""
-        keys = self._store.keys()
-        if not keys:
+        """Mean relative error over all retained samples (convergence signal).
+
+        Reads the store's cached normalized column and factor-row views
+        directly — no Box-Cox recompute, no matrix copies.
+        """
+        users, services, __, __, r = self._store.columns()
+        if users.size == 0:
             return float("nan")
-        users = np.fromiter((key[0] for key in keys), dtype=np.intp, count=len(keys))
-        services = np.fromiter((key[1] for key in keys), dtype=np.intp, count=len(keys))
-        values = np.fromiter(
-            (self._store.get(key[0], key[1])[1] for key in keys),
-            dtype=float,
-            count=len(keys),
-        )
-        r = np.asarray(self.normalizer.normalize(values), dtype=float)
-        r = np.maximum(r, self.config.normalized_floor)
-        u_rows = self._user_factors.matrix()[users]
-        s_rows = self._service_factors.matrix()[services]
+        u_rows = self._user_factors.view()[users]
+        s_rows = self._service_factors.view()[services]
         g = np.asarray(sigmoid(np.einsum("ij,ij->i", u_rows, s_rows)))
         return float(np.mean(np.abs(r - g) / r))
 

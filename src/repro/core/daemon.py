@@ -49,9 +49,11 @@ class ConcurrentModel:
         with self._lock:
             return self._latest_timestamp
 
-    def replay_many(self, now: float, count: int) -> tuple[int, int, float]:
+    def replay_many(
+        self, now: float, count: int, kernel: str | None = None
+    ) -> tuple[int, int, float]:
         with self._lock:
-            return self._model.replay_many(now, count)
+            return self._model.replay_many(now, count, kernel=kernel)
 
     def purge_expired(self, now: float) -> int:
         with self._lock:
@@ -99,9 +101,12 @@ class BackgroundTrainer:
                       simulation clock) only when observations are stamped
                       from the same source.
         batch_size:   replay steps per lock acquisition — large enough to
-                      amortize locking, small enough to keep arrival
+                      amortize locking (and to give the vectorized kernel
+                      full blocks to fuse), small enough to keep arrival
                       latency low.
         idle_sleep:   seconds to sleep when the store is empty.
+        kernel:       replay kernel override ("scalar" or "vectorized");
+                      ``None`` (default) uses the model's ``config.kernel``.
     """
 
     def __init__(
@@ -110,14 +115,20 @@ class BackgroundTrainer:
         clock=None,
         batch_size: int = 256,
         idle_sleep: float = 0.01,
+        kernel: str | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         check_positive("idle_sleep", idle_sleep)
+        if kernel is not None and kernel not in ("scalar", "vectorized"):
+            raise ValueError(
+                f"kernel must be 'scalar' or 'vectorized', got {kernel!r}"
+            )
         self.model = model
         self.clock = clock if clock is not None else (lambda: model.latest_timestamp)
         self.batch_size = batch_size
         self.idle_sleep = idle_sleep
+        self.kernel = kernel
         self._thread: "threading.Thread | None" = None
         self._stop = threading.Event()
         self._replays_applied = 0
@@ -161,7 +172,7 @@ class BackgroundTrainer:
                 self._stop.wait(self.idle_sleep)
                 continue
             applied, expired, __ = self.model.replay_many(
-                float(self.clock()), self.batch_size
+                float(self.clock()), self.batch_size, kernel=self.kernel
             )
             self._replays_applied += applied
             self._expired += expired

@@ -64,6 +64,9 @@ class StreamTrainer:
                       the plateau detector occasionally mistakes the saddle
                       for convergence and returns an underfit model.
         max_epochs:   hard cap on replay epochs per :meth:`process` call.
+        kernel:       replay kernel override ("scalar" or "vectorized")
+                      passed to every :meth:`replay_many` call; ``None``
+                      (default) uses the model's ``config.kernel``.
     """
 
     def __init__(
@@ -73,6 +76,7 @@ class StreamTrainer:
         patience: int = 2,
         min_epochs: int = 5,
         max_epochs: int = 100,
+        kernel: str | None = None,
     ) -> None:
         check_positive("tolerance", tolerance)
         if patience < 1:
@@ -83,11 +87,16 @@ class StreamTrainer:
             raise ValueError(
                 f"max_epochs ({max_epochs}) must be >= min_epochs ({min_epochs})"
             )
+        if kernel is not None and kernel not in ("scalar", "vectorized"):
+            raise ValueError(
+                f"kernel must be 'scalar' or 'vectorized', got {kernel!r}"
+            )
         self.model = model
         self.tolerance = tolerance
         self.patience = patience
         self.min_epochs = min_epochs
         self.max_epochs = max_epochs
+        self.kernel = kernel
 
     def consume(self, records: Iterable[QoSRecord]) -> TrainReport:
         """Feed newly observed samples without any replay."""
@@ -117,7 +126,9 @@ class StreamTrainer:
             store_size = self.model.n_stored_samples
             if store_size == 0:
                 break
-            applied, expired, epoch_error = self.model.replay_many(now, store_size)
+            applied, expired, epoch_error = self.model.replay_many(
+                now, store_size, kernel=self.kernel
+            )
             report.epochs += 1
             report.replays += applied
             report.expired += expired
@@ -167,7 +178,9 @@ class StreamTrainer:
             store_size = self.model.n_stored_samples
             if store_size == 0:
                 break
-            applied, expired, epoch_error = self.model.replay_many(now, store_size)
+            applied, expired, epoch_error = self.model.replay_many(
+                now, store_size, kernel=self.kernel
+            )
             report.epochs += 1
             report.replays += applied
             report.expired += expired

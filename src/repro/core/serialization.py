@@ -23,14 +23,18 @@ FORMAT_VERSION = 1
 
 
 def save_model(model: AdaptiveMatrixFactorization, path: str) -> None:
-    """Persist a model's full state to ``path`` (a ``.npz`` archive)."""
-    keys = model._store.keys()
-    store_users = np.array([key[0] for key in keys], dtype=np.int64)
-    store_services = np.array([key[1] for key in keys], dtype=np.int64)
-    store_timestamps = np.array(
-        [model._store.get(*key)[0] for key in keys], dtype=float
-    )
-    store_values = np.array([model._store.get(*key)[1] for key in keys], dtype=float)
+    """Persist a model's full state to ``path`` (a ``.npz`` archive).
+
+    The store's cached normalized values are *not* persisted: they are a
+    pure function of the raw values and the config, so :func:`load_model`
+    recomputes them in one vectorized pass, keeping the archive format
+    stable.
+    """
+    users, services, timestamps, values, __ = model._store.columns()
+    store_users = np.asarray(users, dtype=np.int64)
+    store_services = np.asarray(services, dtype=np.int64)
+    store_timestamps = np.array(timestamps, dtype=float)
+    store_values = np.array(values, dtype=float)
 
     config_json = json.dumps(
         {field: getattr(model.config, field) for field in model.config.__dataclass_fields__}
@@ -89,12 +93,25 @@ def load_model(
             model.weights.register_service(service_id)
             model.weights._service_errors.set(service_id, float(error))
 
-        for user_id, service_id, timestamp, value in zip(
+        store_values = archive["store_values"]
+        if store_values.size:
+            # Rebuild the replay kernel's normalized-value cache in one
+            # vectorized pass (matches what observe() caches per sample).
+            norms = np.maximum(
+                np.asarray(model.normalizer.normalize(store_values), dtype=float),
+                config.normalized_floor,
+            )
+        else:
+            norms = store_values
+        for user_id, service_id, timestamp, value, norm in zip(
             archive["store_users"],
             archive["store_services"],
             archive["store_timestamps"],
-            archive["store_values"],
+            store_values,
+            norms,
         ):
-            model._store.put(int(user_id), int(service_id), float(timestamp), float(value))
+            model._store.put(
+                int(user_id), int(service_id), float(timestamp), float(value), float(norm)
+            )
         model._updates_applied = int(archive["updates_applied"])
     return model

@@ -147,6 +147,51 @@ class AdaptiveWeights:
         services._values[service_id] = beta * w_s * sample_error + (1.0 - beta * w_s) * e_s
         return w_u, w_s
 
+    def observe_many(
+        self,
+        user_ids: np.ndarray,
+        service_ids: np.ndarray,
+        sample_errors: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`observe` over a conflict-free batch.
+
+        Folds each sample's error into both trackers in one fused pass
+        (gather, Eq. 12 weights, Eqs. 13-14 EMA, scatter).  Requires each
+        user id and each service id to appear at most once in the batch —
+        the scatter write-back would silently drop updates otherwise — which
+        is exactly what the replay kernel's conflict-free blocks guarantee.
+        Returns the ``(w_u, w_s)`` weight arrays in force for the batch.
+        """
+        user_ids = np.asarray(user_ids, dtype=np.intp)
+        service_ids = np.asarray(service_ids, dtype=np.intp)
+        sample_errors = np.asarray(sample_errors, dtype=float)
+        if not (user_ids.size == service_ids.size == sample_errors.size):
+            raise ValueError(
+                f"mismatched batch sizes: {user_ids.size} users, "
+                f"{service_ids.size} services, {sample_errors.size} errors"
+            )
+        if user_ids.size == 0:
+            return np.empty(0), np.empty(0)
+        if np.any(sample_errors < 0):
+            raise ValueError("sample errors must be non-negative")
+        self._user_errors.ensure(int(user_ids.max()))
+        self._service_errors.ensure(int(service_ids.max()))
+        user_values = self._user_errors._values
+        service_values = self._service_errors._values
+        e_u = user_values[user_ids]
+        e_s = service_values[service_ids]
+        total = e_u + e_s
+        positive = total > 0
+        denominator = np.where(positive, total, 1.0)
+        w_u = np.where(positive, e_u / denominator, 0.5)
+        w_s = np.where(positive, e_s / denominator, 0.5)
+        beta = self.beta
+        user_values[user_ids] = beta * w_u * sample_errors + (1.0 - beta * w_u) * e_u
+        service_values[service_ids] = (
+            beta * w_s * sample_errors + (1.0 - beta * w_s) * e_s
+        )
+        return w_u, w_s
+
     def reset_user(self, user_id: int) -> None:
         """Restore a user's error to the initial value (entity rejoin)."""
         self._user_errors.reset(user_id)

@@ -191,11 +191,14 @@ def evaluate_amf(
     slice_start: float = 0.0,
     slice_seconds: float = 900.0,
     return_model: bool = False,
+    kernel: "str | None" = None,
 ):
     """Train AMF on a randomized stream of ``train``, score on ``test``.
 
     Follows the paper's protocol: retained entries are randomized into a
     stream, consumed online, then replayed to convergence within the slice.
+    ``kernel`` overrides the replay kernel ("scalar"/"vectorized") for the
+    kernel-parity ablations; ``None`` uses ``config.kernel``.
     """
     rng = spawn_rng(rng)
     model = AdaptiveMatrixFactorization(config, rng=rng)
@@ -203,7 +206,7 @@ def evaluate_amf(
     # (random-factor) predictions instead of KeyErrors.
     model.ensure_user(train.n_users - 1)
     model.ensure_service(train.n_services - 1)
-    trainer = StreamTrainer(model)
+    trainer = StreamTrainer(model, kernel=kernel)
     stream = stream_from_matrix(
         train,
         slice_start=slice_start,
