@@ -8,11 +8,15 @@ updating (the model absorbs each sample incrementally), and QoS prediction
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.core.amf import AdaptiveMatrixFactorization
 from repro.core.config import AMFConfig
+from repro.core.fallback import FallbackPredictor, PredictionResult
 from repro.core.online import StreamTrainer
+from repro.core.transform import sigmoid
 from repro.datasets.schema import QoSRecord
 
 
@@ -40,6 +44,9 @@ class QoSPredictionService:
         self.trainer = StreamTrainer(self.model)
         self.replay_budget = replay_budget
         self._observations_handled = 0
+        self.fallback = FallbackPredictor(
+            prior=float(self.model.normalizer.denormalize(sigmoid(0.0)))
+        )
 
     # -- input handling + online updating ---------------------------------
     def report_observation(
@@ -50,6 +57,7 @@ class QoSPredictionService:
             timestamp=timestamp, user_id=user_id, service_id=service_id, value=value
         )
         self.model.observe(record)
+        self.fallback.observe(user_id, service_id, value)
         self._observations_handled += 1
         for __ in range(self.replay_budget):
             if self.model.n_stored_samples == 0:
@@ -66,6 +74,34 @@ class QoSPredictionService:
         self.model.ensure_user(user_id)
         self.model.ensure_service(service_id)
         return self.model.predict(user_id, service_id)
+
+    def predict_detailed(self, user_id: int, service_id: int) -> PredictionResult:
+        """Prediction tagged with its source and calibration confidence.
+
+        Unlike :meth:`predict`, unknown entities do not grow the model:
+        they degrade through the fallback chain (running means -> prior),
+        as does any non-finite model answer.  Model answers carry the
+        ``(e_u + e_s) / 2`` expected relative error of
+        :mod:`repro.metrics.calibration`.
+        """
+        known = user_id < self.model.n_users and service_id < self.model.n_services
+        if known:
+            value = self.model.predict(user_id, service_id)
+            if math.isfinite(value):
+                from repro.metrics.calibration import expected_relative_error
+
+                expected = float(
+                    expected_relative_error(self.model, [user_id], [service_id])[0]
+                )
+                return PredictionResult(value, "model", expected)
+        return self.fallback.predict(user_id, service_id)
+
+    def healthy(self) -> bool:
+        """Readiness probe: every initialized factor entry is finite."""
+        return bool(
+            np.all(np.isfinite(self.model.user_factors()))
+            and np.all(np.isfinite(self.model.service_factors()))
+        )
 
     def predict_candidates(
         self, user_id: int, service_ids: "list[int]"

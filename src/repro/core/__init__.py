@@ -17,7 +17,8 @@ from repro.core.kernel import iter_conflict_free_blocks, partition_conflict_free
 from repro.core.amf import AdaptiveMatrixFactorization
 from repro.core.online import StreamTrainer, TrainReport
 from repro.core.serialization import load_model, save_model
-from repro.core.daemon import BackgroundTrainer, ConcurrentModel
+from repro.core.daemon import BackgroundTrainer, ConcurrentModel, TrainerSupervisor
+from repro.core.fallback import FallbackPredictor, PredictionResult
 
 __all__ = [
     "AMFConfig",
@@ -35,4 +36,7 @@ __all__ = [
     "load_model",
     "ConcurrentModel",
     "BackgroundTrainer",
+    "TrainerSupervisor",
+    "FallbackPredictor",
+    "PredictionResult",
 ]

@@ -17,6 +17,7 @@ keeping the invariants trivially correct.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
@@ -64,6 +65,63 @@ class ConcurrentModel:
             self._model.ensure_user(user_id)
             self._model.ensure_service(service_id)
             return self._model.predict(user_id, service_id)
+
+    def predict_known(self, user_id: int, service_id: int) -> "float | None":
+        """Predict without registering entities; ``None`` when either id is
+        unknown.  The degraded-mode serving path uses this so hostile or
+        cold queries cannot grow the factor matrices."""
+        with self._lock:
+            if user_id >= self._model.n_users or service_id >= self._model.n_services:
+                return None
+            return self._model.predict(user_id, service_id)
+
+    def expected_error(self, user_id: int, service_id: int) -> float:
+        """Anticipated relative error of predicting ``(user_id, service_id)``
+        from the EMA error trackers (the calibration confidence signal)."""
+        with self._lock:
+            weights = self._model.weights
+            return (
+                weights.user_error(user_id) + weights.service_error(service_id)
+            ) / 2.0
+
+    def is_finite(self) -> bool:
+        """Health probe: every initialized factor entry is finite."""
+        with self._lock:
+            return bool(
+                np.all(np.isfinite(self._model._user_factors.view()))
+                and np.all(np.isfinite(self._model._service_factors.view()))
+            )
+
+    @property
+    def n_users(self) -> int:
+        with self._lock:
+            return self._model.n_users
+
+    @property
+    def n_services(self) -> int:
+        with self._lock:
+            return self._model.n_services
+
+    def user_factors(self) -> np.ndarray:
+        with self._lock:
+            return self._model.user_factors()
+
+    def service_factors(self) -> np.ndarray:
+        with self._lock:
+            return self._model.service_factors()
+
+    def with_model(self, fn):
+        """Run ``fn(raw_model)`` under the lock; for compound transactions
+        (e.g. writing a checkpoint) that need a consistent model state."""
+        with self._lock:
+            return fn(self._model)
+
+    def note_timestamp(self, timestamp: float) -> None:
+        """Advance the stream clock without an observation (e.g. after
+        recovery replays a WAL tail whose records carry old timestamps)."""
+        with self._lock:
+            if timestamp > self._latest_timestamp:
+                self._latest_timestamp = timestamp
 
     def predict_matrix(self) -> np.ndarray:
         with self._lock:
@@ -133,6 +191,8 @@ class BackgroundTrainer:
         self._stop = threading.Event()
         self._replays_applied = 0
         self._expired = 0
+        self._crash_count = 0
+        self._failure: "BaseException | None" = None
 
     # -- lifecycle ----------------------------------------------------------
     @property
@@ -150,13 +210,25 @@ class BackgroundTrainer:
         self._thread.start()
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Signal the thread to exit and join it."""
+        """Signal the thread to exit and join it.
+
+        Safe to call repeatedly and from any state.  If the join times out,
+        the thread reference is *abandoned* (the daemon thread will still
+        exit as soon as it observes the stop event) and ``TimeoutError`` is
+        raised — but the trainer is left in a consistent stopped state:
+        ``running`` is False and a further ``stop()`` is a no-op.
+        """
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
-            if self._thread.is_alive():
-                raise TimeoutError("background trainer did not stop in time")
-            self._thread = None
+        thread = self._thread
+        if thread is None:
+            return
+        thread.join(timeout=timeout)
+        self._thread = None
+        if thread.is_alive():
+            raise TimeoutError(
+                "background trainer did not stop in time; thread abandoned "
+                "(it exits once it observes the stop signal)"
+            )
 
     def __enter__(self) -> "BackgroundTrainer":
         self.start()
@@ -167,17 +239,21 @@ class BackgroundTrainer:
 
     # -- worker --------------------------------------------------------------
     def _run(self) -> None:
-        while not self._stop.is_set():
-            if self.model.n_stored_samples == 0:
-                self._stop.wait(self.idle_sleep)
-                continue
-            applied, expired, __ = self.model.replay_many(
-                float(self.clock()), self.batch_size, kernel=self.kernel
-            )
-            self._replays_applied += applied
-            self._expired += expired
-            if applied == 0:
-                self._stop.wait(self.idle_sleep)
+        try:
+            while not self._stop.is_set():
+                if self.model.n_stored_samples == 0:
+                    self._stop.wait(self.idle_sleep)
+                    continue
+                applied, expired, __ = self.model.replay_many(
+                    float(self.clock()), self.batch_size, kernel=self.kernel
+                )
+                self._replays_applied += applied
+                self._expired += expired
+                if applied == 0:
+                    self._stop.wait(self.idle_sleep)
+        except BaseException as exc:  # noqa: BLE001 — recorded for the supervisor
+            self._failure = exc
+            self._crash_count += 1
 
     @property
     def replays_applied(self) -> int:
@@ -188,3 +264,135 @@ class BackgroundTrainer:
     def expired(self) -> int:
         """Total samples the background thread expired."""
         return self._expired
+
+    @property
+    def crash_count(self) -> int:
+        """How many times the replay loop died on an uncaught exception."""
+        return self._crash_count
+
+    @property
+    def failure(self) -> "BaseException | None":
+        """The most recent uncaught exception from the replay loop, if any."""
+        return self._failure
+
+
+class TrainerSupervisor:
+    """Keeps a :class:`BackgroundTrainer` alive across crashes.
+
+    Without supervision, an uncaught exception in the replay loop silently
+    stops background training — the served model just quietly stales.  The
+    supervisor watches the trainer thread; when it dies with a recorded
+    failure, the supervisor waits a capped exponential backoff and restarts
+    it, surfacing crash/restart counts for ``/status`` and ``/health``.
+
+    Args:
+        trainer:        the trainer to supervise (not yet started).
+        check_interval: seconds between liveness checks.
+        backoff_base:   first restart delay; doubles per consecutive crash.
+        backoff_max:    delay cap.
+        backoff_reset:  a trainer that stays alive this long after a restart
+                        resets the backoff to ``backoff_base``.
+    """
+
+    def __init__(
+        self,
+        trainer: BackgroundTrainer,
+        check_interval: float = 0.05,
+        backoff_base: float = 0.1,
+        backoff_max: float = 5.0,
+        backoff_reset: float = 10.0,
+    ) -> None:
+        check_positive("check_interval", check_interval)
+        check_positive("backoff_base", backoff_base)
+        check_positive("backoff_max", backoff_max)
+        check_positive("backoff_reset", backoff_reset)
+        self.trainer = trainer
+        self.check_interval = check_interval
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.backoff_reset = backoff_reset
+        self._thread: "threading.Thread | None" = None
+        self._stop = threading.Event()
+        self._restarts = 0
+        # Crash-count baseline taken *before* the trainer ever runs: if the
+        # monitor thread snapshotted it after start(), a crash in the gap
+        # would look already-handled and the trainer would never restart.
+        self._seen_crashes = trainer.crash_count
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the trainer and the monitor thread (idempotent)."""
+        self.trainer.start()
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._monitor, name="amf-trainer-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the monitor first (so it cannot resurrect), then the trainer."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+            self._thread = None
+        self.trainer.stop(timeout=timeout)
+
+    def __enter__(self) -> "TrainerSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- monitor -------------------------------------------------------------
+    def _monitor(self) -> None:
+        backoff = self.backoff_base
+        last_restart = float("-inf")
+        while not self._stop.wait(self.check_interval):
+            if self.trainer.crash_count == self._seen_crashes or self.trainer.running:
+                continue
+            now = time.monotonic()
+            if now - last_restart > self.backoff_reset:
+                backoff = self.backoff_base
+            if self._stop.wait(backoff):
+                return
+            self._seen_crashes = self.trainer.crash_count
+            self.trainer.start()
+            self._restarts += 1
+            last_restart = time.monotonic()
+            backoff = min(backoff * 2.0, self.backoff_max)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def restarts(self) -> int:
+        """How many times the supervisor restarted the trainer."""
+        return self._restarts
+
+    @property
+    def crashes(self) -> int:
+        return self.trainer.crash_count
+
+    @property
+    def last_failure(self) -> "str | None":
+        """Human-readable description of the most recent trainer crash."""
+        failure = self.trainer.failure
+        if failure is None:
+            return None
+        return f"{type(failure).__name__}: {failure}"
+
+    def health(self) -> dict:
+        """Snapshot for ``/status`` and ``/health`` payloads."""
+        return {
+            "running": self.trainer.running,
+            "supervised": self.running,
+            "crashes": self.crashes,
+            "restarts": self._restarts,
+            "last_failure": self.last_failure,
+        }

@@ -3,15 +3,21 @@
 A deployed QoS prediction service (Fig. 3) must survive restarts without
 retraining from the full history.  ``save_model``/``load_model`` persist the
 complete mutable state — latent factors, per-entity error trackers, the
-retained-sample store, and the configuration — into a single ``.npz``
-archive.  The RNG state is not persisted: a restored model continues with a
-fresh stream seeded by the caller, which only affects future random
-initializations and replay order, never existing parameters.
+retained-sample store, the configuration, and (since format v2) the RNG
+state — into a single ``.npz`` archive.  With the RNG state restored, a
+reloaded model is *bit-exact*: replaying the same observation sequence
+against it produces the same factors as an uninterrupted run, which is what
+the write-ahead-log recovery path (:mod:`repro.server.wal`) relies on.
+
+``atomic=True`` writes through a temporary file and ``os.replace``, so a
+crash mid-save can never leave a torn archive where a valid checkpoint used
+to be.
 """
 
 from __future__ import annotations
 
 import json
+import os
 
 import numpy as np
 
@@ -19,16 +25,28 @@ from repro.core.amf import AdaptiveMatrixFactorization
 from repro.core.config import AMFConfig
 
 #: Bump when the archive layout changes; load_model refuses newer versions.
-FORMAT_VERSION = 1
+#: v2 adds ``rng_state_json`` and ``extra_json`` (both optional on load, so
+#: v1 archives remain readable).
+FORMAT_VERSION = 2
 
 
-def save_model(model: AdaptiveMatrixFactorization, path: str) -> None:
+def save_model(
+    model: AdaptiveMatrixFactorization,
+    path: str,
+    extra: "dict | None" = None,
+    atomic: bool = False,
+) -> None:
     """Persist a model's full state to ``path`` (a ``.npz`` archive).
 
     The store's cached normalized values are *not* persisted: they are a
     pure function of the raw values and the config, so :func:`load_model`
     recomputes them in one vectorized pass, keeping the archive format
     stable.
+
+    ``extra`` is an arbitrary JSON-serializable dict stored alongside the
+    model (e.g. the WAL sequence number a checkpoint covers).  ``atomic``
+    writes to ``path + ".tmp"`` first, fsyncs, and renames into place, so
+    readers never observe a half-written archive.
     """
     users, services, timestamps, values, __ = model._store.columns()
     store_users = np.asarray(users, dtype=np.int64)
@@ -39,10 +57,11 @@ def save_model(model: AdaptiveMatrixFactorization, path: str) -> None:
     config_json = json.dumps(
         {field: getattr(model.config, field) for field in model.config.__dataclass_fields__}
     )
-    np.savez_compressed(
-        path,
+    payload = dict(
         format_version=np.int64(FORMAT_VERSION),
         config_json=np.array(config_json),
+        rng_state_json=np.array(json.dumps(model._rng.bit_generator.state)),
+        extra_json=np.array(json.dumps(extra if extra is not None else {})),
         user_factors=model.user_factors(),
         service_factors=model.service_factors(),
         user_errors=model.weights.user_error_snapshot(),
@@ -53,17 +72,42 @@ def save_model(model: AdaptiveMatrixFactorization, path: str) -> None:
         store_values=store_values,
         updates_applied=np.int64(model.updates_applied),
     )
+    if not atomic:
+        np.savez_compressed(path, **payload)
+        return
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    # Make the rename itself durable where the platform allows it.
+    try:
+        dir_fd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def load_model(
     path: str,
     rng: "int | np.random.Generator | None" = None,
-) -> AdaptiveMatrixFactorization:
+    return_extra: bool = False,
+) -> "AdaptiveMatrixFactorization | tuple[AdaptiveMatrixFactorization, dict]":
     """Restore a model saved by :func:`save_model`.
 
     ``rng`` seeds the restored model's *future* randomness (new-entity
-    initialization, replay sampling); all persisted parameters are restored
-    exactly.
+    initialization, replay sampling).  When ``rng`` is ``None`` and the
+    archive carries a saved RNG state (format v2+), that state is restored,
+    making the reloaded model continue the exact random stream of the saved
+    one — required for bit-exact WAL-tail recovery.  Pass an explicit ``rng``
+    to override.  ``return_extra=True`` additionally returns the ``extra``
+    dict stored at save time (``{}`` for v1 archives).
     """
     with np.load(path, allow_pickle=False) as archive:
         version = int(archive["format_version"])
@@ -74,6 +118,11 @@ def load_model(
             )
         config = AMFConfig(**json.loads(str(archive["config_json"])))
         model = AdaptiveMatrixFactorization(config, rng=rng)
+        extra = (
+            json.loads(str(archive["extra_json"]))
+            if "extra_json" in archive.files
+            else {}
+        )
 
         user_factors = archive["user_factors"]
         service_factors = archive["service_factors"]
@@ -114,4 +163,14 @@ def load_model(
                 int(user_id), int(service_id), float(timestamp), float(value), float(norm)
             )
         model._updates_applied = int(archive["updates_applied"])
+        # Restore the RNG state LAST: rebuilding the factor matrices above
+        # goes through ensure(), which draws (discarded) init vectors —
+        # restoring earlier would let those draws consume the saved stream
+        # and desynchronize every post-load entity initialization.
+        if rng is None and "rng_state_json" in archive.files:
+            state = json.loads(str(archive["rng_state_json"]))
+            if state.get("bit_generator") == type(model._rng.bit_generator).__name__:
+                model._rng.bit_generator.state = state
+    if return_extra:
+        return model, extra
     return model

@@ -2,10 +2,26 @@
 
 The paper's prediction module serves users "transparently through a
 standard interface"; this package provides one: a threaded HTTP server
-around a shared AMF model (:mod:`repro.server.app`) and a matching Python
-client (:mod:`repro.server.client`)."""
+around a shared AMF model (:mod:`repro.server.app`), a matching resilient
+Python client (:mod:`repro.server.client`), and the durability layer —
+write-ahead observation log plus atomic checkpoints — that lets the server
+survive crashes (:mod:`repro.server.wal`)."""
 
 from repro.server.app import PredictionServer
-from repro.server.client import PredictionClient
+from repro.server.client import (
+    PredictionClient,
+    PredictionServiceError,
+    RetryableServiceError,
+    TerminalServiceError,
+)
+from repro.server.wal import CheckpointStore, WriteAheadLog
 
-__all__ = ["PredictionServer", "PredictionClient"]
+__all__ = [
+    "PredictionServer",
+    "PredictionClient",
+    "PredictionServiceError",
+    "RetryableServiceError",
+    "TerminalServiceError",
+    "WriteAheadLog",
+    "CheckpointStore",
+]

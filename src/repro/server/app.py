@@ -1,4 +1,4 @@
-"""The QoS prediction service as an HTTP endpoint.
+"""The QoS prediction service as a fault-tolerant HTTP endpoint.
 
 Implements the Fig. 3 interface over JSON/HTTP using only the standard
 library:
@@ -8,32 +8,60 @@ method   path                   body / query
 =======  =====================  ==========================================
 POST     /observations          {"timestamp", "user_id", "service_id",
                                 "value"} — report one observed QoS sample
-POST     /observations/batch    {"observations": [...]} — report many
-GET      /predictions           ?user_id=U&service_id=S — one prediction
+POST     /observations/batch    {"observations": [...]} — report many;
+                                per-item outcomes, bad records don't abort
+GET      /predictions           ?user_id=U&service_id=S — one prediction,
+                                tagged with its source + confidence
 POST     /predictions/batch     {"user_id", "service_ids": [...]}
-GET      /status                model statistics
+GET      /status                model statistics + fault-tolerance counters
+GET      /health                liveness/readiness (200 ready / 503 not)
 =======  =====================  ==========================================
 
 A :class:`~repro.core.daemon.BackgroundTrainer` replays retained samples
-between requests, so the served model keeps converging while idle — the
-"online updating" box of the paper's architecture.
+between requests — under a :class:`~repro.core.daemon.TrainerSupervisor`
+that restarts it with capped backoff if the replay loop crashes.
+
+Fault tolerance (``data_dir`` enables durability):
+
+* every accepted observation is appended to a write-ahead log
+  (:class:`~repro.server.wal.WriteAheadLog`) and fsync'd *before* it is
+  applied to the model;
+* every ``checkpoint_interval`` observations the full model state is
+  checkpointed atomically (write-temp-then-rename, RNG state included) and
+  covered WAL segments are pruned;
+* on construction, the server reloads the latest checkpoint and replays
+  the WAL tail — reconstructing the exact pre-crash model (bit-exact when
+  background replay is off; with replay on, replay work since the last
+  checkpoint is simply redone);
+* predictions degrade through :class:`~repro.core.fallback.FallbackPredictor`
+  for unknown entities or an unhealthy model instead of erroring out;
+* unexpected handler exceptions return a JSON 500, never a dropped
+  connection, and oversized bodies are rejected with 413 before reading.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.amf import AdaptiveMatrixFactorization
 from repro.core.config import AMFConfig
-from repro.core.daemon import BackgroundTrainer, ConcurrentModel
+from repro.core.daemon import BackgroundTrainer, ConcurrentModel, TrainerSupervisor
+from repro.core.fallback import FallbackPredictor
+from repro.core.transform import sigmoid
 from repro.datasets.schema import QoSRecord
+from repro.server.wal import CheckpointStore, WriteAheadLog
 
 
 class _BadRequest(Exception):
     """Client error with a message safe to echo back."""
+
+
+class _PayloadTooLarge(Exception):
+    """Request body exceeds the configured limit (HTTP 413)."""
 
 
 def _require(payload: dict, field: str, kind):
@@ -46,18 +74,23 @@ def _require(payload: dict, field: str, kind):
 
 
 class PredictionServer:
-    """Owns the model, the background trainer, and the HTTP server.
+    """Owns the model, the WAL, the supervised trainer, and the HTTP server.
 
     Typical use::
 
-        server = PredictionServer(AMFConfig.for_response_time(), rng=0)
+        server = PredictionServer(AMFConfig.for_response_time(), rng=0,
+                                  data_dir="/var/lib/qos")
         server.start()                      # binds 127.0.0.1:<ephemeral>
         client = PredictionClient(server.address)
         ...
-        server.stop()
+        server.stop()                       # final checkpoint + shutdown
 
     ``port=0`` (the default) binds an ephemeral port; read ``address``
-    after ``start``.
+    after ``start``.  ``data_dir=None`` disables durability (in-memory
+    only, the pre-fault-tolerance behavior).  ``rng`` seeds a *fresh*
+    model only — when a checkpoint exists in ``data_dir`` the checkpointed
+    model (including its RNG state) wins, which is what makes recovery
+    exact.
     """
 
     def __init__(
@@ -67,14 +100,83 @@ class PredictionServer:
         host: str = "127.0.0.1",
         port: int = 0,
         background_replay: bool = True,
+        data_dir: "str | None" = None,
+        checkpoint_interval: int = 1000,
+        wal_fsync: bool = True,
+        supervise: bool = True,
+        max_body_bytes: int = 1 << 20,
     ) -> None:
-        self.model = ConcurrentModel(AdaptiveMatrixFactorization(config, rng=rng))
+        if checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
+            )
+        if max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
+        self.checkpoint_interval = checkpoint_interval
+        self.max_body_bytes = max_body_bytes
+
+        self._wal: "WriteAheadLog | None" = None
+        self._checkpoints: "CheckpointStore | None" = None
+        self.recovery: dict = {"checkpoint_seq": 0, "wal_replayed": 0, "torn_lines": 0}
+        model: "AdaptiveMatrixFactorization | None" = None
+        applied_seq = 0
+        if data_dir is not None:
+            self._checkpoints = CheckpointStore(data_dir)
+            restored = self._checkpoints.load(rng=None)
+            if restored is not None:
+                model, applied_seq = restored
+            self._wal = WriteAheadLog(data_dir, fsync=wal_fsync)
+        if model is None:
+            model = AdaptiveMatrixFactorization(config, rng=rng)
+        latest_timestamp = 0.0
+        timestamps = model._store.columns()[2]
+        if timestamps.size:
+            latest_timestamp = float(timestamps.max())
+        replayed = 0
+        if self._wal is not None:
+            for __, record in self._wal.replay(after_seq=applied_seq):
+                model.observe(record)
+                latest_timestamp = max(latest_timestamp, record.timestamp)
+                replayed += 1
+            self.recovery = {
+                "checkpoint_seq": applied_seq,
+                "wal_replayed": replayed,
+                "torn_lines": self._wal.torn_lines,
+            }
+
+        self.model = ConcurrentModel(model)
+        self.model.note_timestamp(latest_timestamp)
+        self.fallback = FallbackPredictor(
+            prior=float(model.normalizer.denormalize(sigmoid(0.0)))
+        )
+        users, services, __, values, __ = model._store.columns()
+        self.fallback.seed_from_samples(users, services, values)
+
         self.trainer = BackgroundTrainer(self.model) if background_replay else None
+        self.supervisor = (
+            TrainerSupervisor(self.trainer)
+            if (self.trainer is not None and supervise)
+            else None
+        )
         self._host = host
         self._port = port
         self._httpd: "ThreadingHTTPServer | None" = None
         self._thread: "threading.Thread | None" = None
+        # Ingest lock: keeps WAL-append order identical to model-apply order
+        # across handler threads (recovery replays in WAL order).  Stats
+        # lock: ThreadingHTTPServer handlers increment counters from many
+        # threads; unprotected += is a lost-update race.
+        self._ingest_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
         self._observations_handled = 0
+        self._observations_rejected = 0
+        self._predictions_served = 0
+        self._degraded_predictions = 0
+        self._internal_errors = 0
+        self._checkpoints_written = 0
+        self._last_checkpoint_seq = applied_seq
+        self._observations_since_checkpoint = 0
+        self._model_healthy = True
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -83,6 +185,10 @@ class PredictionServer:
         if self._httpd is None:
             raise RuntimeError("server is not running")
         return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    @property
+    def durable(self) -> bool:
+        return self._wal is not None
 
     def start(self) -> None:
         if self._httpd is not None:
@@ -93,11 +199,36 @@ class PredictionServer:
             target=self._httpd.serve_forever, name="qos-prediction-http", daemon=True
         )
         self._thread.start()
-        if self.trainer is not None:
+        if self.supervisor is not None:
+            self.supervisor.start()
+        elif self.trainer is not None:
             self.trainer.start()
 
     def stop(self) -> None:
-        if self.trainer is not None and self.trainer.running:
+        """Graceful shutdown: final checkpoint, then tear everything down."""
+        self._stop_serving()
+        if self.durable and self._wal.writable:
+            with self._ingest_lock:
+                self._checkpoint_locked()
+            self._wal.close()
+
+    def kill(self) -> None:
+        """Crash simulation: stop serving *without* a final checkpoint.
+
+        Recovery must then come entirely from the last periodic checkpoint
+        plus the WAL tail — exactly the state a ``kill -9`` leaves behind.
+        Used by the fault-injection harness; a real crash doesn't call
+        anything at all, which this approximates as closely as an
+        in-process test can.
+        """
+        self._stop_serving()
+        if self.durable:
+            self._wal.close()
+
+    def _stop_serving(self) -> None:
+        if self.supervisor is not None and self.supervisor.running:
+            self.supervisor.stop()
+        elif self.trainer is not None and self.trainer.running:
             self.trainer.stop()
         if self._httpd is not None:
             self._httpd.shutdown()
@@ -114,6 +245,28 @@ class PredictionServer:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
+    # -- durability ----------------------------------------------------------
+    def _checkpoint_locked(self) -> None:
+        """Write a checkpoint covering the current WAL position.
+
+        Caller must hold the ingest lock, so no observation can slip
+        between the recorded WAL sequence and the model snapshot.
+        """
+        if self._checkpoints is None:
+            return
+        seq = self._wal.last_seq
+        self.model.with_model(lambda m: self._checkpoints.save(m, seq))
+        self._wal.prune(seq)
+        self._observations_since_checkpoint = 0
+        with self._stats_lock:
+            self._checkpoints_written += 1
+            self._last_checkpoint_seq = seq
+
+    def checkpoint(self) -> None:
+        """Force a checkpoint now (also runs periodically during ingestion)."""
+        with self._ingest_lock:
+            self._checkpoint_locked()
+
     # -- request handling ------------------------------------------------------
     def _handle_observation(self, payload: dict) -> dict:
         try:
@@ -123,18 +276,76 @@ class PredictionServer:
                 service_id=_require(payload, "service_id", int),
                 value=_require(payload, "value", float),
             )
-            error = self.model.observe(record)
-        except ValueError as exc:
+        except (_BadRequest, ValueError) as exc:
+            with self._stats_lock:
+                self._observations_rejected += 1
+            if isinstance(exc, _BadRequest):
+                raise
             raise _BadRequest(str(exc)) from exc
-        self._observations_handled += 1
+        with self._ingest_lock:
+            if self._wal is not None:
+                self._wal.append(record)
+            error = self.model.observe(record)
+            self.fallback.observe(record.user_id, record.service_id, record.value)
+            self._observations_since_checkpoint += 1
+            if (
+                self.durable
+                and self._observations_since_checkpoint >= self.checkpoint_interval
+            ):
+                self._checkpoint_locked()
+        with self._stats_lock:
+            self._observations_handled += 1
         return {"sample_error": error}
 
     def _handle_observation_batch(self, payload: dict) -> dict:
         observations = payload.get("observations")
         if not isinstance(observations, list):
             raise _BadRequest("field 'observations' must be a list")
-        errors = [self._handle_observation(entry)["sample_error"] for entry in observations]
-        return {"accepted": len(errors), "sample_errors": errors}
+        accepted = 0
+        sample_errors: list[float] = []
+        rejected: list[dict] = []
+        for index, entry in enumerate(observations):
+            if not isinstance(entry, dict):
+                with self._stats_lock:
+                    self._observations_rejected += 1
+                rejected.append({"index": index, "error": "observation must be an object"})
+                continue
+            try:
+                result = self._handle_observation(entry)
+            except _BadRequest as exc:
+                rejected.append({"index": index, "error": str(exc)})
+            else:
+                accepted += 1
+                sample_errors.append(result["sample_error"])
+        return {"accepted": accepted, "rejected": rejected, "sample_errors": sample_errors}
+
+    def _predict_one(self, user_id: int, service_id: int) -> dict:
+        """The degradation chain: model if healthy and informed, else means."""
+        if self._model_healthy:
+            value = self.model.predict_known(user_id, service_id)
+            if value is not None:
+                if math.isfinite(value):
+                    with self._stats_lock:
+                        self._predictions_served += 1
+                    return {
+                        "prediction": value,
+                        "source": "model",
+                        "expected_error": self.model.expected_error(
+                            user_id, service_id
+                        ),
+                    }
+                # A non-finite prediction means the factors are poisoned:
+                # stop trusting the model until /health observes it finite.
+                self._model_healthy = False
+        result = self.fallback.predict(user_id, service_id)
+        with self._stats_lock:
+            self._predictions_served += 1
+            self._degraded_predictions += 1
+        return {
+            "prediction": result.value,
+            "source": result.source,
+            "expected_error": result.expected_error,
+        }
 
     def _handle_prediction(self, query: dict) -> dict:
         try:
@@ -146,11 +357,9 @@ class PredictionServer:
             ) from exc
         if user_id < 0 or service_id < 0:
             raise _BadRequest("ids must be non-negative")
-        return {
-            "user_id": user_id,
-            "service_id": service_id,
-            "prediction": self.model.predict(user_id, service_id),
-        }
+        response = {"user_id": user_id, "service_id": service_id}
+        response.update(self._predict_one(user_id, service_id))
+        return response
 
     def _handle_prediction_batch(self, payload: dict) -> dict:
         user_id = _require(payload, "user_id", int)
@@ -158,6 +367,7 @@ class PredictionServer:
         if not isinstance(service_ids, list) or not service_ids:
             raise _BadRequest("field 'service_ids' must be a non-empty list")
         predictions = {}
+        sources = {}
         for raw in service_ids:
             try:
                 service_id = int(raw)
@@ -165,23 +375,96 @@ class PredictionServer:
                 raise _BadRequest("service_ids must be integers") from exc
             if user_id < 0 or service_id < 0:
                 raise _BadRequest("ids must be non-negative")
-            predictions[str(service_id)] = self.model.predict(user_id, service_id)
-        return {"user_id": user_id, "predictions": predictions}
+            result = self._predict_one(user_id, service_id)
+            predictions[str(service_id)] = result["prediction"]
+            sources[str(service_id)] = result["source"]
+        return {"user_id": user_id, "predictions": predictions, "sources": sources}
 
     def _handle_status(self) -> dict:
+        with self._stats_lock:
+            counters = {
+                "observations_handled": self._observations_handled,
+                "observations_rejected": self._observations_rejected,
+                "predictions_served": self._predictions_served,
+                "degraded_predictions": self._degraded_predictions,
+                "internal_errors": self._internal_errors,
+                "checkpoints_written": self._checkpoints_written,
+                "last_checkpoint_seq": self._last_checkpoint_seq,
+            }
+        counters.update(
+            {
+                "updates_applied": self.model.updates_applied,
+                "stored_samples": self.model.n_stored_samples,
+                "background_replays": (
+                    self.trainer.replays_applied if self.trainer is not None else 0
+                ),
+                "trainer": self._trainer_health(),
+                "durability": {
+                    "enabled": self.durable,
+                    "wal_last_seq": self._wal.last_seq if self.durable else None,
+                    "wal_segments": self._wal.segment_count() if self.durable else None,
+                    "recovery": self.recovery,
+                },
+            }
+        )
+        return counters
+
+    def _trainer_health(self) -> dict:
+        if self.supervisor is not None:
+            return self.supervisor.health()
+        if self.trainer is not None:
+            return {
+                "running": self.trainer.running,
+                "supervised": False,
+                "crashes": self.trainer.crash_count,
+                "restarts": 0,
+                "last_failure": (
+                    f"{type(self.trainer.failure).__name__}: {self.trainer.failure}"
+                    if self.trainer.failure is not None
+                    else None
+                ),
+            }
         return {
-            "observations_handled": self._observations_handled,
-            "updates_applied": self.model.updates_applied,
-            "stored_samples": self.model.n_stored_samples,
-            "background_replays": (
-                self.trainer.replays_applied if self.trainer is not None else 0
-            ),
+            "running": False,
+            "supervised": False,
+            "crashes": 0,
+            "restarts": 0,
+            "last_failure": None,
         }
+
+    def _handle_health(self) -> tuple[int, dict]:
+        """Liveness/readiness: 200 when every applicable check passes.
+
+        ``model_finite`` re-evaluates the factors, so a model marked
+        unhealthy by a poisoned prediction recovers its "healthy" flag here
+        once background training (or entity churn) restores finiteness.
+        """
+        checks: dict[str, bool] = {"model_finite": self.model.is_finite()}
+        self._model_healthy = checks["model_finite"]
+        if self.durable:
+            checks["wal_writable"] = self._wal.writable
+        trainer = self._trainer_health()
+        if self.trainer is not None:
+            # A crashed-but-supervised trainer is "alive" in the readiness
+            # sense only once it is actually running again; the supervisor
+            # existing means it *will* come back, which /status shows.
+            checks["trainer_alive"] = bool(trainer["running"])
+        ready = all(checks.values())
+        body = {
+            "status": "ok" if ready else "unavailable",
+            "checks": checks,
+            "trainer": trainer,
+            "recovery": self.recovery,
+        }
+        return (200 if ready else 503), body
 
     def _make_handler(self):
         server = self
 
         class Handler(BaseHTTPRequestHandler):
+            # Bound the damage a stalled or half-open client can do.
+            timeout = 30.0
+
             # Silence per-request stderr logging.
             def log_message(self, format, *args):  # noqa: A002 (stdlib API)
                 pass
@@ -195,7 +478,15 @@ class PredictionServer:
                 self.wfile.write(data)
 
             def _read_json(self) -> dict:
-                length = int(self.headers.get("Content-Length", 0))
+                try:
+                    length = int(self.headers.get("Content-Length", 0))
+                except ValueError as exc:
+                    raise _BadRequest("invalid Content-Length header") from exc
+                if length > server.max_body_bytes:
+                    raise _PayloadTooLarge(
+                        f"body of {length} bytes exceeds limit of "
+                        f"{server.max_body_bytes}"
+                    )
                 raw = self.rfile.read(length) if length else b"{}"
                 try:
                     payload = json.loads(raw)
@@ -205,31 +496,58 @@ class PredictionServer:
                     raise _BadRequest("JSON body must be an object")
                 return payload
 
+            def _dispatch(self, route) -> None:
+                """Run a route; every outcome is a JSON response.
+
+                Unexpected exceptions become a 500 with the error class —
+                never a dropped connection mid-request.  Failures writing
+                the response itself (client already gone) are swallowed.
+                """
+                try:
+                    try:
+                        status, body = route()
+                        self._send(status, body)
+                    except _BadRequest as exc:
+                        self._send(400, {"error": str(exc)})
+                    except _PayloadTooLarge as exc:
+                        self._send(413, {"error": str(exc)})
+                    except Exception as exc:  # noqa: BLE001 — the 500 boundary
+                        with server._stats_lock:
+                            server._internal_errors += 1
+                        self._send(
+                            500,
+                            {"error": f"internal error: {type(exc).__name__}: {exc}"},
+                        )
+                except OSError:
+                    pass  # client hung up; nothing left to tell it
+
             def do_GET(self):
                 parsed = urlparse(self.path)
-                try:
+
+                def route():
                     if parsed.path == "/predictions":
-                        self._send(200, server._handle_prediction(parse_qs(parsed.query)))
-                    elif parsed.path == "/status":
-                        self._send(200, server._handle_status())
-                    else:
-                        self._send(404, {"error": f"unknown path {parsed.path}"})
-                except _BadRequest as exc:
-                    self._send(400, {"error": str(exc)})
+                        return 200, server._handle_prediction(parse_qs(parsed.query))
+                    if parsed.path == "/status":
+                        return 200, server._handle_status()
+                    if parsed.path == "/health":
+                        return server._handle_health()
+                    return 404, {"error": f"unknown path {parsed.path}"}
+
+                self._dispatch(route)
 
             def do_POST(self):
                 parsed = urlparse(self.path)
-                try:
+
+                def route():
                     payload = self._read_json()
                     if parsed.path == "/observations":
-                        self._send(200, server._handle_observation(payload))
-                    elif parsed.path == "/observations/batch":
-                        self._send(200, server._handle_observation_batch(payload))
-                    elif parsed.path == "/predictions/batch":
-                        self._send(200, server._handle_prediction_batch(payload))
-                    else:
-                        self._send(404, {"error": f"unknown path {parsed.path}"})
-                except _BadRequest as exc:
-                    self._send(400, {"error": str(exc)})
+                        return 200, server._handle_observation(payload)
+                    if parsed.path == "/observations/batch":
+                        return 200, server._handle_observation_batch(payload)
+                    if parsed.path == "/predictions/batch":
+                        return 200, server._handle_prediction_batch(payload)
+                    return 404, {"error": f"unknown path {parsed.path}"}
+
+                self._dispatch(route)
 
         return Handler

@@ -5,11 +5,27 @@ standard interface; this client is that stub.  It is synchronous and uses
 only the standard library, so an application (or the example scripts) can
 talk to a :class:`~repro.server.app.PredictionServer` with no extra
 dependencies.
+
+Resilience: requests carry a timeout, and *idempotent* requests (GETs —
+predictions, status, health) are retried with capped exponential backoff
+plus jitter on transient failures.  Observation POSTs are **not** retried:
+re-reporting a sample re-applies an SGD step, so the caller must decide
+whether at-least-once delivery is acceptable.  Errors are typed:
+
+* :class:`RetryableServiceError` — transient (connection failure, timeout,
+  HTTP 5xx/503): the same request may succeed if repeated.
+* :class:`TerminalServiceError` — the server understood and refused (HTTP
+  4xx): repeating the identical request will fail the identical way.
+
+Both subclass :class:`PredictionServiceError`, so existing ``except``
+clauses keep working.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
@@ -19,15 +35,56 @@ class PredictionServiceError(RuntimeError):
     """Raised when the server rejects a request or is unreachable."""
 
 
-class PredictionClient:
-    """HTTP client bound to one prediction-server address."""
+class RetryableServiceError(PredictionServiceError):
+    """Transient failure — retrying the same request may succeed."""
 
-    def __init__(self, address: tuple[str, int], timeout: float = 5.0) -> None:
+
+class TerminalServiceError(PredictionServiceError):
+    """Definitive rejection — retrying the same request cannot succeed."""
+
+
+class PredictionClient:
+    """HTTP client bound to one prediction-server address.
+
+    Args:
+        address:     ``(host, port)`` of the server.
+        timeout:     per-attempt socket timeout in seconds.
+        retries:     extra attempts for idempotent (GET) requests on
+                     transient failures; POSTs are never retried.
+        backoff:     first retry delay; doubles per attempt.
+        backoff_max: delay cap.
+        jitter:      each delay is multiplied by ``1 + uniform(0, jitter)``
+                     so a fleet of recovering clients doesn't stampede.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        timeout: float = 5.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+        jitter: float = 0.5,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff <= 0 or backoff_max <= 0:
+            raise ValueError("backoff and backoff_max must be positive")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
         host, port = address
         self._base = f"http://{host}:{port}"
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        self.jitter = jitter
+        self._jitter_rng = random.Random()
+        self.retries_performed = 0
 
-    def _request(self, method: str, path: str, payload: "dict | None" = None) -> dict:
+    def _request_once(
+        self, method: str, path: str, payload: "dict | None" = None
+    ) -> dict:
         data = json.dumps(payload).encode() if payload is not None else None
         request = urllib.request.Request(
             self._base + path,
@@ -40,16 +97,53 @@ class PredictionClient:
                 return json.loads(response.read())
         except urllib.error.HTTPError as exc:
             try:
-                detail = json.loads(exc.read()).get("error", "")
+                body = json.loads(exc.read())
             except Exception:
-                detail = ""
-            raise PredictionServiceError(
-                f"{method} {path} failed with HTTP {exc.code}: {detail}"
-            ) from exc
+                body = None
+            detail = body.get("error", "") if isinstance(body, dict) else ""
+            message = f"{method} {path} failed with HTTP {exc.code}: {detail}"
+            kind = (
+                RetryableServiceError
+                if exc.code >= 500 or exc.code == 429
+                else TerminalServiceError
+            )
+            error = kind(message)
+            error.status = exc.code
+            error.body = body
+            raise error from exc
         except urllib.error.URLError as exc:
-            raise PredictionServiceError(
+            raise RetryableServiceError(
                 f"cannot reach prediction service at {self._base}: {exc.reason}"
             ) from exc
+        except TimeoutError as exc:
+            raise RetryableServiceError(
+                f"{method} {path} timed out after {self.timeout}s"
+            ) from exc
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: "dict | None" = None,
+        idempotent: "bool | None" = None,
+    ) -> dict:
+        if idempotent is None:
+            idempotent = method == "GET"
+        attempts = self.retries + 1 if idempotent else 1
+        delay = self.backoff
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, payload)
+            except RetryableServiceError:
+                if attempt + 1 >= attempts:
+                    raise
+                time.sleep(
+                    min(delay, self.backoff_max)
+                    * (1.0 + self.jitter * self._jitter_rng.random())
+                )
+                delay *= 2.0
+                self.retries_performed += 1
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- the Fig. 3 interface -------------------------------------------------
     def report_observation(
@@ -69,19 +163,32 @@ class PredictionClient:
         return float(body["sample_error"])
 
     def report_observations(self, observations: "list[dict]") -> int:
-        """Upload many samples; returns how many were accepted."""
-        body = self._request(
+        """Upload many samples; returns how many were accepted.
+
+        Bad records no longer abort the batch server-side; use
+        :meth:`report_observations_detailed` for per-item outcomes.
+        """
+        return int(self.report_observations_detailed(observations)["accepted"])
+
+    def report_observations_detailed(self, observations: "list[dict]") -> dict:
+        """Upload many samples; returns ``{accepted, rejected, sample_errors}``
+        where ``rejected`` lists ``{index, error}`` per refused record."""
+        return self._request(
             "POST", "/observations/batch", {"observations": observations}
         )
-        return int(body["accepted"])
 
     def predict(self, user_id: int, service_id: int) -> float:
         """Predicted QoS for one (user, service) pair."""
+        return float(self.predict_detailed(user_id, service_id)["prediction"])
+
+    def predict_detailed(self, user_id: int, service_id: int) -> dict:
+        """Prediction plus its provenance: ``{prediction, source,
+        expected_error}`` — ``source`` is ``"model"`` or a degraded-mode
+        estimator, ``expected_error`` the calibration confidence."""
         query = urllib.parse.urlencode(
             {"user_id": user_id, "service_id": service_id}
         )
-        body = self._request("GET", f"/predictions?{query}")
-        return float(body["prediction"])
+        return self._request("GET", f"/predictions?{query}")
 
     def predict_candidates(self, user_id: int, service_ids: "list[int]") -> dict[int, float]:
         """Predicted QoS for a candidate pool, keyed by service id."""
@@ -89,9 +196,22 @@ class PredictionClient:
             "POST",
             "/predictions/batch",
             {"user_id": user_id, "service_ids": list(service_ids)},
+            idempotent=True,  # predictions don't mutate the model
         )
         return {int(k): float(v) for k, v in body["predictions"].items()}
 
     def status(self) -> dict:
         """Server-side model statistics."""
         return self._request("GET", "/status")
+
+    def health(self) -> dict:
+        """Liveness/readiness report; ``{"status": "ok" | "unavailable",
+        "checks": {...}, ...}``.  A 503 (not ready) returns the body rather
+        than raising, so callers can inspect which check failed."""
+        try:
+            return self._request("GET", "/health", idempotent=False)
+        except PredictionServiceError as exc:
+            body = getattr(exc, "body", None)
+            if getattr(exc, "status", None) == 503 and isinstance(body, dict):
+                return body
+            raise

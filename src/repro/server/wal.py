@@ -1,0 +1,282 @@
+"""Durable observation log and checkpoint store for the prediction server.
+
+A serving deployment of the paper's architecture (Fig. 3) is consulted
+exactly when services misbehave, so it cannot afford to lose its model to a
+crash.  Durability here is the classic database recipe:
+
+* **Write-ahead log** — every accepted observation is appended to a segment
+  file (JSON lines, one record per line) and fsync'd *before* it is applied
+  to the model.  Records carry a monotonically increasing sequence number.
+* **Checkpoints** — periodically the full model state is written through
+  :func:`repro.core.serialization.save_model` (write-temp-then-rename, RNG
+  state included) tagged with the highest WAL sequence it covers; older
+  segments are then pruned.
+* **Recovery** — on restart, load the latest checkpoint and re-apply every
+  WAL record with a higher sequence number.  Because observations are
+  deterministic given model state + RNG state, the recovered model is
+  *bit-exact* with the pre-crash one (see ``tests/test_recovery.py``).
+
+A crash can leave a torn final line in the active segment; replay stops at
+the first unparsable line and reports it (``torn_lines``) rather than
+guessing — everything before the tear was fsync'd and is intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections.abc import Iterator
+
+from repro.core.amf import AdaptiveMatrixFactorization
+from repro.core.serialization import load_model, save_model
+from repro.datasets.schema import QoSRecord
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+
+def _segment_name(first_seq: int) -> str:
+    return f"{_SEGMENT_PREFIX}{first_seq:012d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_first_seq(name: str) -> int:
+    return int(name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)])
+
+
+class WriteAheadLog:
+    """Append-only, fsync'd, segmented observation log.
+
+    Thread-safe: appends are serialized by an internal lock, but callers
+    that need WAL order to match model-apply order (the server's ingest
+    path) must hold their own lock around the append+apply pair.
+
+    Args:
+        directory:           where segment files live (created if missing).
+        segment_max_records: records per segment before rotating to a new
+                             file; bounds the cost of pruning and the size
+                             of any single file.
+        fsync:               fsync after every append (the durability
+                             guarantee); disable only for tests/benchmarks.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        segment_max_records: int = 4096,
+        fsync: bool = True,
+    ) -> None:
+        if segment_max_records < 1:
+            raise ValueError(
+                f"segment_max_records must be >= 1, got {segment_max_records}"
+            )
+        self.directory = str(directory)
+        self.segment_max_records = segment_max_records
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._handle = None
+        self._closed = False
+        self.torn_lines = 0
+        self.appended = 0
+        os.makedirs(self.directory, exist_ok=True)
+        self._last_seq = self._scan_last_seq()
+        self._open_active_segment()
+
+    # -- discovery -----------------------------------------------------------
+    def _segment_names(self) -> list[str]:
+        names = [
+            name
+            for name in os.listdir(self.directory)
+            if name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)
+        ]
+        return sorted(names, key=_segment_first_seq)
+
+    def _scan_last_seq(self) -> int:
+        """Highest sequence number on disk (0 for an empty log).
+
+        Only the final segment needs scanning: earlier segments end where
+        their successor begins.  A torn tail line is counted and ignored.
+        """
+        names = self._segment_names()
+        if not names:
+            return 0
+        last_seq = _segment_first_seq(names[-1]) - 1
+        for seq, __ in self._read_segment(names[-1]):
+            last_seq = seq
+        return last_seq
+
+    def _read_segment(self, name: str) -> Iterator[tuple[int, QoSRecord]]:
+        """Parse one segment, stopping (and tallying) at the first bad line.
+
+        Read in binary and decode per line: a torn tail can hold arbitrary
+        bytes, which must register as a tear — not raise UnicodeDecodeError
+        out of recovery.
+        """
+        path = os.path.join(self.directory, name)
+        with open(path, "rb") as handle:
+            for raw in handle:
+                try:
+                    entry = json.loads(raw.decode("utf-8"))
+                    record = QoSRecord(
+                        timestamp=float(entry["t"]),
+                        user_id=int(entry["u"]),
+                        service_id=int(entry["s"]),
+                        value=float(entry["v"]),
+                    )
+                    seq = int(entry["seq"])
+                except (ValueError, KeyError, TypeError):
+                    self.torn_lines += 1
+                    return
+                yield seq, record
+
+    # -- writing -------------------------------------------------------------
+    def _open_active_segment(self) -> None:
+        names = self._segment_names()
+        if names:
+            active = names[-1]
+            first = _segment_first_seq(active)
+            if self._last_seq - first + 1 >= self.segment_max_records:
+                active = _segment_name(self._last_seq + 1)
+        else:
+            active = _segment_name(self._last_seq + 1)
+        path = os.path.join(self.directory, active)
+        self._handle = open(path, "a", encoding="utf-8")
+        self._active_first_seq = _segment_first_seq(active)
+
+    def append(self, record: QoSRecord) -> int:
+        """Durably log one observation; returns its sequence number."""
+        with self._lock:
+            if self._closed:
+                raise ValueError("write-ahead log is closed")
+            seq = self._last_seq + 1
+            if seq - self._active_first_seq >= self.segment_max_records:
+                self._handle.close()
+                self._active_first_seq = seq
+                self._handle = open(
+                    os.path.join(self.directory, _segment_name(seq)),
+                    "a",
+                    encoding="utf-8",
+                )
+            line = json.dumps(
+                {
+                    "seq": seq,
+                    "t": record.timestamp,
+                    "u": record.user_id,
+                    "s": record.service_id,
+                    "v": record.value,
+                }
+            )
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self._last_seq = seq
+            self.appended += 1
+            return seq
+
+    # -- reading -------------------------------------------------------------
+    def replay(self, after_seq: int = 0) -> Iterator[tuple[int, QoSRecord]]:
+        """Yield ``(seq, record)`` for every record with ``seq > after_seq``.
+
+        Segments wholly covered by ``after_seq`` are skipped without being
+        read.  Replay stops at the first corrupt line (a torn crash tail).
+        """
+        names = self._segment_names()
+        for index, name in enumerate(names):
+            if index + 1 < len(names):
+                segment_end = _segment_first_seq(names[index + 1]) - 1
+                if segment_end <= after_seq:
+                    continue
+            for seq, record in self._read_segment(name):
+                if seq > after_seq:
+                    yield seq, record
+
+    # -- maintenance ---------------------------------------------------------
+    def prune(self, up_to_seq: int) -> int:
+        """Delete segments whose every record is covered by a checkpoint.
+
+        The active segment is never deleted.  Returns how many segment
+        files were removed.
+        """
+        with self._lock:
+            names = self._segment_names()
+            removed = 0
+            for index, name in enumerate(names[:-1]):
+                segment_end = _segment_first_seq(names[index + 1]) - 1
+                if segment_end <= up_to_seq:
+                    os.unlink(os.path.join(self.directory, name))
+                    removed += 1
+            return removed
+
+    @property
+    def last_seq(self) -> int:
+        return self._last_seq
+
+    @property
+    def writable(self) -> bool:
+        """Health probe: the log can accept appends right now."""
+        return (
+            not self._closed
+            and self._handle is not None
+            and not self._handle.closed
+            and os.access(self.directory, os.W_OK)
+        )
+
+    def segment_count(self) -> int:
+        return len(self._segment_names())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None and not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+            self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CheckpointStore:
+    """Atomic full-model checkpoints paired with a WAL position.
+
+    One ``checkpoint.npz`` per directory, written via
+    :func:`save_model(..., atomic=True)` so a crash mid-checkpoint leaves
+    the previous checkpoint intact.  The covered WAL sequence rides inside
+    the archive's ``extra`` dict — checkpoint and position are one file,
+    hence atomic together.
+    """
+
+    FILENAME = "checkpoint.npz"
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, self.FILENAME)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def save(
+        self,
+        model: AdaptiveMatrixFactorization,
+        wal_seq: int,
+        extra: "dict | None" = None,
+    ) -> None:
+        payload = dict(extra) if extra else {}
+        payload["wal_seq"] = int(wal_seq)
+        save_model(model, self.path, extra=payload, atomic=True)
+
+    def load(
+        self, rng: "int | None" = None
+    ) -> "tuple[AdaptiveMatrixFactorization, int] | None":
+        """Return ``(model, covered_wal_seq)``, or ``None`` if no checkpoint.
+
+        ``rng=None`` restores the checkpointed RNG state (exact recovery).
+        """
+        if not self.exists():
+            return None
+        model, extra = load_model(self.path, rng=rng, return_extra=True)
+        return model, int(extra.get("wal_seq", 0))

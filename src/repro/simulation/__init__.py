@@ -1,7 +1,27 @@
-"""Simulation utilities: a slice-aware clock and churn schedules for the
-scalability experiment (users/services joining and leaving mid-run)."""
+"""Simulation utilities: a slice-aware clock, churn schedules for the
+scalability experiment (users/services joining and leaving mid-run), and
+fault injection for hardening the serving stack (hostile streams plus
+kill-and-restart crash/recovery checks)."""
 
 from repro.simulation.clock import SimClock
 from repro.simulation.churn import ChurnEvent, ChurnSchedule
+from repro.simulation.faults import (
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    RecoveryReport,
+    drive_client,
+    run_crash_recovery,
+)
 
-__all__ = ["SimClock", "ChurnEvent", "ChurnSchedule"]
+__all__ = [
+    "SimClock",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "RecoveryReport",
+    "drive_client",
+    "run_crash_recovery",
+]

@@ -1,0 +1,300 @@
+"""Fault injection for the serving stack: hostile streams and mid-run crashes.
+
+Runtime adaptation consults the prediction service precisely when the
+environment is misbehaving, so the serving stack must be validated under
+the same conditions: lossy collectors (dropped samples), at-least-once
+delivery (duplicates), out-of-order arrival, corrupted measurements, stalls
+— and the server process itself dying mid-stream.
+
+Two tools:
+
+* :class:`FaultInjector` wraps any record stream with configurable drop /
+  duplicate / reorder / corrupt-value / stall faults, drawn from a seeded
+  RNG so every run is reproducible.  Fault counts are tallied per kind.
+* :func:`run_crash_recovery` drives a durable
+  :class:`~repro.server.app.PredictionServer` over HTTP, kills it mid-stream
+  (no final checkpoint — the state a ``kill -9`` leaves), restarts it from
+  checkpoint + WAL tail, finishes the stream, and compares the recovered
+  model *sample-for-sample* against an uninterrupted baseline: same
+  ``updates_applied``, bit-identical factor matrices.
+
+Used by ``tests/test_recovery.py`` and ``scripts/chaos_check.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import AMFConfig
+from repro.datasets.schema import QoSRecord
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True, slots=True)
+class FaultConfig:
+    """Per-record fault probabilities for a :class:`FaultInjector`.
+
+    Attributes:
+        drop_rate:       probability a record is silently lost.
+        duplicate_rate:  probability a record is delivered twice.
+        reorder_rate:    probability a record is held back and delivered
+                         after its successor (pairwise swap).
+        corrupt_rate:    probability a record's value is corrupted.
+        corrupt_factor:  corrupted value = ``value * corrupt_factor`` (still
+                         finite — the model must clamp, not crash).
+        stall_rate:      probability a stall event precedes a record.
+        stall_seconds:   how long drivers should pause on a stall event.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    corrupt_factor: float = 1000.0
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.01
+
+    def __post_init__(self) -> None:
+        for name in (
+            "drop_rate",
+            "duplicate_rate",
+            "reorder_rate",
+            "corrupt_rate",
+            "stall_rate",
+        ):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.stall_seconds < 0:
+            raise ValueError(
+                f"stall_seconds must be non-negative, got {self.stall_seconds}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One delivery event: a record (or ``None`` for a pure stall) + the
+    fault kinds applied to it."""
+
+    record: "QoSRecord | None"
+    faults: tuple[str, ...] = ()
+
+
+class FaultInjector:
+    """Apply a :class:`FaultConfig` to a record stream, reproducibly.
+
+    Iterate :meth:`events` for the full event stream (including stalls),
+    or the injector itself for just the delivered records.  ``counts``
+    tallies injected faults by kind after iteration.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[QoSRecord],
+        config: "FaultConfig | None" = None,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        self._records = list(records)
+        self.config = config if config is not None else FaultConfig()
+        self._rng = spawn_rng(rng)
+        self.counts: dict[str, int] = {
+            "delivered": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "reordered": 0,
+            "corrupted": 0,
+            "stalled": 0,
+        }
+
+    def _corrupt(self, record: QoSRecord) -> QoSRecord:
+        return QoSRecord(
+            timestamp=record.timestamp,
+            user_id=record.user_id,
+            service_id=record.service_id,
+            value=record.value * self.config.corrupt_factor,
+            slice_id=record.slice_id,
+        )
+
+    def events(self) -> Iterator[FaultEvent]:
+        config = self.config
+        rng = self._rng
+        held: "QoSRecord | None" = None
+        held_faults: tuple[str, ...] = ()
+
+        def deliver(record: QoSRecord, faults: tuple[str, ...]) -> FaultEvent:
+            self.counts["delivered"] += 1
+            return FaultEvent(record, faults)
+
+        for record in self._records:
+            if config.stall_rate and rng.random() < config.stall_rate:
+                self.counts["stalled"] += 1
+                yield FaultEvent(None, ("stall",))
+            if config.drop_rate and rng.random() < config.drop_rate:
+                self.counts["dropped"] += 1
+                continue
+            faults: tuple[str, ...] = ()
+            if config.corrupt_rate and rng.random() < config.corrupt_rate:
+                record = self._corrupt(record)
+                faults += ("corrupt",)
+                self.counts["corrupted"] += 1
+            if held is None and config.reorder_rate and rng.random() < config.reorder_rate:
+                held, held_faults = record, faults + ("reorder",)
+                self.counts["reordered"] += 1
+                continue
+            yield deliver(record, faults)
+            if held is not None:
+                yield deliver(held, held_faults)
+                held = None
+            elif config.duplicate_rate and rng.random() < config.duplicate_rate:
+                self.counts["duplicated"] += 1
+                yield deliver(record, faults + ("duplicate",))
+        if held is not None:
+            yield deliver(held, held_faults)
+
+    def __iter__(self) -> Iterator[QoSRecord]:
+        return (event.record for event in self.events() if event.record is not None)
+
+
+def drive_client(client, injector: FaultInjector, sleep_on_stall: bool = True) -> dict:
+    """Feed an injector's event stream into a server through its client.
+
+    Observations the server rejects (e.g. values corrupted beyond record
+    validation) are counted, not raised — a lossy collector keeps going.
+    Returns ``{"reported": n, "rejected": n, "stalls": n}``.
+    """
+    from repro.server.client import PredictionServiceError
+
+    reported = rejected = stalls = 0
+    for event in injector.events():
+        if event.record is None:
+            stalls += 1
+            if sleep_on_stall:
+                time.sleep(injector.config.stall_seconds)
+            continue
+        record = event.record
+        try:
+            client.report_observation(
+                record.user_id, record.service_id, record.value, record.timestamp
+            )
+            reported += 1
+        except PredictionServiceError:
+            rejected += 1
+    return {"reported": reported, "rejected": rejected, "stalls": stalls}
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of :func:`run_crash_recovery`."""
+
+    matches: bool
+    detail: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [f"recovery {'MATCHES' if self.matches else 'DIVERGES from'} baseline"]
+        for key, value in self.detail.items():
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+
+def _snapshot(server) -> dict:
+    return {
+        "updates_applied": server.model.updates_applied,
+        "stored_samples": server.model.n_stored_samples,
+        "user_factors": server.model.user_factors(),
+        "service_factors": server.model.service_factors(),
+    }
+
+
+def run_crash_recovery(
+    records: "list[QoSRecord]",
+    crash_after: int,
+    data_dir: str,
+    config: "AMFConfig | None" = None,
+    rng: int = 0,
+    checkpoint_interval: int = 50,
+    faults: "FaultConfig | None" = None,
+) -> RecoveryReport:
+    """Kill a durable server mid-stream, recover it, and diff against an
+    uninterrupted baseline.
+
+    Both runs use ``background_replay=False`` so the model state is a
+    deterministic function of the observation sequence — which is exactly
+    what makes "recovered == uninterrupted" a checkable equality rather
+    than a statistical claim.  ``faults`` optionally mangles the stream
+    first (both runs then see the *same* mangled stream).
+    """
+    from repro.server.app import PredictionServer
+    from repro.server.client import PredictionClient
+
+    if not (0 <= crash_after <= len(records)):
+        raise ValueError(
+            f"crash_after must be within [0, {len(records)}], got {crash_after}"
+        )
+    if faults is not None:
+        records = list(FaultInjector(records, faults, rng=rng))
+        crash_after = min(crash_after, len(records))
+
+    def post(client: "PredictionClient", batch: "list[QoSRecord]") -> None:
+        for record in batch:
+            client.report_observation(
+                record.user_id, record.service_id, record.value, record.timestamp
+            )
+
+    server_args = dict(
+        config=config,
+        rng=rng,
+        background_replay=False,
+        checkpoint_interval=checkpoint_interval,
+    )
+
+    # Phase 1: serve until the crash point, then die without a checkpoint.
+    server = PredictionServer(data_dir=data_dir, **server_args)
+    server.start()
+    post(PredictionClient(server.address), records[:crash_after])
+    server.kill()
+
+    # Phase 2: a new process-equivalent recovers from checkpoint + WAL tail
+    # and finishes the stream.
+    recovered = PredictionServer(data_dir=data_dir, **server_args)
+    recovery_info = dict(recovered.recovery)
+    recovered.start()
+    post(PredictionClient(recovered.address), records[crash_after:])
+    recovered_state = _snapshot(recovered)
+    recovered.stop()
+
+    # Baseline: same stream, same seed, never interrupted, no durability.
+    baseline = PredictionServer(**server_args)
+    baseline.start()
+    post(PredictionClient(baseline.address), records)
+    baseline_state = _snapshot(baseline)
+    baseline.stop()
+
+    mismatches = []
+    for key in ("updates_applied", "stored_samples"):
+        if recovered_state[key] != baseline_state[key]:
+            mismatches.append(
+                f"{key}: recovered={recovered_state[key]} baseline={baseline_state[key]}"
+            )
+    for key in ("user_factors", "service_factors"):
+        if recovered_state[key].shape != baseline_state[key].shape:
+            mismatches.append(
+                f"{key}: shape {recovered_state[key].shape} vs "
+                f"{baseline_state[key].shape}"
+            )
+        elif not np.array_equal(recovered_state[key], baseline_state[key]):
+            delta = float(np.max(np.abs(recovered_state[key] - baseline_state[key])))
+            mismatches.append(f"{key}: max abs divergence {delta:.3e}")
+    return RecoveryReport(
+        matches=not mismatches,
+        detail={
+            "records": len(records),
+            "crash_after": crash_after,
+            "recovery": recovery_info,
+            "updates_applied": baseline_state["updates_applied"],
+            "mismatches": mismatches,
+        },
+    )
