@@ -6,9 +6,12 @@ stream, mangle it (drops, duplicates, reordering, corruption), feed it to a
 durable :class:`~repro.server.app.PredictionServer` over HTTP, kill the
 server mid-stream with no final checkpoint, recover it from checkpoint +
 WAL tail, finish the stream, and compare the recovered model
-sample-for-sample against an uninterrupted baseline.  Exits nonzero on any
-divergence, so CI (and operators) can use it as a one-command recovery
-drill::
+sample-for-sample against an uninterrupted baseline.  The recovered
+server's ``/metrics`` endpoint is also scraped mid-drill: the exposition
+must parse as valid Prometheus text and contain every core metric family
+(``repro.simulation.CORE_METRIC_FAMILIES``).  Exits nonzero on any model
+divergence *or* malformed/incomplete metrics, so CI (and operators) can
+use it as a one-command recovery drill::
 
     PYTHONPATH=src python scripts/chaos_check.py
     PYTHONPATH=src python scripts/chaos_check.py --records 500 --seed 7 --clean
@@ -77,7 +80,7 @@ def main() -> int:
             faults=faults,
         )
     print(report.summary())
-    return 0 if report.matches else 1
+    return 0 if (report.matches and report.metrics_ok) else 1
 
 
 if __name__ == "__main__":

@@ -6,8 +6,10 @@ The package implements the paper's Adaptive Matrix Factorization (AMF) model
 (:mod:`repro.baselines`), a statistical twin of the WS-DREAM dataset plus the
 real-format loader (:mod:`repro.datasets`), the evaluation metrics
 (:mod:`repro.metrics`), a runnable version of the paper's QoS-driven service
-adaptation framework (:mod:`repro.adaptation`), and one experiment module per
-table/figure of the evaluation section (:mod:`repro.experiments`).
+adaptation framework (:mod:`repro.adaptation`), a dependency-free metrics
+registry with Prometheus output (:mod:`repro.observability`), and one
+experiment module per table/figure of the evaluation section
+(:mod:`repro.experiments`).
 
 Quick start::
 

@@ -30,6 +30,7 @@ Replay runs through one of two kernels (``AMFConfig.kernel``):
 from __future__ import annotations
 
 import math
+import time
 from collections.abc import Iterable
 
 import numpy as np
@@ -39,7 +40,54 @@ from repro.core.kernel import partition_conflict_free
 from repro.core.transform import QoSNormalizer, sigmoid
 from repro.core.weights import AdaptiveWeights
 from repro.datasets.schema import QoSRecord
+from repro.observability import get_registry
 from repro.utils.rng import spawn_rng
+
+# Hot-path observability: recorded per arrival and per replay *batch* (never
+# per SGD step), so the cost is a handful of lock-protected adds amortized
+# over hundreds of updates.  Label children are bound once at import time.
+_METRICS = get_registry()
+_OBSERVATIONS = _METRICS.counter(
+    "qos_amf_observations_total",
+    "QoS samples ingested via observe() (arrival SGD steps)",
+)
+_REPLAY_STEPS = _METRICS.counter(
+    "qos_amf_replay_steps_total",
+    "Replay SGD steps applied, by kernel",
+    labelnames=("kernel",),
+)
+_REPLAY_EXPIRED = _METRICS.counter(
+    "qos_amf_replay_expired_total",
+    "Stored samples expired during replay, by kernel",
+    labelnames=("kernel",),
+)
+_REPLAY_BATCHES = _METRICS.counter(
+    "qos_amf_replay_batches_total",
+    "replay_many() calls, by kernel",
+    labelnames=("kernel",),
+)
+_REPLAY_BATCH_SECONDS = _METRICS.histogram(
+    "qos_amf_replay_batch_seconds",
+    "Wall-clock seconds per replay_many() call, by kernel",
+    labelnames=("kernel",),
+)
+_KERNEL_HANDLES = {
+    kernel: (
+        _REPLAY_STEPS.labels(kernel=kernel),
+        _REPLAY_EXPIRED.labels(kernel=kernel),
+        _REPLAY_BATCHES.labels(kernel=kernel),
+        _REPLAY_BATCH_SECONDS.labels(kernel=kernel),
+    )
+    for kernel in ("scalar", "vectorized")
+}
+_REPLAY_BLOCK_WIDTH = _METRICS.histogram(
+    "qos_amf_replay_block_width",
+    "Mean conflict-free block width per vectorized replay batch",
+)
+_REPLAY_FALLBACK_STEPS = _METRICS.counter(
+    "qos_amf_replay_scalar_fallback_steps_total",
+    "Steps the vectorized kernel executed via the scalar tail-block fallback",
+)
 
 
 class _GrowableFactors:
@@ -418,6 +466,7 @@ class AdaptiveMatrixFactorization:
         self._store.put(
             record.user_id, record.service_id, record.timestamp, record.value, r
         )
+        _OBSERVATIONS.inc()
         return self._online_update(record.user_id, record.service_id, r)
 
     def observe_many(self, records: Iterable[QoSRecord]) -> list[float]:
@@ -472,11 +521,19 @@ class AdaptiveMatrixFactorization:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         kernel = self.config.kernel if kernel is None else kernel
-        if kernel == "vectorized":
-            return self._replay_many_vectorized(now, count)
-        if kernel != "scalar":
+        if kernel not in ("scalar", "vectorized"):
             raise ValueError(f"kernel must be 'scalar' or 'vectorized', got {kernel!r}")
-        return self._replay_many_scalar(now, count)
+        started = time.perf_counter()
+        if kernel == "vectorized":
+            result = self._replay_many_vectorized(now, count)
+        else:
+            result = self._replay_many_scalar(now, count)
+        steps, expired, batches, seconds = _KERNEL_HANDLES[kernel]
+        steps.inc(result[0])
+        expired.inc(result[1])
+        batches.inc()
+        seconds.observe(time.perf_counter() - started)
+        return result
 
     def _replay_many_scalar(self, now: float, count: int) -> tuple[int, int, float]:
         """Sequential reference kernel: one Python-level step per draw."""
@@ -566,6 +623,7 @@ class AdaptiveMatrixFactorization:
 
         error_sum = 0.0
         vectorized_steps = 0
+        fallback_steps = 0
         start = 0
         for stop in boundaries:
             width = stop - start
@@ -577,6 +635,7 @@ class AdaptiveMatrixFactorization:
                     error_sum += self._online_update(
                         int(users[k]), int(services[k]), float(r[k])
                     )
+                fallback_steps += width
                 start = stop
                 continue
             block = slice(start, stop)
@@ -638,6 +697,9 @@ class AdaptiveMatrixFactorization:
             vectorized_steps += width
 
         self._updates_applied += vectorized_steps
+        _REPLAY_BLOCK_WIDTH.observe(applied / len(boundaries))
+        if fallback_steps:
+            _REPLAY_FALLBACK_STEPS.inc(fallback_steps)
         return applied, expired, error_sum / applied
 
     def _online_update(self, user_id: int, service_id: int, r: float) -> float:

@@ -23,7 +23,30 @@ import numpy as np
 
 from repro.core.amf import AdaptiveMatrixFactorization
 from repro.datasets.schema import QoSRecord
+from repro.observability import get_registry
 from repro.utils.validation import check_positive
+
+# Background-training observability: is replay keeping up, and is the loop
+# crash-looping?  Counters are recorded per batch / per crash; the replay
+# lag gauge is computed at scrape time from the most recent trainer.
+_METRICS = get_registry()
+_BACKGROUND_BATCHES = _METRICS.counter(
+    "qos_background_batches_total",
+    "Replay batches applied by the background trainer",
+)
+_BACKGROUND_CRASHES = _METRICS.counter(
+    "qos_background_crashes_total",
+    "Uncaught exceptions that killed the background replay loop",
+)
+_BACKGROUND_RESTARTS = _METRICS.counter(
+    "qos_background_restarts_total",
+    "Times the supervisor restarted a crashed background trainer",
+)
+_BACKGROUND_REPLAY_LAG = _METRICS.gauge(
+    "qos_background_replay_lag_seconds",
+    "Seconds since the background trainer last applied a replay batch "
+    "(NaN before the first batch)",
+)
 
 
 class ConcurrentModel:
@@ -193,6 +216,9 @@ class BackgroundTrainer:
         self._expired = 0
         self._crash_count = 0
         self._failure: "BaseException | None" = None
+        self._last_batch_monotonic: "float | None" = None
+        # Most recently constructed trainer owns the scrape-time lag probe.
+        _BACKGROUND_REPLAY_LAG.set_function(self.replay_lag_seconds)
 
     # -- lifecycle ----------------------------------------------------------
     @property
@@ -249,11 +275,25 @@ class BackgroundTrainer:
                 )
                 self._replays_applied += applied
                 self._expired += expired
+                self._last_batch_monotonic = time.monotonic()
+                _BACKGROUND_BATCHES.inc()
                 if applied == 0:
                     self._stop.wait(self.idle_sleep)
         except BaseException as exc:  # noqa: BLE001 — recorded for the supervisor
             self._failure = exc
             self._crash_count += 1
+            _BACKGROUND_CRASHES.inc()
+
+    def replay_lag_seconds(self) -> float:
+        """Seconds since the last replay batch (NaN before the first).
+
+        The operator-facing "is background training keeping up" signal,
+        exposed as the ``qos_background_replay_lag_seconds`` gauge.
+        """
+        last = self._last_batch_monotonic
+        if last is None:
+            return float("nan")
+        return time.monotonic() - last
 
     @property
     def replays_applied(self) -> int:
@@ -366,6 +406,7 @@ class TrainerSupervisor:
             self._seen_crashes = self.trainer.crash_count
             self.trainer.start()
             self._restarts += 1
+            _BACKGROUND_RESTARTS.inc()
             last_restart = time.monotonic()
             backoff = min(backoff * 2.0, self.backoff_max)
 

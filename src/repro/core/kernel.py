@@ -28,9 +28,23 @@ from collections.abc import Iterator, Sequence
 import numpy as np
 
 
+class _LastBlockTable(dict):
+    """Sparse last-block table: unknown ids read as -1 (never scheduled).
+
+    ``dict`` with ``__missing__`` so the scheduling loop can index dense
+    list tables and sparse dict tables with identical syntax.
+    """
+
+    __slots__ = ()
+
+    def __missing__(self, key: int) -> int:
+        return -1
+
+
 def partition_conflict_free(
     users: "Sequence[int] | np.ndarray",
     services: "Sequence[int] | np.ndarray",
+    tables: str = "auto",
 ) -> np.ndarray:
     """Assign each ``(users[k], services[k])`` sample a conflict-free block id.
 
@@ -38,11 +52,23 @@ def partition_conflict_free(
     latest block already containing its user or its service.  This keeps
     per-entity draw order (the property batched simultaneous updates need)
     and produces block ids that are dense in ``0..n_blocks-1`` with block 0
-    non-empty.  Runs in O(n + id range); ids must be non-negative (as
-    everywhere in the model).
+    non-empty.  Runs in O(n) time; ids must be non-negative (as everywhere
+    in the model).
+
+    ``tables`` picks the last-block bookkeeping structure: ``"dense"``
+    allocates ``max_id + 1`` list slots per axis (fastest on the compact id
+    ranges replay batches draw from), ``"dict"`` allocates O(distinct ids)
+    (required when one sparse large id — e.g. a 1e9 user id — would
+    otherwise allocate gigabytes), and ``"auto"`` (default) chooses per
+    axis by comparing the id range against the batch size.  Both structures
+    produce identical block assignments.
 
     Returns an ``np.intp`` array of block ids, one per sample.
     """
+    if tables not in ("auto", "dense", "dict"):
+        raise ValueError(
+            f"tables must be 'auto', 'dense', or 'dict', got {tables!r}"
+        )
     n = len(users)
     if n != len(services):
         raise ValueError(
@@ -51,14 +77,22 @@ def partition_conflict_free(
     if n == 0:
         return np.empty(0, dtype=np.intp)
     # tolist() converts numpy scalars to plain ints once, keeping the loop
-    # free of per-element numpy boxing; dense list tables beat dicts for the
-    # small id ranges replay batches draw from.
+    # free of per-element numpy boxing.
     users_list = users.tolist() if isinstance(users, np.ndarray) else list(users)
     services_list = (
         services.tolist() if isinstance(services, np.ndarray) else list(services)
     )
-    last_user_block = [-1] * (max(users_list) + 1)
-    last_service_block = [-1] * (max(services_list) + 1)
+    # Dense tables are only worth their allocation when the id range is on
+    # the order of the batch itself.
+    dense_limit = max(4 * n, 1024) if tables == "auto" else None
+
+    def make_table(max_id: int) -> "list[int] | _LastBlockTable":
+        if tables == "dense" or (tables == "auto" and max_id < dense_limit):
+            return [-1] * (max_id + 1)
+        return _LastBlockTable()
+
+    last_user_block = make_table(max(users_list))
+    last_service_block = make_table(max(services_list))
     blocks = [0] * n
     for k, (u, s) in enumerate(zip(users_list, services_list)):
         last_u = last_user_block[u]

@@ -17,7 +17,41 @@ from dataclasses import dataclass, field
 
 from repro.core.amf import AdaptiveMatrixFactorization
 from repro.datasets.schema import QoSRecord
+from repro.observability import get_registry
 from repro.utils.validation import check_positive
+
+# Trainer observability: how fast replay converges and where wall time goes
+# (recorded per training pass, so the per-step hot path stays untouched).
+_METRICS = get_registry()
+_EPOCHS_HIST = _METRICS.histogram(
+    "qos_trainer_epochs",
+    "Replay epochs needed per training pass (epochs-to-converge)",
+)
+_PASSES = _METRICS.counter(
+    "qos_trainer_passes_total",
+    "Training passes by outcome",
+    labelnames=("outcome",),
+)
+_PHASE_SECONDS = _METRICS.histogram(
+    "qos_trainer_phase_seconds",
+    "Wall-clock seconds per trainer phase",
+    labelnames=("phase",),
+)
+_PHASE_CONSUME = _PHASE_SECONDS.labels(phase="consume")
+_PHASE_REPLAY = _PHASE_SECONDS.labels(phase="replay")
+_LAST_EPOCH_ERROR = _METRICS.gauge(
+    "qos_trainer_last_epoch_error",
+    "Mean replay relative error of the most recent replay epoch",
+)
+
+
+def _record_replay_pass(report: "TrainReport") -> None:
+    """Fold one replay pass's outcome into the trainer metrics."""
+    _PHASE_REPLAY.observe(report.wall_seconds)
+    _EPOCHS_HIST.observe(report.epochs)
+    _PASSES.labels(outcome="converged" if report.converged else "capped").inc()
+    if report.error_trace:
+        _LAST_EPOCH_ERROR.set(report.error_trace[-1])
 
 
 @dataclass
@@ -107,6 +141,7 @@ class StreamTrainer:
             report.arrivals += 1
         report.final_error = self.model.training_error()
         report.wall_seconds = time.perf_counter() - started
+        _PHASE_CONSUME.observe(report.wall_seconds)
         return report
 
     def replay_until_converged(self, now: float) -> TrainReport:
@@ -129,11 +164,14 @@ class StreamTrainer:
             applied, expired, epoch_error = self.model.replay_many(
                 now, store_size, kernel=self.kernel
             )
-            report.epochs += 1
             report.replays += applied
             report.expired += expired
             if applied == 0:
+                # A batch that applied nothing (every draw expired, or the
+                # store emptied) is not a replay epoch; counting it skewed
+                # the epochs-to-converge numbers (Fig. 13 protocol).
                 break
+            report.epochs += 1
             report.error_trace.append(epoch_error)
             # Converged = no epoch has beaten the best error by more than
             # ``tolerance`` (relative) for ``patience`` consecutive epochs,
@@ -151,6 +189,7 @@ class StreamTrainer:
                     break
         report.final_error = self.model.training_error()
         report.wall_seconds = time.perf_counter() - started
+        _record_replay_pass(report)
         return report
 
     def replay_until_error(
@@ -181,16 +220,19 @@ class StreamTrainer:
             applied, expired, epoch_error = self.model.replay_many(
                 now, store_size, kernel=self.kernel
             )
-            report.epochs += 1
             report.replays += applied
             report.expired += expired
             if applied == 0:
+                # Same rule as replay_until_converged: only epochs that
+                # applied at least one replay step count.
                 break
+            report.epochs += 1
             report.error_trace.append(epoch_error)
             current = self.model.training_error()
         report.converged = current <= target_error
         report.final_error = current
         report.wall_seconds = time.perf_counter() - started
+        _record_replay_pass(report)
         return report
 
     def process(self, records: Iterable[QoSRecord], now: float | None = None) -> TrainReport:

@@ -49,7 +49,18 @@ class _GrowableErrors:
             self._size = entity_id + 1
 
     def get(self, entity_id: int) -> float:
-        self.ensure(entity_id)
+        """Read an entity's error *without* growing the tracker.
+
+        Unknown ids report ``init_error`` (what they would be initialized
+        to) but are NOT registered: confidence queries for arbitrary ids —
+        the calibration/serving read path — must not inflate the tracked
+        population or the serialized checkpoint.  ``observe``/``set``/
+        ``ensure`` remain the only growth points.
+        """
+        if entity_id < 0:
+            raise IndexError(f"entity id must be non-negative, got {entity_id}")
+        if entity_id >= self._size:
+            return self._init_error
         return float(self._values[entity_id])
 
     def set(self, entity_id: int, value: float) -> None:
@@ -98,11 +109,16 @@ class AdaptiveWeights:
         self._service_errors.ensure(service_id)
 
     def user_error(self, user_id: int) -> float:
-        """Current EMA relative error of ``user_id``."""
+        """Current EMA relative error of ``user_id``.
+
+        A pure read: unknown users report ``init_error`` without being
+        registered (confidence queries must not grow state).
+        """
         return self._user_errors.get(user_id)
 
     def service_error(self, service_id: int) -> float:
-        """Current EMA relative error of ``service_id``."""
+        """Current EMA relative error of ``service_id`` (pure read, like
+        :meth:`user_error`)."""
         return self._service_errors.get(service_id)
 
     def credence(self, user_id: int, service_id: int) -> tuple[float, float]:

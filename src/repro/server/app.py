@@ -15,6 +15,8 @@ GET      /predictions           ?user_id=U&service_id=S — one prediction,
 POST     /predictions/batch     {"user_id", "service_ids": [...]}
 GET      /status                model statistics + fault-tolerance counters
 GET      /health                liveness/readiness (200 ready / 503 not)
+GET      /metrics               Prometheus text exposition (version 0.0.4)
+                                of every registered metric family
 =======  =====================  ==========================================
 
 A :class:`~repro.core.daemon.BackgroundTrainer` replays retained samples
@@ -53,7 +55,30 @@ from repro.core.daemon import BackgroundTrainer, ConcurrentModel, TrainerSupervi
 from repro.core.fallback import FallbackPredictor
 from repro.core.transform import sigmoid
 from repro.datasets.schema import QoSRecord
+from repro.observability import StreamAccuracyMonitor, get_registry
 from repro.server.wal import CheckpointStore, WriteAheadLog
+
+# Serving observability.  The fallback chain tags every answer with its
+# source, so predictions-by-source is the one counter that shows degradation
+# happening; expected_error gives the calibration distribution of the answers
+# actually served (model source only — fallback answers carry their own
+# coarse confidence).
+_METRICS = get_registry()
+_PREDICTIONS = _METRICS.counter(
+    "qos_predictions_total",
+    "Predictions served, by fallback-chain source",
+    labelnames=("source",),
+)
+_PREDICTION_EXPECTED_ERROR = _METRICS.histogram(
+    "qos_prediction_expected_error",
+    "Expected relative error attached to model-source predictions",
+)
+_OBSERVATIONS_REJECTED = _METRICS.counter(
+    "qos_observations_rejected_total", "Observations rejected by validation"
+)
+_INTERNAL_ERRORS = _METRICS.counter(
+    "qos_server_internal_errors_total", "Requests that hit the HTTP 500 boundary"
+)
 
 
 class _BadRequest(Exception):
@@ -151,6 +176,24 @@ class PredictionServer:
         )
         users, services, __, values, __ = model._store.columns()
         self.fallback.seed_from_samples(users, services, values)
+
+        # Rolling stream accuracy: each accepted observation is first
+        # predicted (when the model can), then applied — a continuous
+        # windowed MAE/MRE/NPRE over live traffic (drift detection).
+        self.metrics = get_registry()
+        self.drift = StreamAccuracyMonitor()
+        self.drift.bind(self.metrics)
+        # Model-shape gauges read live at scrape time.  Like the trainer's
+        # replay-lag gauge, the most recently constructed server owns them.
+        self.metrics.gauge(
+            "qos_server_stored_samples", "Samples retained in the model's store"
+        ).set_function(lambda: self.model.n_stored_samples)
+        self.metrics.gauge(
+            "qos_server_users", "Distinct users known to the model"
+        ).set_function(lambda: self.model.n_users)
+        self.metrics.gauge(
+            "qos_server_services", "Distinct services known to the model"
+        ).set_function(lambda: self.model.n_services)
 
         self.trainer = BackgroundTrainer(self.model) if background_replay else None
         self.supervisor = (
@@ -279,12 +322,19 @@ class PredictionServer:
         except (_BadRequest, ValueError) as exc:
             with self._stats_lock:
                 self._observations_rejected += 1
+            _OBSERVATIONS_REJECTED.inc()
             if isinstance(exc, _BadRequest):
                 raise
             raise _BadRequest(str(exc)) from exc
         with self._ingest_lock:
             if self._wal is not None:
                 self._wal.append(record)
+            # Predict-then-observe: the pre-update prediction against the
+            # arriving ground truth is the live accuracy signal (windowed
+            # MAE/MRE/NPRE) — computed before the sample can teach the model.
+            predicted = self.model.predict_known(record.user_id, record.service_id)
+            if predicted is not None and math.isfinite(predicted):
+                self.drift.record(predicted, record.value)
             error = self.model.observe(record)
             self.fallback.observe(record.user_id, record.service_id, record.value)
             self._observations_since_checkpoint += 1
@@ -327,12 +377,14 @@ class PredictionServer:
                 if math.isfinite(value):
                     with self._stats_lock:
                         self._predictions_served += 1
+                    expected = self.model.expected_error(user_id, service_id)
+                    _PREDICTIONS.labels(source="model").inc()
+                    if math.isfinite(expected):
+                        _PREDICTION_EXPECTED_ERROR.observe(expected)
                     return {
                         "prediction": value,
                         "source": "model",
-                        "expected_error": self.model.expected_error(
-                            user_id, service_id
-                        ),
+                        "expected_error": expected,
                     }
                 # A non-finite prediction means the factors are poisoned:
                 # stop trusting the model until /health observes it finite.
@@ -341,6 +393,7 @@ class PredictionServer:
         with self._stats_lock:
             self._predictions_served += 1
             self._degraded_predictions += 1
+        _PREDICTIONS.labels(source=result.source).inc()
         return {
             "prediction": result.value,
             "source": result.source,
@@ -514,6 +567,7 @@ class PredictionServer:
                     except Exception as exc:  # noqa: BLE001 — the 500 boundary
                         with server._stats_lock:
                             server._internal_errors += 1
+                        _INTERNAL_ERRORS.inc()
                         self._send(
                             500,
                             {"error": f"internal error: {type(exc).__name__}: {exc}"},
@@ -523,6 +577,36 @@ class PredictionServer:
 
             def do_GET(self):
                 parsed = urlparse(self.path)
+                if parsed.path == "/metrics":
+                    # Prometheus exposition is text, not JSON, so it gets
+                    # its own send path outside _dispatch; render failures
+                    # still fall back to the JSON 500 boundary.
+                    try:
+                        try:
+                            data = server.metrics.render().encode("utf-8")
+                        except Exception as exc:  # noqa: BLE001
+                            with server._stats_lock:
+                                server._internal_errors += 1
+                            _INTERNAL_ERRORS.inc()
+                            self._send(
+                                500,
+                                {
+                                    "error": "internal error: "
+                                    f"{type(exc).__name__}: {exc}"
+                                },
+                            )
+                            return
+                        self.send_response(200)
+                        self.send_header(
+                            "Content-Type",
+                            "text/plain; version=0.0.4; charset=utf-8",
+                        )
+                        self.send_header("Content-Length", str(len(data)))
+                        self.end_headers()
+                        self.wfile.write(data)
+                    except OSError:
+                        pass  # client hung up; nothing left to tell it
+                    return
 
                 def route():
                     if parsed.path == "/predictions":

@@ -83,8 +83,12 @@ class PredictionClient:
         self.retries_performed = 0
 
     def _request_once(
-        self, method: str, path: str, payload: "dict | None" = None
-    ) -> dict:
+        self,
+        method: str,
+        path: str,
+        payload: "dict | None" = None,
+        raw: bool = False,
+    ) -> "dict | str":
         data = json.dumps(payload).encode() if payload is not None else None
         request = urllib.request.Request(
             self._base + path,
@@ -94,7 +98,8 @@ class PredictionClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read())
+                body = response.read()
+                return body.decode("utf-8") if raw else json.loads(body)
         except urllib.error.HTTPError as exc:
             try:
                 body = json.loads(exc.read())
@@ -126,14 +131,15 @@ class PredictionClient:
         path: str,
         payload: "dict | None" = None,
         idempotent: "bool | None" = None,
-    ) -> dict:
+        raw: bool = False,
+    ) -> "dict | str":
         if idempotent is None:
             idempotent = method == "GET"
         attempts = self.retries + 1 if idempotent else 1
         delay = self.backoff
         for attempt in range(attempts):
             try:
-                return self._request_once(method, path, payload)
+                return self._request_once(method, path, payload, raw=raw)
             except RetryableServiceError:
                 if attempt + 1 >= attempts:
                     raise
@@ -203,6 +209,16 @@ class PredictionClient:
     def status(self) -> dict:
         """Server-side model statistics."""
         return self._request("GET", "/status")
+
+    def metrics(self) -> str:
+        """Raw ``/metrics`` body — Prometheus text exposition, not JSON.
+
+        Same typed errors and idempotent-GET retry policy as the JSON
+        routes; parse the result with
+        :func:`repro.observability.parse_prometheus_text` if structure is
+        needed.
+        """
+        return self._request("GET", "/metrics", raw=True)
 
     def health(self) -> dict:
         """Liveness/readiness report; ``{"status": "ok" | "unavailable",

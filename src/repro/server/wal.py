@@ -26,14 +26,40 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from collections.abc import Iterator
 
 from repro.core.amf import AdaptiveMatrixFactorization
 from repro.core.serialization import load_model, save_model
 from repro.datasets.schema import QoSRecord
+from repro.observability import get_registry
 
 _SEGMENT_PREFIX = "wal-"
 _SEGMENT_SUFFIX = ".jsonl"
+
+# Durability observability: the fsync is the dominant per-observation cost
+# of the write path, so its latency distribution is the first thing an
+# operator needs; segment counts and torn-tail skips cover the rest.
+_METRICS = get_registry()
+_WAL_APPENDS = _METRICS.counter(
+    "qos_wal_appends_total", "Observations durably appended to the WAL"
+)
+_WAL_FSYNC_SECONDS = _METRICS.histogram(
+    "qos_wal_fsync_seconds", "fsync latency per WAL append"
+)
+_WAL_SEGMENTS = _METRICS.gauge(
+    "qos_wal_segments", "WAL segment files currently on disk"
+)
+_WAL_TORN_LINES = _METRICS.counter(
+    "qos_wal_torn_lines_total",
+    "Unparsable (torn) WAL lines skipped during recovery scans",
+)
+_CHECKPOINT_SAVES = _METRICS.counter(
+    "qos_checkpoint_saves_total", "Model checkpoints written"
+)
+_CHECKPOINT_SAVE_SECONDS = _METRICS.histogram(
+    "qos_checkpoint_save_seconds", "Wall-clock seconds per checkpoint save"
+)
 
 
 def _segment_name(first_seq: int) -> str:
@@ -81,6 +107,7 @@ class WriteAheadLog:
         os.makedirs(self.directory, exist_ok=True)
         self._last_seq = self._scan_last_seq()
         self._open_active_segment()
+        _WAL_SEGMENTS.set(self.segment_count())
 
     # -- discovery -----------------------------------------------------------
     def _segment_names(self) -> list[str]:
@@ -126,6 +153,7 @@ class WriteAheadLog:
                     seq = int(entry["seq"])
                 except (ValueError, KeyError, TypeError):
                     self.torn_lines += 1
+                    _WAL_TORN_LINES.inc()
                     return
                 yield seq, record
 
@@ -157,6 +185,7 @@ class WriteAheadLog:
                     "a",
                     encoding="utf-8",
                 )
+                _WAL_SEGMENTS.set(self.segment_count())
             line = json.dumps(
                 {
                     "seq": seq,
@@ -169,9 +198,12 @@ class WriteAheadLog:
             self._handle.write(line + "\n")
             self._handle.flush()
             if self.fsync:
+                fsync_started = time.perf_counter()
                 os.fsync(self._handle.fileno())
+                _WAL_FSYNC_SECONDS.observe(time.perf_counter() - fsync_started)
             self._last_seq = seq
             self.appended += 1
+            _WAL_APPENDS.inc()
             return seq
 
     # -- reading -------------------------------------------------------------
@@ -206,6 +238,8 @@ class WriteAheadLog:
                 if segment_end <= up_to_seq:
                     os.unlink(os.path.join(self.directory, name))
                     removed += 1
+            if removed:
+                _WAL_SEGMENTS.set(self.segment_count())
             return removed
 
     @property
@@ -267,7 +301,10 @@ class CheckpointStore:
     ) -> None:
         payload = dict(extra) if extra else {}
         payload["wal_seq"] = int(wal_seq)
+        started = time.perf_counter()
         save_model(model, self.path, extra=payload, atomic=True)
+        _CHECKPOINT_SAVE_SECONDS.observe(time.perf_counter() - started)
+        _CHECKPOINT_SAVES.inc()
 
     def load(
         self, rng: "int | None" = None

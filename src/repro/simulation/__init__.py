@@ -6,10 +6,12 @@ kill-and-restart crash/recovery checks)."""
 from repro.simulation.clock import SimClock
 from repro.simulation.churn import ChurnEvent, ChurnSchedule
 from repro.simulation.faults import (
+    CORE_METRIC_FAMILIES,
     FaultConfig,
     FaultEvent,
     FaultInjector,
     RecoveryReport,
+    check_metrics_exposition,
     drive_client,
     run_crash_recovery,
 )
@@ -18,10 +20,12 @@ __all__ = [
     "SimClock",
     "ChurnEvent",
     "ChurnSchedule",
+    "CORE_METRIC_FAMILIES",
     "FaultConfig",
     "FaultEvent",
     "FaultInjector",
     "RecoveryReport",
+    "check_metrics_exposition",
     "drive_client",
     "run_crash_recovery",
 ]

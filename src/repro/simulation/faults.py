@@ -31,7 +31,40 @@ import numpy as np
 
 from repro.core.config import AMFConfig
 from repro.datasets.schema import QoSRecord
+from repro.observability import parse_prometheus_text
 from repro.utils.rng import spawn_rng
+
+#: Metric families the chaos drill requires a recovered server to expose:
+#: ingest and replay actually ran, predictions were served, durability
+#: machinery fired, the trainer supervisor is accounted for, and the
+#: windowed accuracy monitor is registered.
+CORE_METRIC_FAMILIES: tuple[str, ...] = (
+    "qos_amf_observations_total",
+    "qos_amf_replay_steps_total",
+    "qos_predictions_total",
+    "qos_wal_appends_total",
+    "qos_checkpoint_saves_total",
+    "qos_background_crashes_total",
+    "qos_stream_mae",
+    "qos_stream_mre",
+    "qos_stream_npre",
+)
+
+
+def check_metrics_exposition(text: str) -> "tuple[bool, dict]":
+    """Validate a ``/metrics`` scrape for the chaos drill.
+
+    Strict-parses the exposition text and checks every
+    :data:`CORE_METRIC_FAMILIES` entry is present.  Returns ``(ok, detail)``
+    where ``detail`` reports the family count and whatever went wrong.
+    """
+    try:
+        families = parse_prometheus_text(text)
+    except ValueError as exc:
+        return False, {"parse_error": str(exc)}
+    missing = [name for name in CORE_METRIC_FAMILIES if name not in families]
+    detail = {"families": len(families), "missing": missing}
+    return not missing, detail
 
 
 @dataclass(frozen=True, slots=True)
@@ -188,13 +221,23 @@ def drive_client(client, injector: FaultInjector, sleep_on_stall: bool = True) -
 
 @dataclass
 class RecoveryReport:
-    """Outcome of :func:`run_crash_recovery`."""
+    """Outcome of :func:`run_crash_recovery`.
+
+    ``matches`` covers model-state equality only; ``metrics_ok`` reports
+    whether the recovered server's ``/metrics`` scrape parsed as valid
+    Prometheus exposition and contained every :data:`CORE_METRIC_FAMILIES`
+    entry (always ``True`` if the scrape was skipped).
+    """
 
     matches: bool
     detail: dict = field(default_factory=dict)
+    metrics_ok: bool = True
 
     def summary(self) -> str:
         lines = [f"recovery {'MATCHES' if self.matches else 'DIVERGES from'} baseline"]
+        lines.append(
+            f"metrics exposition {'OK' if self.metrics_ok else 'INVALID'}"
+        )
         for key, value in self.detail.items():
             lines.append(f"  {key}: {value}")
         return "\n".join(lines)
@@ -262,7 +305,17 @@ def run_crash_recovery(
     recovered = PredictionServer(data_dir=data_dir, **server_args)
     recovery_info = dict(recovered.recovery)
     recovered.start()
-    post(PredictionClient(recovered.address), records[crash_after:])
+    recovered_client = PredictionClient(recovered.address)
+    post(recovered_client, records[crash_after:])
+    # Exercise the read path so prediction metrics accumulate, then scrape
+    # /metrics from the still-recovering server — the drill validates the
+    # exposition exactly where an operator's monitoring would hit it.
+    if records:
+        sample = records[0]
+        recovered_client.predict(sample.user_id, sample.service_id)
+    metrics_ok, metrics_detail = check_metrics_exposition(
+        recovered_client.metrics()
+    )
     recovered_state = _snapshot(recovered)
     recovered.stop()
 
@@ -290,11 +343,13 @@ def run_crash_recovery(
             mismatches.append(f"{key}: max abs divergence {delta:.3e}")
     return RecoveryReport(
         matches=not mismatches,
+        metrics_ok=metrics_ok,
         detail={
             "records": len(records),
             "crash_after": crash_after,
             "recovery": recovery_info,
             "updates_applied": baseline_state["updates_applied"],
             "mismatches": mismatches,
+            "metrics": metrics_detail,
         },
     )

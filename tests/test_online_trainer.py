@@ -139,6 +139,52 @@ class TestReplayUntilConverged:
         assert model.n_stored_samples < 40
 
 
+class _NoOpReplayModel:
+    """Stub exposing just what the replay loops touch, with a replay_many
+    that never applies a step — the state a real model can only reach
+    transiently (every drawn sample expires mid-batch)."""
+
+    n_stored_samples = 10
+
+    def __init__(self):
+        self.calls = 0
+
+    def purge_expired(self, now):
+        return 0
+
+    def replay_many(self, now, count, kernel=None):
+        self.calls += 1
+        return 0, count, float("nan")
+
+    def training_error(self):
+        return 1.0
+
+
+class TestNoOpEpochCounting:
+    """Regression: a batch that applied zero replay steps is not an epoch.
+
+    Counting such batches inflated epochs-to-converge (the Fig. 13
+    efficiency protocol) and could burn the whole max_epochs budget doing
+    nothing."""
+
+    def test_replay_until_converged_skips_no_op_epochs(self):
+        model = _NoOpReplayModel()
+        trainer = StreamTrainer(model)
+        report = trainer.replay_until_converged(now=0.0)
+        assert report.epochs == 0
+        assert report.error_trace == []
+        assert model.calls == 1  # one attempt, then stop — not max_epochs
+
+    def test_replay_until_error_skips_no_op_epochs(self):
+        model = _NoOpReplayModel()
+        trainer = StreamTrainer(model)
+        report = trainer.replay_until_error(now=0.0, target_error=0.5)
+        assert report.epochs == 0
+        assert report.error_trace == []
+        assert not report.converged
+        assert model.calls == 1
+
+
 class TestProcess:
     def test_combines_consume_and_replay(self):
         model = AdaptiveMatrixFactorization(rng=0)

@@ -93,6 +93,46 @@ class TestPartitioner:
         with pytest.raises(ValueError, match="equal length"):
             partition_conflict_free([0, 1], [0])
 
+    def test_invalid_tables_rejected(self):
+        with pytest.raises(ValueError, match="tables"):
+            partition_conflict_free([0], [0], tables="list")
+
+    @given(pairs=id_pairs)
+    @settings(max_examples=200, deadline=None)
+    def test_dense_and_dict_tables_agree(self, pairs):
+        """Both bookkeeping structures must produce identical schedules."""
+        users = np.array([u for u, _ in pairs], dtype=np.intp)
+        services = np.array([s for _, s in pairs], dtype=np.intp)
+        dense = partition_conflict_free(users, services, tables="dense")
+        sparse = partition_conflict_free(users, services, tables="dict")
+        auto = partition_conflict_free(users, services, tables="auto")
+        np.testing.assert_array_equal(dense, sparse)
+        np.testing.assert_array_equal(dense, auto)
+
+    def test_sparse_large_ids_do_not_allocate_dense_tables(self):
+        """Regression: one sample with user id 10**9 used to allocate a
+        dense ``[-1] * (10**9 + 1)`` table (gigabytes) before scheduling.
+        With dict tables the schedule completes instantly and keeps the
+        conflict-free invariants."""
+        rng = np.random.default_rng(3)
+        users = rng.integers(0, 10**9, size=500)
+        services = rng.integers(0, 10**9, size=500)
+        blocks = partition_conflict_free(users, services)
+        assert blocks.shape == (500,)
+        for block_id in np.unique(blocks):
+            member = blocks == block_id
+            assert len(np.unique(users[member])) == int(member.sum())
+            assert len(np.unique(services[member])) == int(member.sum())
+
+    def test_auto_picks_dense_for_compact_ids(self):
+        # Indirect but cheap check: dense and auto agree on compact ids
+        # (the parity property above) and auto stays fast on huge ids
+        # (the regression above); here we just pin the threshold contract.
+        users = list(range(100))
+        services = list(range(100))
+        blocks = partition_conflict_free(users, services, tables="auto")
+        assert blocks.tolist() == [0] * 100
+
 
 def _drive(kernel: str, *, seed: int = 11, epochs: int = 12):
     """Observe a seeded stream, then replay with the requested kernel."""

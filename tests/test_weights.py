@@ -20,7 +20,24 @@ class TestGrowableErrors:
     def test_new_ids_get_init_value(self):
         tracker = _GrowableErrors(init_error=1.0)
         assert tracker.get(0) == 1.0
-        assert tracker.get(100) == 1.0  # grows past initial capacity
+        assert tracker.get(100) == 1.0  # beyond current size: init, no growth
+
+    def test_get_does_not_grow(self):
+        """Reads are pure: asking about an unknown id must not allocate
+        state for it (a prediction request is not an observation)."""
+        tracker = _GrowableErrors(init_error=1.0)
+        assert len(tracker) == 0
+        tracker.get(10**9)
+        assert len(tracker) == 0
+        tracker.set(3, 0.25)
+        size = len(tracker)
+        tracker.get(500)
+        assert len(tracker) == size
+
+    def test_get_negative_id_rejected(self):
+        tracker = _GrowableErrors()
+        with pytest.raises(IndexError):
+            tracker.get(-1)
 
     def test_set_and_get(self):
         tracker = _GrowableErrors()
@@ -172,3 +189,33 @@ class TestObserve:
     def test_invalid_beta_rejected(self):
         with pytest.raises(ValueError):
             AdaptiveWeights(beta=1.5)
+
+
+class TestReadPathPurity:
+    """Regression: read-only queries must not grow the trackers.
+
+    ``user_error``/``service_error``/``credence`` are called on the
+    prediction path; before the fix an unknown-id read allocated tracker
+    rows, so merely *asking* about entity 10**6 grew state by megabytes."""
+
+    def test_user_error_does_not_register(self):
+        weights = AdaptiveWeights(init_error=1.0)
+        assert weights.user_error(999) == 1.0
+        assert weights.n_users == 0
+
+    def test_service_error_does_not_register(self):
+        weights = AdaptiveWeights(init_error=1.0)
+        assert weights.service_error(999) == 1.0
+        assert weights.n_services == 0
+
+    def test_credence_does_not_register(self):
+        weights = AdaptiveWeights()
+        assert weights.credence(12345, 67890) == (0.5, 0.5)
+        assert weights.n_users == 0
+        assert weights.n_services == 0
+
+    def test_observe_still_registers(self):
+        weights = AdaptiveWeights()
+        weights.observe(4, 7, sample_error=0.5)
+        assert weights.n_users == 5
+        assert weights.n_services == 8
