@@ -15,8 +15,15 @@ use it as a one-command recovery drill::
 
     PYTHONPATH=src python scripts/chaos_check.py
     PYTHONPATH=src python scripts/chaos_check.py --records 500 --seed 7 --clean
+    PYTHONPATH=src python scripts/chaos_check.py --poison-flood
 
-Run with ``--clean`` for a pristine stream (pure crash/recovery check).
+``--clean`` runs a pristine stream (pure crash/recovery check).
+``--poison-flood`` runs the combined robustness drill instead: a gated,
+admission-controlled server is warmed over a poisoned stream (NaN/±inf/
+negative wire payloads must all bounce with 400), then flooded from
+multiple threads (the server must shed with 429/503 + ``Retry-After``
+while in-flight predictions keep serving), and its prediction accuracy
+after the flood must match the accuracy before it.
 """
 
 from __future__ import annotations
@@ -44,6 +51,112 @@ def make_stream(n: int, seed: int, n_users: int = 20, n_services: int = 40):
     ]
 
 
+def run_poison_flood(seed: int, records: int) -> int:
+    """The combined poison + flood drill.  Returns a process exit code."""
+    from repro.metrics.errors import mae
+    from repro.robustness import AdmissionConfig
+    from repro.server.app import PredictionServer
+    from repro.server.client import PredictionClient
+    from repro.simulation import FaultInjector, check_metrics_exposition, drive_client
+    from repro.simulation.faults import run_flood
+
+    rng = np.random.default_rng(seed)
+    n_users, n_services = 12, 16
+    # Structured ground truth (rank-1 + noise) so "accuracy" is measurable:
+    # the model should learn M, and a flood must not unlearn it.
+    user_profile = rng.uniform(0.5, 2.0, size=n_users)
+    service_profile = rng.uniform(0.4, 2.5, size=n_services)
+    truth = np.outer(user_profile, service_profile)
+
+    def sample(k: int) -> QoSRecord:
+        u = int(rng.integers(n_users))
+        s = int(rng.integers(n_services))
+        noisy = float(truth[u, s] * (1.0 + rng.normal(0.0, 0.03)))
+        return QoSRecord(timestamp=float(k), user_id=u, service_id=s,
+                         value=max(noisy, 1e-3))
+
+    warm = [sample(k) for k in range(records)]
+    flood_records = [sample(records + k) for k in range(records * 4)]
+    probe_pairs = [(u, s) for u in range(n_users) for s in range(n_services)]
+
+    failures: list[str] = []
+    server = PredictionServer(
+        rng=seed,
+        background_replay=False,
+        gate=True,
+        admission=AdmissionConfig(rate=400.0, burst=60.0, max_pending=16,
+                                  deadline=1.0),
+    )
+    server.start()
+    try:
+        # Warm-up through a poisoned pipe.  The keyed client retries shed
+        # requests honoring Retry-After, so every valid sample lands even
+        # against the rate limiter; every poisoned payload must bounce.
+        client = PredictionClient(server.address, retries=4, backoff=0.05)
+        injector = FaultInjector(warm, FaultConfig(poison_rate=0.08), rng=seed)
+        outcome = drive_client(client, injector, idempotency_prefix="warmup")
+        print(f"warm-up: {outcome}")
+        if outcome["poison_accepted"]:
+            failures.append(
+                f"{outcome['poison_accepted']} poisoned payloads were accepted"
+            )
+        if outcome["poisoned"] == 0:
+            failures.append("drill bug: no poison events were injected")
+        if outcome["rejected"]:
+            failures.append(
+                f"{outcome['rejected']} valid keyed warm-up samples were "
+                "lost despite retries"
+            )
+
+        def probe_mae() -> float:
+            predicted = [client.predict(u, s) for u, s in probe_pairs]
+            actual = [float(truth[u, s]) for u, s in probe_pairs]
+            return mae(predicted, actual)
+
+        pre_mae = probe_mae()
+        flood = run_flood(server.address, flood_records, threads=4,
+                          predict_pairs=probe_pairs)
+        print(f"flood: {flood}")
+        post_mae = probe_mae()
+        print(f"accuracy: pre-flood MAE {pre_mae:.4f}, post-flood MAE {post_mae:.4f}")
+
+        if flood["shed"] == 0:
+            failures.append("flood was never shed (admission control inert)")
+        if flood["retry_after_hints"] < flood["shed"]:
+            failures.append(
+                f"only {flood['retry_after_hints']}/{flood['shed']} shed "
+                "responses carried a Retry-After hint"
+            )
+        if flood["errors"]:
+            failures.append(f"{flood['errors']} transport errors during flood")
+        if flood["predictions_ok"] == 0:
+            failures.append("no predictions served during the flood")
+        if flood["predictions_failed"]:
+            failures.append(
+                f"{flood['predictions_failed']} predictions failed during the flood"
+            )
+        # The flood feeds in-distribution samples, so accepted ones can only
+        # refine the model; accuracy must not degrade materially.
+        if post_mae > pre_mae * 1.25 + 0.05:
+            failures.append(
+                f"post-flood MAE {post_mae:.4f} degraded from {pre_mae:.4f}"
+            )
+        metrics_ok, metrics_detail = check_metrics_exposition(client.metrics())
+        print(f"metrics exposition {'OK' if metrics_ok else 'INVALID'}: "
+              f"{metrics_detail}")
+        if not metrics_ok:
+            failures.append(f"metrics exposition invalid: {metrics_detail}")
+    finally:
+        server.stop()
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("poison+flood drill PASSED")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--records", type=int, default=300,
@@ -55,7 +168,13 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--clean", action="store_true",
                         help="disable stream faults (pure crash/recovery)")
+    parser.add_argument("--poison-flood", action="store_true",
+                        help="run the combined poison + flood robustness "
+                             "drill instead of the crash/recovery drill")
     args = parser.parse_args()
+
+    if args.poison_flood:
+        return run_poison_flood(args.seed, args.records)
 
     records = make_stream(args.records, args.seed)
     crash_after = (

@@ -447,6 +447,23 @@ class AdaptiveMatrixFactorization:
             self.weights.reset_service(service_id)
             self._store.drop_service(service_id)
 
+    def normalize_value(self, value: float) -> float:
+        """Map a raw QoS value into normalized ``[floor, 1]`` space.
+
+        The exact mapping ``observe`` applies (Box-Cox + linear, floored at
+        ``config.normalized_floor``), exposed so stream sanitizers can
+        reason in the model's own residual space
+        (:class:`repro.robustness.SanitizerGate`).
+        """
+        r = self._normalize_scalar(value)
+        if r < self.config.normalized_floor:
+            r = self.config.normalized_floor
+        return r
+
+    def denormalize_value(self, r: float) -> float:
+        """Inverse of :meth:`normalize_value`: normalized space back to raw."""
+        return float(self.normalizer.denormalize(r))
+
     # ------------------------------------------------------------------
     # Online updates (Algorithm 1)
     # ------------------------------------------------------------------

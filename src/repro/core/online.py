@@ -69,6 +69,8 @@ class TrainReport:
         final_error:     mean training relative error after the pass.
         error_trace:     mean replay error per epoch (for convergence plots).
         wall_seconds:    wall-clock time spent in this pass.
+        quarantined:     arrivals diverted into the sanitizer gate's
+                         quarantine (0 without a gate).
     """
 
     arrivals: int = 0
@@ -79,6 +81,7 @@ class TrainReport:
     final_error: float = float("nan")
     error_trace: list[float] = field(default_factory=list)
     wall_seconds: float = 0.0
+    quarantined: int = 0
 
 
 class StreamTrainer:
@@ -101,6 +104,10 @@ class StreamTrainer:
         kernel:       replay kernel override ("scalar" or "vectorized")
                       passed to every :meth:`replay_many` call; ``None``
                       (default) uses the model's ``config.kernel``.
+        gate:         optional :class:`repro.robustness.SanitizerGate`;
+                      when set, :meth:`consume` routes every arrival
+                      through it, so outliers are clipped or quarantined
+                      before they reach the model.
     """
 
     def __init__(
@@ -111,6 +118,7 @@ class StreamTrainer:
         min_epochs: int = 5,
         max_epochs: int = 100,
         kernel: str | None = None,
+        gate=None,
     ) -> None:
         check_positive("tolerance", tolerance)
         if patience < 1:
@@ -131,14 +139,29 @@ class StreamTrainer:
         self.min_epochs = min_epochs
         self.max_epochs = max_epochs
         self.kernel = kernel
+        self.gate = gate
 
     def consume(self, records: Iterable[QoSRecord]) -> TrainReport:
-        """Feed newly observed samples without any replay."""
+        """Feed newly observed samples without any replay.
+
+        With a gate attached, each arrival may be admitted as-is, admitted
+        clipped, quarantined (counted in ``report.quarantined``, not
+        applied), or trigger the release of previously quarantined samples.
+        """
         report = TrainReport()
         started = time.perf_counter()
-        for record in records:
-            self.model.observe(record)
-            report.arrivals += 1
+        if self.gate is None:
+            for record in records:
+                self.model.observe(record)
+                report.arrivals += 1
+        else:
+            from repro.robustness.gate import apply_observation
+
+            for record in records:
+                action, __ = apply_observation(self.model, self.gate, record)
+                if action == "quarantine":
+                    report.quarantined += 1
+                report.arrivals += 1
         report.final_error = self.model.training_error()
         report.wall_seconds = time.perf_counter() - started
         _PHASE_CONSUME.observe(report.wall_seconds)
@@ -256,4 +279,5 @@ class StreamTrainer:
             final_error=replay_report.final_error,
             error_trace=replay_report.error_trace,
             wall_seconds=consume_report.wall_seconds + replay_report.wall_seconds,
+            quarantined=consume_report.quarantined,
         )

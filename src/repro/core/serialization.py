@@ -16,8 +16,10 @@ to be.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import zipfile
 
 import numpy as np
 
@@ -26,8 +28,29 @@ from repro.core.config import AMFConfig
 
 #: Bump when the archive layout changes; load_model refuses newer versions.
 #: v2 adds ``rng_state_json`` and ``extra_json`` (both optional on load, so
-#: v1 archives remain readable).
-FORMAT_VERSION = 2
+#: v1 archives remain readable).  v3 reserves ``extra_json`` keys under
+#: ``robustness`` for the outlier gate / dedup-ledger / timestamp-policy
+#: state the prediction server checkpoints alongside the model; the array
+#: layout is unchanged and v1/v2 archives remain readable.
+FORMAT_VERSION = 3
+
+
+def archive_digest(path: str) -> str:
+    """Content digest of a saved model archive, stable across re-saves.
+
+    ``np.savez_compressed`` embeds wall-clock timestamps in its zip member
+    headers, so two byte-identical model states produce different archive
+    *files*.  This hashes the sorted member names and their decompressed
+    contents instead — equal digests mean equal persisted state, which is
+    how the recovery tests assert byte-identical checkpoints.
+    """
+    digest = hashlib.sha256()
+    with zipfile.ZipFile(path) as archive:
+        for name in sorted(archive.namelist()):
+            digest.update(name.encode())
+            digest.update(b"\0")
+            digest.update(archive.read(name))
+    return digest.hexdigest()
 
 
 def save_model(

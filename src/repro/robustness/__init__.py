@@ -1,0 +1,50 @@
+"""Untrusted-stream hardening for the online prediction service.
+
+Three independent defenses, all off by default, composing on the server's
+ingest path (`docs/operations.md` § "Admission control & data hygiene"):
+
+* :mod:`repro.robustness.gate` — streaming sanitizer + outlier gate:
+  per-user/per-service robust statistics that admit, clip-and-admit, or
+  quarantine each sample, deterministic across WAL replay.
+* :mod:`repro.robustness.dedup` — idempotency-key dedup ledger and
+  stale/out-of-order timestamp policies, making at-least-once delivery
+  safe.
+* :mod:`repro.robustness.admission` — token-bucket rate limiting, bounded
+  ingest queue, and deadline budgets (429/503 + ``Retry-After``).
+"""
+
+from repro.robustness.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    Overloaded,
+    RateLimited,
+    ShedRequest,
+    TokenBucket,
+)
+from repro.robustness.dedup import (
+    DedupLedger,
+    StaleObservation,
+    TimestampPolicy,
+)
+from repro.robustness.gate import (
+    GateConfig,
+    GateDecision,
+    SanitizerGate,
+    apply_observation,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "DedupLedger",
+    "GateConfig",
+    "GateDecision",
+    "Overloaded",
+    "RateLimited",
+    "SanitizerGate",
+    "ShedRequest",
+    "StaleObservation",
+    "TimestampPolicy",
+    "TokenBucket",
+    "apply_observation",
+]

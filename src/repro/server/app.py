@@ -39,6 +39,22 @@ Fault tolerance (``data_dir`` enables durability):
   for unknown entities or an unhealthy model instead of erroring out;
 * unexpected handler exceptions return a JSON 500, never a dropped
   connection, and oversized bodies are rejected with 413 before reading.
+
+Untrusted-stream hardening (:mod:`repro.robustness`, all opt-in):
+
+* ``gate=`` attaches a streaming outlier gate — each observation is
+  admitted, clipped into the entity's plausible band, or quarantined
+  pending corroboration, *after* the raw record is WAL'd; replaying the
+  WAL re-runs the same deterministic decisions, and the gate state rides
+  inside every checkpoint, so recovery stays bit-exact;
+* observations may carry an ``idempotency_key`` — a bounded dedup ledger
+  (rebuilt from the WAL on recovery) acknowledges retries without
+  re-applying the SGD step, making at-least-once client delivery safe;
+  ``timestamp_policy=`` additionally rejects too-stale/too-future samples;
+* ``admission=`` adds front-door load shedding on the ingest path —
+  token-bucket rate limiting (429), a bounded ingest queue and per-request
+  deadline budget (503), all with ``Retry-After``; predictions are never
+  shed, so the fallback chain keeps serving through a flood.
 """
 
 from __future__ import annotations
@@ -56,6 +72,17 @@ from repro.core.fallback import FallbackPredictor
 from repro.core.transform import sigmoid
 from repro.datasets.schema import QoSRecord
 from repro.observability import StreamAccuracyMonitor, get_registry
+from repro.robustness import (
+    AdmissionConfig,
+    AdmissionController,
+    DedupLedger,
+    GateConfig,
+    SanitizerGate,
+    ShedRequest,
+    StaleObservation,
+    TimestampPolicy,
+    apply_observation,
+)
 from repro.server.wal import CheckpointStore, WriteAheadLog
 
 # Serving observability.  The fallback chain tags every answer with its
@@ -82,7 +109,15 @@ _INTERNAL_ERRORS = _METRICS.counter(
 
 
 class _BadRequest(Exception):
-    """Client error with a message safe to echo back."""
+    """Client error with a message safe to echo back.
+
+    ``code`` (optional) is a stable machine-readable discriminator included
+    in the JSON body, so clients can branch without parsing prose.
+    """
+
+    def __init__(self, message: str, code: "str | None" = None) -> None:
+        super().__init__(message)
+        self.code = code
 
 
 class _PayloadTooLarge(Exception):
@@ -96,6 +131,81 @@ def _require(payload: dict, field: str, kind):
         return kind(payload[field])
     except (TypeError, ValueError) as exc:
         raise _BadRequest(f"field {field!r} must be {kind.__name__}") from exc
+
+
+def _require_observation(payload: dict) -> QoSRecord:
+    """Parse and validate one observation payload into a :class:`QoSRecord`.
+
+    Beyond type coercion, this is the API-boundary hygiene check: a NaN,
+    ±inf, or negative QoS value must never reach the WAL or an SGD step —
+    ``float("nan")`` coerces fine, so ``_require`` alone cannot catch it.
+    """
+    timestamp = _require(payload, "timestamp", float)
+    value = _require(payload, "value", float)
+    if not math.isfinite(timestamp):
+        raise _BadRequest(
+            f"field 'timestamp' must be finite, got {timestamp}",
+            code="invalid_timestamp",
+        )
+    if not math.isfinite(value):
+        raise _BadRequest(
+            f"field 'value' must be finite, got {value}", code="invalid_value"
+        )
+    if value < 0:
+        raise _BadRequest(
+            f"field 'value' must be non-negative, got {value}",
+            code="invalid_value",
+        )
+    try:
+        return QoSRecord(
+            timestamp=timestamp,
+            user_id=_require(payload, "user_id", int),
+            service_id=_require(payload, "service_id", int),
+            value=value,
+        )
+    except ValueError as exc:
+        raise _BadRequest(str(exc)) from exc
+
+
+class _HeldLock:
+    """Context manager releasing an already-acquired lock on exit."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock) -> None:
+        self._lock = lock
+
+    def __enter__(self) -> "_HeldLock":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._lock.release()
+
+
+class _NoAdmission:
+    """No-op stand-in for an admission slot when admission control is off."""
+
+    def __enter__(self) -> "_NoAdmission":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NO_ADMISSION = _NoAdmission()
+
+
+def _idempotency_key(payload: dict) -> "str | None":
+    key = payload.get("idempotency_key")
+    if key is None:
+        return None
+    if not isinstance(key, str) or not key or len(key) > 256:
+        raise _BadRequest(
+            "field 'idempotency_key' must be a non-empty string of at most "
+            "256 characters",
+            code="invalid_idempotency_key",
+        )
+    return key
 
 
 class PredictionServer:
@@ -116,6 +226,20 @@ class PredictionServer:
     model only — when a checkpoint exists in ``data_dir`` the checkpointed
     model (including its RNG state) wins, which is what makes recovery
     exact.
+
+    Robustness knobs (all off by default, see :mod:`repro.robustness`):
+
+    * ``gate`` — ``True`` for default :class:`GateConfig` thresholds, or a
+      :class:`GateConfig`; attaches the streaming outlier gate.  **Keep the
+      setting consistent across restarts of the same ``data_dir``** — the
+      WAL stores raw pre-gate records, so replaying them without the gate
+      (or with different thresholds) reconstructs a different model.
+    * ``admission`` — ``True`` for default :class:`AdmissionConfig` limits,
+      or an :class:`AdmissionConfig`; enables ingest load shedding.
+    * ``timestamp_policy`` — a :class:`TimestampPolicy` bounding how
+      stale/future observation timestamps may be.
+    * ``dedup_capacity`` — idempotency-key ledger size (the ledger itself
+      is always on; it costs nothing until a client sends keys).
     """
 
     def __init__(
@@ -130,6 +254,10 @@ class PredictionServer:
         wal_fsync: bool = True,
         supervise: bool = True,
         max_body_bytes: int = 1 << 20,
+        gate: "GateConfig | bool | None" = None,
+        admission: "AdmissionConfig | bool | None" = None,
+        timestamp_policy: "TimestampPolicy | None" = None,
+        dedup_capacity: int = 65536,
     ) -> None:
         if checkpoint_interval < 1:
             raise ValueError(
@@ -145,23 +273,66 @@ class PredictionServer:
         self.recovery: dict = {"checkpoint_seq": 0, "wal_replayed": 0, "torn_lines": 0}
         model: "AdaptiveMatrixFactorization | None" = None
         applied_seq = 0
+        checkpoint_extra: dict = {}
         if data_dir is not None:
             self._checkpoints = CheckpointStore(data_dir)
-            restored = self._checkpoints.load(rng=None)
+            restored = self._checkpoints.load_full(rng=None)
             if restored is not None:
-                model, applied_seq = restored
+                model, applied_seq, checkpoint_extra = restored
             self._wal = WriteAheadLog(data_dir, fsync=wal_fsync)
         if model is None:
             model = AdaptiveMatrixFactorization(config, rng=rng)
+
+        # Robustness state.  The gate binds the *raw* model's normalization
+        # (pure config-derived functions, safe to call lock-free); its state
+        # plus the dedup ledger ride in every checkpoint and are rebuilt to
+        # the exact pre-crash values by the gated WAL replay below.
+        if gate is True:
+            gate = GateConfig()
+        self.gate: "SanitizerGate | None" = (
+            SanitizerGate(gate, model.normalize_value, model.denormalize_value)
+            if gate is not None and gate is not False
+            else None
+        )
+        self.ledger = DedupLedger(capacity=dedup_capacity)
+        self.timestamp_policy = timestamp_policy
+        if admission is True:
+            admission = AdmissionConfig()
+        self.admission: "AdmissionController | None" = (
+            AdmissionController(admission)
+            if admission is not None and admission is not False
+            else None
+        )
+        robustness_state = checkpoint_extra.get("robustness", {})
+        if self.gate is not None and "gate" in robustness_state:
+            self.gate.restore(robustness_state["gate"])
+        if "ledger" in robustness_state:
+            self.ledger.restore(robustness_state["ledger"])
+        self._latest_ingest_ts: "float | None" = robustness_state.get(
+            "latest_ingest_ts"
+        )
+
         latest_timestamp = 0.0
         timestamps = model._store.columns()[2]
         if timestamps.size:
             latest_timestamp = float(timestamps.max())
         replayed = 0
         if self._wal is not None:
-            for __, record in self._wal.replay(after_seq=applied_seq):
-                model.observe(record)
+            # The WAL holds raw pre-gate records; re-running the (restored,
+            # deterministic) gate over the tail reproduces the pre-crash
+            # admit/clip/quarantine decisions — and therefore the pre-crash
+            # model — bit-exactly.  Duplicate keys never reach the WAL, so
+            # every replayed key is fresh and just rebuilds the ledger.
+            for __, record, key in self._wal.replay_full(after_seq=applied_seq):
+                apply_observation(model, self.gate, record)
+                if key is not None:
+                    self.ledger.add(key)
                 latest_timestamp = max(latest_timestamp, record.timestamp)
+                if (
+                    self._latest_ingest_ts is None
+                    or record.timestamp > self._latest_ingest_ts
+                ):
+                    self._latest_ingest_ts = record.timestamp
                 replayed += 1
             self.recovery = {
                 "checkpoint_seq": applied_seq,
@@ -213,6 +384,8 @@ class PredictionServer:
         self._stats_lock = threading.Lock()
         self._observations_handled = 0
         self._observations_rejected = 0
+        self._observations_deduplicated = 0
+        self._observations_quarantined = 0
         self._predictions_served = 0
         self._degraded_predictions = 0
         self._internal_errors = 0
@@ -289,6 +462,20 @@ class PredictionServer:
         self.stop()
 
     # -- durability ----------------------------------------------------------
+    def _robustness_extra(self) -> dict:
+        """Robustness state checkpointed alongside the model (format v3).
+
+        Gate and ledger evolve in ingest order, so snapshotting them under
+        the ingest lock at the checkpoint's WAL position keeps recovery
+        deterministic: restore, then re-run the gated replay over the tail.
+        """
+        state: dict = {"ledger": self.ledger.state_dict()}
+        if self.gate is not None:
+            state["gate"] = self.gate.state_dict()
+        if self._latest_ingest_ts is not None:
+            state["latest_ingest_ts"] = self._latest_ingest_ts
+        return state
+
     def _checkpoint_locked(self) -> None:
         """Write a checkpoint covering the current WAL position.
 
@@ -298,7 +485,8 @@ class PredictionServer:
         if self._checkpoints is None:
             return
         seq = self._wal.last_seq
-        self.model.with_model(lambda m: self._checkpoints.save(m, seq))
+        extra = {"robustness": self._robustness_extra()}
+        self.model.with_model(lambda m: self._checkpoints.save(m, seq, extra=extra))
         self._wal.prune(seq)
         self._observations_since_checkpoint = 0
         with self._stats_lock:
@@ -311,62 +499,131 @@ class PredictionServer:
             self._checkpoint_locked()
 
     # -- request handling ------------------------------------------------------
-    def _handle_observation(self, payload: dict) -> dict:
+    def _parse_observation(self, payload: dict) -> "tuple[QoSRecord, str | None]":
+        """Validate one observation payload; counts rejections."""
         try:
-            record = QoSRecord(
-                timestamp=_require(payload, "timestamp", float),
-                user_id=_require(payload, "user_id", int),
-                service_id=_require(payload, "service_id", int),
-                value=_require(payload, "value", float),
-            )
-        except (_BadRequest, ValueError) as exc:
+            record = _require_observation(payload)
+            key = _idempotency_key(payload)
+        except _BadRequest:
             with self._stats_lock:
                 self._observations_rejected += 1
             _OBSERVATIONS_REJECTED.inc()
-            if isinstance(exc, _BadRequest):
-                raise
-            raise _BadRequest(str(exc)) from exc
-        with self._ingest_lock:
-            if self._wal is not None:
-                self._wal.append(record)
-            # Predict-then-observe: the pre-update prediction against the
-            # arriving ground truth is the live accuracy signal (windowed
-            # MAE/MRE/NPRE) — computed before the sample can teach the model.
-            predicted = self.model.predict_known(record.user_id, record.service_id)
-            if predicted is not None and math.isfinite(predicted):
-                self.drift.record(predicted, record.value)
-            error = self.model.observe(record)
-            self.fallback.observe(record.user_id, record.service_id, record.value)
-            self._observations_since_checkpoint += 1
-            if (
-                self.durable
-                and self._observations_since_checkpoint >= self.checkpoint_interval
-            ):
-                self._checkpoint_locked()
+            raise
+        return record, key
+
+    def _acquire_ingest_lock(self):
+        """Take the ingest lock, honoring the admission deadline budget.
+
+        Returns a context manager holding the lock.  With admission control
+        on, a request that cannot get the lock within the deadline is shed
+        with 503 instead of joining an unbounded convoy.
+        """
+        if self.admission is None:
+            self._ingest_lock.acquire()
+        elif not self._ingest_lock.acquire(timeout=self.admission.deadline):
+            raise self.admission.note_deadline_exceeded()
+        return _HeldLock(self._ingest_lock)
+
+    def _ingest_one(self, record: QoSRecord, key: "str | None") -> dict:
+        """Apply one validated observation.  Caller holds the ingest lock.
+
+        Order matters for crash consistency: dedup check → timestamp
+        policy → WAL append → ledger add → gate+model apply.  The ledger is
+        updated only after the record is durably logged, mirroring how
+        recovery rebuilds it from the WAL.
+        """
+        if key is not None and self.ledger.seen(key):
+            self.ledger.note_duplicate()
+            with self._stats_lock:
+                self._observations_deduplicated += 1
+            return {"sample_error": None, "action": "deduplicated"}
+        if self.timestamp_policy is not None:
+            try:
+                self.timestamp_policy.check(record.timestamp, self._latest_ingest_ts)
+            except StaleObservation as exc:
+                with self._stats_lock:
+                    self._observations_rejected += 1
+                _OBSERVATIONS_REJECTED.inc()
+                raise _BadRequest(str(exc), code=f"{exc.reason}_timestamp") from exc
+        if self._wal is not None:
+            self._wal.append(record, key=key)
+        if key is not None:
+            self.ledger.add(key)
+        if self._latest_ingest_ts is None or record.timestamp > self._latest_ingest_ts:
+            self._latest_ingest_ts = record.timestamp
+        # Predict-then-observe: the pre-update prediction against the
+        # arriving ground truth is the live accuracy signal (windowed
+        # MAE/MRE/NPRE) — computed before the sample can teach the model.
+        predicted = self.model.predict_known(record.user_id, record.service_id)
+        action, applied = apply_observation(self.model, self.gate, record)
+        if (
+            action in ("admit", "release")
+            and predicted is not None
+            and math.isfinite(predicted)
+        ):
+            # Clipped and quarantined values are suspect ground truth — they
+            # must not count against the model in the drift window.
+            self.drift.record(predicted, record.value)
+        error = None
+        for applied_record, sample_error in applied:
+            self.fallback.observe(
+                applied_record.user_id, applied_record.service_id, applied_record.value
+            )
+            error = sample_error
+        self._observations_since_checkpoint += 1
+        if (
+            self.durable
+            and self._observations_since_checkpoint >= self.checkpoint_interval
+        ):
+            self._checkpoint_locked()
         with self._stats_lock:
             self._observations_handled += 1
-        return {"sample_error": error}
+            if action == "quarantine":
+                self._observations_quarantined += 1
+        return {"sample_error": error, "action": action}
+
+    def _handle_observation(self, payload: dict) -> dict:
+        record, key = self._parse_observation(payload)
+        if self.admission is not None:
+            admit = self.admission.admit(cost=1.0)
+        else:
+            admit = _NO_ADMISSION
+        with admit:
+            with self._acquire_ingest_lock():
+                return self._ingest_one(record, key)
 
     def _handle_observation_batch(self, payload: dict) -> dict:
         observations = payload.get("observations")
         if not isinstance(observations, list):
             raise _BadRequest("field 'observations' must be a list")
+        # Admission is charged once for the whole batch (cost = item count):
+        # a batch is one queue occupant but len(observations) tokens.
+        if self.admission is not None and observations:
+            admit = self.admission.admit(cost=float(len(observations)))
+        else:
+            admit = _NO_ADMISSION
         accepted = 0
         sample_errors: list[float] = []
         rejected: list[dict] = []
-        for index, entry in enumerate(observations):
-            if not isinstance(entry, dict):
-                with self._stats_lock:
-                    self._observations_rejected += 1
-                rejected.append({"index": index, "error": "observation must be an object"})
-                continue
-            try:
-                result = self._handle_observation(entry)
-            except _BadRequest as exc:
-                rejected.append({"index": index, "error": str(exc)})
-            else:
-                accepted += 1
-                sample_errors.append(result["sample_error"])
+        with admit:
+            for index, entry in enumerate(observations):
+                if not isinstance(entry, dict):
+                    with self._stats_lock:
+                        self._observations_rejected += 1
+                    rejected.append(
+                        {"index": index, "error": "observation must be an object"}
+                    )
+                    continue
+                try:
+                    record, key = self._parse_observation(entry)
+                    with self._acquire_ingest_lock():
+                        result = self._ingest_one(record, key)
+                except _BadRequest as exc:
+                    rejected.append({"index": index, "error": str(exc)})
+                else:
+                    accepted += 1
+                    if result["sample_error"] is not None:
+                        sample_errors.append(result["sample_error"])
         return {"accepted": accepted, "rejected": rejected, "sample_errors": sample_errors}
 
     def _predict_one(self, user_id: int, service_id: int) -> dict:
@@ -458,9 +715,36 @@ class PredictionServer:
                     "wal_segments": self._wal.segment_count() if self.durable else None,
                     "recovery": self.recovery,
                 },
+                "robustness": self._robustness_status(),
             }
         )
         return counters
+
+    def _robustness_status(self) -> dict:
+        with self._stats_lock:
+            deduplicated = self._observations_deduplicated
+            quarantined = self._observations_quarantined
+        status: dict = {
+            "gate": None,
+            "dedup": {"ledger_size": len(self.ledger), "deduplicated": deduplicated},
+            "timestamp_policy": (
+                {
+                    "max_future_skew": self.timestamp_policy.max_future_skew,
+                    "max_staleness": self.timestamp_policy.max_staleness,
+                }
+                if self.timestamp_policy is not None
+                else None
+            ),
+            "admission": None,
+        }
+        if self.gate is not None:
+            status["gate"] = dict(self.gate.counts)
+            status["gate"]["quarantine_size"] = self.gate.quarantine_size
+            status["gate"]["observations_quarantined"] = quarantined
+        if self.admission is not None:
+            status["admission"] = dict(self.admission.counts)
+            status["admission"]["pending"] = self.admission.pending
+        return status
 
     def _trainer_health(self) -> dict:
         if self.supervisor is not None:
@@ -522,11 +806,16 @@ class PredictionServer:
             def log_message(self, format, *args):  # noqa: A002 (stdlib API)
                 pass
 
-            def _send(self, status: int, body: dict) -> None:
+            def _send(
+                self, status: int, body: dict, headers: "dict | None" = None
+            ) -> None:
                 data = json.dumps(body).encode()
                 self.send_response(status)
                 self.send_header("Content-Type", "application/json")
                 self.send_header("Content-Length", str(len(data)))
+                if headers:
+                    for name, value in headers.items():
+                        self.send_header(name, value)
                 self.end_headers()
                 self.wfile.write(data)
 
@@ -561,9 +850,25 @@ class PredictionServer:
                         status, body = route()
                         self._send(status, body)
                     except _BadRequest as exc:
-                        self._send(400, {"error": str(exc)})
+                        body = {"error": str(exc)}
+                        if exc.code is not None:
+                            body["code"] = exc.code
+                        self._send(400, body)
                     except _PayloadTooLarge as exc:
                         self._send(413, {"error": str(exc)})
+                    except ShedRequest as exc:
+                        # Load shedding: 429 (rate limit) / 503 (overload or
+                        # deadline) with a machine-usable retry hint in both
+                        # the header (integer seconds, rounded up) and body.
+                        self._send(
+                            exc.status,
+                            {"error": str(exc), "retry_after": exc.retry_after},
+                            headers={
+                                "Retry-After": str(
+                                    max(1, math.ceil(exc.retry_after))
+                                )
+                            },
+                        )
                     except Exception as exc:  # noqa: BLE001 — the 500 boundary
                         with server._stats_lock:
                             server._internal_errors += 1

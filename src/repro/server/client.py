@@ -8,17 +8,31 @@ dependencies.
 
 Resilience: requests carry a timeout, and *idempotent* requests (GETs —
 predictions, status, health) are retried with capped exponential backoff
-plus jitter on transient failures.  Observation POSTs are **not** retried:
-re-reporting a sample re-applies an SGD step, so the caller must decide
-whether at-least-once delivery is acceptable.  Errors are typed:
+plus jitter on transient failures.  When the server sheds load (HTTP
+429/503 from admission control) its retry hint is honored: the backoff
+loop sleeps at least the response's ``Retry-After`` before the next
+attempt.  Errors are typed:
 
 * :class:`RetryableServiceError` — transient (connection failure, timeout,
-  HTTP 5xx/503): the same request may succeed if repeated.
+  HTTP 5xx/429): the same request may succeed if repeated.
 * :class:`TerminalServiceError` — the server understood and refused (HTTP
   4xx): repeating the identical request will fail the identical way.
 
 Both subclass :class:`PredictionServiceError`, so existing ``except``
 clauses keep working.
+
+**At-least-once observation delivery.**  A bare observation POST is *not*
+retried: a timeout is ambiguous (the server may have durably applied the
+sample before the response was lost), and re-reporting re-applies an SGD
+step.  Passing ``idempotency_key`` to :meth:`report_observation` changes
+the contract to at-least-once: the key rides with the payload, the server
+remembers recently seen keys in a bounded ledger (surviving crash
+recovery via the WAL), and a retried delivery is acknowledged without a
+second model update — so the client then retries observation POSTs like
+any idempotent request.  Keys must be unique per *measurement* (e.g.
+``f"{collector_id}:{sequence_number}"``), not per request, and the
+server's ledger capacity bounds how stale a retry may arrive
+(``docs/operations.md``).
 """
 
 from __future__ import annotations
@@ -29,6 +43,28 @@ import time
 import urllib.error
 import urllib.parse
 import urllib.request
+
+
+def _retry_after_hint(exc: "urllib.error.HTTPError", body) -> "float | None":
+    """Best retry delay hint from a shed response, in seconds.
+
+    The JSON body's ``retry_after`` (float, sub-second precision) is
+    preferred; the ``Retry-After`` header (integer seconds per RFC 9110)
+    is the fallback.  ``None`` when the response carries neither.
+    """
+    if isinstance(body, dict):
+        hint = body.get("retry_after")
+        if isinstance(hint, (int, float)) and hint >= 0:
+            return float(hint)
+    header = exc.headers.get("Retry-After") if exc.headers is not None else None
+    if header is not None:
+        try:
+            parsed = float(header)
+        except ValueError:
+            return None
+        if parsed >= 0:
+            return parsed
+    return None
 
 
 class PredictionServiceError(RuntimeError):
@@ -115,6 +151,7 @@ class PredictionClient:
             error = kind(message)
             error.status = exc.code
             error.body = body
+            error.retry_after = _retry_after_hint(exc, body)
             raise error from exc
         except urllib.error.URLError as exc:
             raise RetryableServiceError(
@@ -140,33 +177,58 @@ class PredictionClient:
         for attempt in range(attempts):
             try:
                 return self._request_once(method, path, payload, raw=raw)
-            except RetryableServiceError:
+            except RetryableServiceError as exc:
                 if attempt + 1 >= attempts:
                     raise
-                time.sleep(
-                    min(delay, self.backoff_max)
-                    * (1.0 + self.jitter * self._jitter_rng.random())
+                sleep = min(delay, self.backoff_max) * (
+                    1.0 + self.jitter * self._jitter_rng.random()
                 )
+                # A shedding server knows when capacity returns; its
+                # Retry-After is a floor under our own backoff, so a fleet
+                # of retrying clients doesn't hammer a rate limiter that
+                # already told them when to come back.
+                hint = getattr(exc, "retry_after", None)
+                if hint is not None:
+                    sleep = max(sleep, hint)
+                time.sleep(sleep)
                 delay *= 2.0
                 self.retries_performed += 1
         raise AssertionError("unreachable")  # pragma: no cover
 
     # -- the Fig. 3 interface -------------------------------------------------
     def report_observation(
-        self, user_id: int, service_id: int, value: float, timestamp: float
+        self,
+        user_id: int,
+        service_id: int,
+        value: float,
+        timestamp: float,
+        idempotency_key: "str | None" = None,
     ) -> float:
-        """Upload one observed QoS sample; returns its pre-update error."""
+        """Upload one observed QoS sample; returns its pre-update error.
+
+        With ``idempotency_key`` set, the POST is retried on transient
+        failures like an idempotent request — the server's dedup ledger
+        guarantees the sample is applied at most once (see the module
+        docstring for the at-least-once contract).  Returns NaN when the
+        server acknowledged without a fresh model update (a deduplicated
+        retry, or a sample the outlier gate quarantined).
+        """
+        payload = {
+            "timestamp": timestamp,
+            "user_id": user_id,
+            "service_id": service_id,
+            "value": value,
+        }
+        if idempotency_key is not None:
+            payload["idempotency_key"] = idempotency_key
         body = self._request(
             "POST",
             "/observations",
-            {
-                "timestamp": timestamp,
-                "user_id": user_id,
-                "service_id": service_id,
-                "value": value,
-            },
+            payload,
+            idempotent=idempotency_key is not None,
         )
-        return float(body["sample_error"])
+        error = body.get("sample_error")
+        return float(error) if error is not None else float("nan")
 
     def report_observations(self, observations: "list[dict]") -> int:
         """Upload many samples; returns how many were accepted.

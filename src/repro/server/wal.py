@@ -128,11 +128,13 @@ class WriteAheadLog:
         if not names:
             return 0
         last_seq = _segment_first_seq(names[-1]) - 1
-        for seq, __ in self._read_segment(names[-1]):
+        for seq, __, __ in self._read_segment(names[-1]):
             last_seq = seq
         return last_seq
 
-    def _read_segment(self, name: str) -> Iterator[tuple[int, QoSRecord]]:
+    def _read_segment(
+        self, name: str
+    ) -> Iterator[tuple[int, QoSRecord, "str | None"]]:
         """Parse one segment, stopping (and tallying) at the first bad line.
 
         Read in binary and decode per line: a torn tail can hold arbitrary
@@ -151,11 +153,14 @@ class WriteAheadLog:
                         value=float(entry["v"]),
                     )
                     seq = int(entry["seq"])
+                    key = entry.get("k")
+                    if key is not None:
+                        key = str(key)
                 except (ValueError, KeyError, TypeError):
                     self.torn_lines += 1
                     _WAL_TORN_LINES.inc()
                     return
-                yield seq, record
+                yield seq, record, key
 
     # -- writing -------------------------------------------------------------
     def _open_active_segment(self) -> None:
@@ -171,8 +176,13 @@ class WriteAheadLog:
         self._handle = open(path, "a", encoding="utf-8")
         self._active_first_seq = _segment_first_seq(active)
 
-    def append(self, record: QoSRecord) -> int:
-        """Durably log one observation; returns its sequence number."""
+    def append(self, record: QoSRecord, key: "str | None" = None) -> int:
+        """Durably log one observation; returns its sequence number.
+
+        ``key`` is the caller-supplied idempotency key, if any; it rides in
+        the record (``"k"``) so crash recovery rebuilds the dedup ledger
+        from the log itself.
+        """
         with self._lock:
             if self._closed:
                 raise ValueError("write-ahead log is closed")
@@ -186,15 +196,16 @@ class WriteAheadLog:
                     encoding="utf-8",
                 )
                 _WAL_SEGMENTS.set(self.segment_count())
-            line = json.dumps(
-                {
-                    "seq": seq,
-                    "t": record.timestamp,
-                    "u": record.user_id,
-                    "s": record.service_id,
-                    "v": record.value,
-                }
-            )
+            entry = {
+                "seq": seq,
+                "t": record.timestamp,
+                "u": record.user_id,
+                "s": record.service_id,
+                "v": record.value,
+            }
+            if key is not None:
+                entry["k"] = key
+            line = json.dumps(entry)
             self._handle.write(line + "\n")
             self._handle.flush()
             if self.fsync:
@@ -213,15 +224,23 @@ class WriteAheadLog:
         Segments wholly covered by ``after_seq`` are skipped without being
         read.  Replay stops at the first corrupt line (a torn crash tail).
         """
+        for seq, record, __ in self.replay_full(after_seq):
+            yield seq, record
+
+    def replay_full(
+        self, after_seq: int = 0
+    ) -> Iterator[tuple[int, QoSRecord, "str | None"]]:
+        """Like :meth:`replay` but also yields each record's idempotency key
+        (``None`` when the observation carried none)."""
         names = self._segment_names()
         for index, name in enumerate(names):
             if index + 1 < len(names):
                 segment_end = _segment_first_seq(names[index + 1]) - 1
                 if segment_end <= after_seq:
                     continue
-            for seq, record in self._read_segment(name):
+            for seq, record, key in self._read_segment(name):
                 if seq > after_seq:
-                    yield seq, record
+                    yield seq, record, key
 
     # -- maintenance ---------------------------------------------------------
     def prune(self, up_to_seq: int) -> int:
@@ -315,5 +334,16 @@ class CheckpointStore:
         """
         if not self.exists():
             return None
+        model, seq, __ = self.load_full(rng=rng)
+        return model, seq
+
+    def load_full(
+        self, rng: "int | None" = None
+    ) -> "tuple[AdaptiveMatrixFactorization, int, dict] | None":
+        """Like :meth:`load` but also returns the checkpoint's ``extra`` dict
+        (minus ``wal_seq``) — the server keeps its robustness state there."""
+        if not self.exists():
+            return None
         model, extra = load_model(self.path, rng=rng, return_extra=True)
-        return model, int(extra.get("wal_seq", 0))
+        wal_seq = int(extra.pop("wal_seq", 0))
+        return model, wal_seq, extra

@@ -14,6 +14,7 @@ from repro.simulation.faults import (
     check_metrics_exposition,
     drive_client,
     run_crash_recovery,
+    run_flood,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "check_metrics_exposition",
     "drive_client",
     "run_crash_recovery",
+    "run_flood",
 ]

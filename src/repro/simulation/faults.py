@@ -36,8 +36,11 @@ from repro.utils.rng import spawn_rng
 
 #: Metric families the chaos drill requires a recovered server to expose:
 #: ingest and replay actually ran, predictions were served, durability
-#: machinery fired, the trainer supervisor is accounted for, and the
-#: windowed accuracy monitor is registered.
+#: machinery fired, the trainer supervisor is accounted for, the windowed
+#: accuracy monitor is registered, and the robustness layer (outlier gate,
+#: dedup ledger, admission control) is wired in — those families register
+#: at import time and render even at zero, so their absence means the
+#: subsystem fell off the data plane.
 CORE_METRIC_FAMILIES: tuple[str, ...] = (
     "qos_amf_observations_total",
     "qos_amf_replay_steps_total",
@@ -48,6 +51,17 @@ CORE_METRIC_FAMILIES: tuple[str, ...] = (
     "qos_stream_mae",
     "qos_stream_mre",
     "qos_stream_npre",
+    "qos_gate_admitted_total",
+    "qos_gate_clipped_total",
+    "qos_gate_quarantined_total",
+    "qos_gate_released_total",
+    "qos_gate_evicted_total",
+    "qos_gate_score",
+    "qos_gate_quarantine_size",
+    "qos_ingest_deduped_total",
+    "qos_ingest_stale_total",
+    "qos_requests_shed_total",
+    "qos_ingest_queue_depth",
 )
 
 
@@ -81,6 +95,10 @@ class FaultConfig:
                          finite — the model must clamp, not crash).
         stall_rate:      probability a stall event precedes a record.
         stall_seconds:   how long drivers should pause on a stall event.
+        poison_rate:     probability a record is replaced by a *poisoned*
+                         wire payload (NaN / ±inf / negative value) that no
+                         valid :class:`QoSRecord` can represent — the API
+                         boundary must 400 it, never the WAL or the model.
     """
 
     drop_rate: float = 0.0
@@ -90,6 +108,7 @@ class FaultConfig:
     corrupt_factor: float = 1000.0
     stall_rate: float = 0.0
     stall_seconds: float = 0.01
+    poison_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -98,6 +117,7 @@ class FaultConfig:
             "reorder_rate",
             "corrupt_rate",
             "stall_rate",
+            "poison_rate",
         ):
             rate = getattr(self, name)
             if not (0.0 <= rate <= 1.0):
@@ -108,13 +128,27 @@ class FaultConfig:
             )
 
 
+#: Poisoned wire values cycled through by ``poison_rate`` faults.  These
+#: cannot live in a :class:`QoSRecord` (its validation refuses them), so
+#: the injector carries them as raw payloads; the stdlib's JSON emits and
+#: parses ``NaN``/``Infinity``, so they really do cross the wire.
+_POISON_VALUES: tuple[float, ...] = (
+    float("nan"),
+    float("inf"),
+    float("-inf"),
+    -1.0,
+)
+
+
 @dataclass(frozen=True, slots=True)
 class FaultEvent:
     """One delivery event: a record (or ``None`` for a pure stall) + the
-    fault kinds applied to it."""
+    fault kinds applied to it.  Poison events carry no record — ``payload``
+    is the raw wire dict to POST as-is."""
 
     record: "QoSRecord | None"
     faults: tuple[str, ...] = ()
+    payload: "dict | None" = None
 
 
 class FaultInjector:
@@ -141,6 +175,7 @@ class FaultInjector:
             "reordered": 0,
             "corrupted": 0,
             "stalled": 0,
+            "poisoned": 0,
         }
 
     def _corrupt(self, record: QoSRecord) -> QoSRecord:
@@ -169,6 +204,24 @@ class FaultInjector:
             if config.drop_rate and rng.random() < config.drop_rate:
                 self.counts["dropped"] += 1
                 continue
+            if config.poison_rate and rng.random() < config.poison_rate:
+                # The collector destroyed the measurement: what goes over
+                # the wire is garbage that must bounce off the API boundary.
+                poison = _POISON_VALUES[
+                    int(rng.integers(len(_POISON_VALUES)))
+                ]
+                self.counts["poisoned"] += 1
+                yield FaultEvent(
+                    None,
+                    ("poison",),
+                    payload={
+                        "timestamp": record.timestamp,
+                        "user_id": record.user_id,
+                        "service_id": record.service_id,
+                        "value": poison,
+                    },
+                )
+                continue
             faults: tuple[str, ...] = ()
             if config.corrupt_rate and rng.random() < config.corrupt_rate:
                 record = self._corrupt(record)
@@ -192,31 +245,70 @@ class FaultInjector:
         return (event.record for event in self.events() if event.record is not None)
 
 
-def drive_client(client, injector: FaultInjector, sleep_on_stall: bool = True) -> dict:
+def drive_client(
+    client,
+    injector: FaultInjector,
+    sleep_on_stall: bool = True,
+    idempotency_prefix: "str | None" = None,
+) -> dict:
     """Feed an injector's event stream into a server through its client.
 
     Observations the server rejects (e.g. values corrupted beyond record
     validation) are counted, not raised — a lossy collector keeps going.
-    Returns ``{"reported": n, "rejected": n, "stalls": n}``.
+    Poison events POST their raw payload as-is; a server that *accepts* one
+    is broken, which ``poison_accepted`` surfaces.  With
+    ``idempotency_prefix`` set, each delivery carries a unique idempotency
+    key (``"<prefix>:<n>"``), switching the client into its retrying
+    at-least-once mode — deliveries shed by admission control are then
+    retried (honoring ``Retry-After``) instead of dropped.  Returns
+    ``{"reported": n, "rejected": n, "stalls": n, "poisoned": n,
+    "poison_accepted": n}``.
     """
     from repro.server.client import PredictionServiceError
 
-    reported = rejected = stalls = 0
+    reported = rejected = stalls = poisoned = poison_accepted = 0
+    delivery = 0
     for event in injector.events():
+        if event.payload is not None:
+            poisoned += 1
+            try:
+                client._request(
+                    "POST", "/observations", event.payload, idempotent=False
+                )
+                poison_accepted += 1
+            except PredictionServiceError:
+                pass
+            continue
         if event.record is None:
             stalls += 1
             if sleep_on_stall:
                 time.sleep(injector.config.stall_seconds)
             continue
         record = event.record
+        delivery += 1
+        key = (
+            f"{idempotency_prefix}:{delivery}"
+            if idempotency_prefix is not None
+            else None
+        )
         try:
             client.report_observation(
-                record.user_id, record.service_id, record.value, record.timestamp
+                record.user_id,
+                record.service_id,
+                record.value,
+                record.timestamp,
+                idempotency_key=key,
             )
             reported += 1
         except PredictionServiceError:
             rejected += 1
-    return {"reported": reported, "rejected": rejected, "stalls": stalls}
+    return {
+        "reported": reported,
+        "rejected": rejected,
+        "stalls": stalls,
+        "poisoned": poisoned,
+        "poison_accepted": poison_accepted,
+    }
 
 
 @dataclass
@@ -244,12 +336,17 @@ class RecoveryReport:
 
 
 def _snapshot(server) -> dict:
-    return {
+    state = {
         "updates_applied": server.model.updates_applied,
         "stored_samples": server.model.n_stored_samples,
         "user_factors": server.model.user_factors(),
         "service_factors": server.model.service_factors(),
+        "gate": None,
     }
+    gate = getattr(server, "gate", None)
+    if gate is not None:
+        state["gate"] = {"state": gate.state_dict(), "counts": dict(gate.counts)}
+    return state
 
 
 def run_crash_recovery(
@@ -260,6 +357,8 @@ def run_crash_recovery(
     rng: int = 0,
     checkpoint_interval: int = 50,
     faults: "FaultConfig | None" = None,
+    server_kwargs: "dict | None" = None,
+    baseline_data_dir: "str | None" = None,
 ) -> RecoveryReport:
     """Kill a durable server mid-stream, recover it, and diff against an
     uninterrupted baseline.
@@ -269,9 +368,22 @@ def run_crash_recovery(
     what makes "recovered == uninterrupted" a checkable equality rather
     than a statistical claim.  ``faults`` optionally mangles the stream
     first (both runs then see the *same* mangled stream).
+
+    ``server_kwargs`` is forwarded to every :class:`PredictionServer` in
+    the drill (crashed, recovered, baseline) — pass ``gate=``/
+    ``timestamp_policy=`` etc. to drill the robustness layer; the gate
+    snapshot (full state + decision counts) then joins the equality check,
+    proving the recovered gate reproduces the pre-crash admit/clip/
+    quarantine decisions.  ``baseline_data_dir`` makes the baseline run
+    durable too and compares the final checkpoint *contents* of both runs
+    (:func:`repro.core.serialization.archive_digest` — zip-member bytes,
+    ignoring archive timestamps): equal digests mean the crash left no
+    trace at all in the persisted state.
     """
+    from repro.core.serialization import archive_digest
     from repro.server.app import PredictionServer
     from repro.server.client import PredictionClient
+    from repro.server.wal import CheckpointStore
 
     if not (0 <= crash_after <= len(records)):
         raise ValueError(
@@ -293,6 +405,8 @@ def run_crash_recovery(
         background_replay=False,
         checkpoint_interval=checkpoint_interval,
     )
+    if server_kwargs:
+        server_args.update(server_kwargs)
 
     # Phase 1: serve until the crash point, then die without a checkpoint.
     server = PredictionServer(data_dir=data_dir, **server_args)
@@ -319,8 +433,9 @@ def run_crash_recovery(
     recovered_state = _snapshot(recovered)
     recovered.stop()
 
-    # Baseline: same stream, same seed, never interrupted, no durability.
-    baseline = PredictionServer(**server_args)
+    # Baseline: same stream, same seed, never interrupted.  Durable only
+    # when checkpoint contents are being compared.
+    baseline = PredictionServer(data_dir=baseline_data_dir, **server_args)
     baseline.start()
     post(PredictionClient(baseline.address), records)
     baseline_state = _snapshot(baseline)
@@ -341,15 +456,135 @@ def run_crash_recovery(
         elif not np.array_equal(recovered_state[key], baseline_state[key]):
             delta = float(np.max(np.abs(recovered_state[key] - baseline_state[key])))
             mismatches.append(f"{key}: max abs divergence {delta:.3e}")
+    if recovered_state["gate"] != baseline_state["gate"]:
+        mismatches.append("gate: recovered state diverges from baseline")
+    checkpoint_digests = None
+    if baseline_data_dir is not None:
+        recovered_ckpt = CheckpointStore(data_dir).path
+        baseline_ckpt = CheckpointStore(baseline_data_dir).path
+        checkpoint_digests = {
+            "recovered": archive_digest(recovered_ckpt),
+            "baseline": archive_digest(baseline_ckpt),
+        }
+        if checkpoint_digests["recovered"] != checkpoint_digests["baseline"]:
+            mismatches.append(
+                "checkpoint: recovered and baseline archives differ "
+                f"({checkpoint_digests['recovered'][:12]} vs "
+                f"{checkpoint_digests['baseline'][:12]})"
+            )
+    detail = {
+        "records": len(records),
+        "crash_after": crash_after,
+        "recovery": recovery_info,
+        "updates_applied": baseline_state["updates_applied"],
+        "mismatches": mismatches,
+        "metrics": metrics_detail,
+    }
+    if recovered_state["gate"] is not None:
+        detail["gate_counts"] = recovered_state["gate"]["counts"]
+    if checkpoint_digests is not None:
+        detail["checkpoint_digests"] = checkpoint_digests
     return RecoveryReport(
         matches=not mismatches,
         metrics_ok=metrics_ok,
-        detail={
-            "records": len(records),
-            "crash_after": crash_after,
-            "recovery": recovery_info,
-            "updates_applied": baseline_state["updates_applied"],
-            "mismatches": mismatches,
-            "metrics": metrics_detail,
-        },
+        detail=detail,
     )
+
+
+def run_flood(
+    address: "tuple[str, int]",
+    records: "list[QoSRecord]",
+    threads: int = 4,
+    predict_pairs: "list[tuple[int, int]] | None" = None,
+) -> dict:
+    """Hammer a server's observation endpoint from many threads at once.
+
+    The overload drill: split ``records`` round-robin across ``threads``
+    non-retrying clients posting as fast as they can, while a prober thread
+    keeps requesting predictions.  With admission control on, the server
+    should shed the excess with 429/503 + ``Retry-After`` — and the prober
+    should see *zero* failures, because predictions are never shed.
+
+    Returns tallies: ``accepted``, ``rate_limited`` (429), ``overloaded``
+    (503), ``rejected`` (other 4xx), ``errors`` (transport), ``retry_after_hints``
+    (shed responses that carried a usable hint), ``predictions_ok`` /
+    ``predictions_failed``.
+    """
+    import threading
+
+    from repro.server.client import (
+        PredictionClient,
+        RetryableServiceError,
+        TerminalServiceError,
+    )
+
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    shards = [records[i::threads] for i in range(threads)]
+    tallies = [
+        {
+            "accepted": 0,
+            "rate_limited": 0,
+            "overloaded": 0,
+            "rejected": 0,
+            "errors": 0,
+            "retry_after_hints": 0,
+        }
+        for __ in range(threads)
+    ]
+
+    def flood_worker(shard: "list[QoSRecord]", tally: dict) -> None:
+        client = PredictionClient(address, retries=0)
+        for record in shard:
+            try:
+                client.report_observation(
+                    record.user_id, record.service_id, record.value, record.timestamp
+                )
+                tally["accepted"] += 1
+            except RetryableServiceError as exc:
+                status = getattr(exc, "status", None)
+                if status == 429:
+                    tally["rate_limited"] += 1
+                elif status == 503:
+                    tally["overloaded"] += 1
+                else:
+                    tally["errors"] += 1
+                if getattr(exc, "retry_after", None) is not None:
+                    tally["retry_after_hints"] += 1
+            except TerminalServiceError:
+                tally["rejected"] += 1
+
+    stop_probing = threading.Event()
+    probe_tally = {"predictions_ok": 0, "predictions_failed": 0}
+
+    def probe_worker() -> None:
+        client = PredictionClient(address, retries=0)
+        pairs = predict_pairs or [(0, 0)]
+        index = 0
+        while not stop_probing.is_set():
+            user_id, service_id = pairs[index % len(pairs)]
+            index += 1
+            try:
+                client.predict(user_id, service_id)
+                probe_tally["predictions_ok"] += 1
+            except Exception:  # noqa: BLE001 — any failure counts against the drill
+                probe_tally["predictions_failed"] += 1
+            time.sleep(0.001)
+
+    workers = [
+        threading.Thread(target=flood_worker, args=(shard, tally), daemon=True)
+        for shard, tally in zip(shards, tallies)
+    ]
+    prober = threading.Thread(target=probe_worker, daemon=True)
+    prober.start()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    stop_probing.set()
+    prober.join(timeout=5.0)
+
+    outcome = {key: sum(tally[key] for tally in tallies) for key in tallies[0]}
+    outcome.update(probe_tally)
+    outcome["shed"] = outcome["rate_limited"] + outcome["overloaded"]
+    return outcome

@@ -26,6 +26,7 @@ from repro.core import (
     TrainerSupervisor,
 )
 from repro.datasets.schema import QoSRecord
+from repro.robustness import GateConfig
 from repro.server import PredictionClient, PredictionServer
 from repro.simulation import FaultConfig, run_crash_recovery
 
@@ -189,6 +190,29 @@ class TestServerCrashRecovery:
         assert report.matches, report.summary()
         assert report.detail["recovery"]["checkpoint_seq"] == 0
         assert report.detail["recovery"]["wal_replayed"] == 15
+
+    def test_recovery_with_gate_active_is_bit_exact(self, tmp_path):
+        """The gate is deterministic state: a kill mid-stream with the
+        outlier gate on (and a corrupting stream exercising every decision
+        path) must still reproduce the baseline decisions, model, and a
+        byte-identical checkpoint archive."""
+        records = make_stream(120, seed=5)
+        report = run_crash_recovery(
+            records,
+            crash_after=70,
+            data_dir=str(tmp_path / "crash"),
+            checkpoint_interval=25,
+            faults=FaultConfig(corrupt_rate=0.1, corrupt_factor=500.0),
+            server_kwargs=dict(gate=GateConfig(warmup=4)),
+            baseline_data_dir=str(tmp_path / "baseline"),
+        )
+        assert report.matches, report.summary()
+        digests = report.detail["checkpoint_digests"]
+        assert digests["recovered"] == digests["baseline"]
+        # The corrupting stream actually drove the gate off the admit path.
+        counts = report.detail["gate_counts"]
+        assert counts["quarantined"] > 0
+        assert counts["admitted"] > 0
 
 
 def _flaky_replay(model, crashes):
