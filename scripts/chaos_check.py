@@ -24,18 +24,33 @@ negative wire payloads must all bounce with 400), then flooded from
 multiple threads (the server must shed with 429/503 + ``Retry-After``
 while in-flight predictions keep serving), and its prediction accuracy
 after the flood must match the accuracy before it.
+``--failover`` runs the high-availability drill instead: a primary and a
+WAL-shipping standby behind a lossy, partitionable replication link; the
+primary is killed mid-stream, the standby must auto-promote via the
+fencing epoch CAS, the client must fail over, a revived old primary must
+refuse writes with 409 ``stale_epoch``, and the promoted standby must be
+bit-identical (checkpoint digest, dedup ledger, windowed MAE) to a server
+that never failed.  ``--bench-out`` appends the measured time-to-promote
+and replication-lag figures to a JSON history file
+(``BENCH_robustness.json`` by convention).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import subprocess
 import sys
 import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
 
 import numpy as np
 
 from repro.datasets.schema import QoSRecord
 from repro.simulation import FaultConfig, run_crash_recovery
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def make_stream(n: int, seed: int, n_users: int = 20, n_services: int = 40):
@@ -157,6 +172,69 @@ def run_poison_flood(seed: int, records: int) -> int:
     return 0
 
 
+def _git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:  # noqa: BLE001 — the drill must run outside git too
+        return "unknown"
+
+
+def run_failover_drill(
+    seed: int,
+    records: int,
+    crash_after: "int | None",
+    checkpoint_interval: int,
+    bench_out: "str | None",
+) -> int:
+    """The high-availability drill.  Returns a process exit code."""
+    import os
+
+    from repro.simulation.faults import LinkFaultConfig, run_failover
+
+    stream = make_stream(records, seed)
+    kill_after = crash_after if crash_after is not None else int(records * 0.6)
+    with tempfile.TemporaryDirectory(prefix="qos-failover-") as root:
+        report = run_failover(
+            stream,
+            kill_after=kill_after,
+            primary_dir=os.path.join(root, "primary"),
+            standby_dir=os.path.join(root, "standby"),
+            baseline_dir=os.path.join(root, "baseline"),
+            epoch_store=os.path.join(root, "epoch.json"),
+            rng=seed,
+            checkpoint_interval=checkpoint_interval,
+            server_kwargs={"gate": True},
+            link_faults=LinkFaultConfig(loss_rate=0.1),
+        )
+    print(report.summary())
+    passed = report.matches and report.metrics_ok
+    if bench_out is not None:
+        path = Path(bench_out)
+        entry = {
+            "timestamp": datetime.now(timezone.utc).isoformat(),
+            "revision": _git_revision(),
+            "drill": "failover",
+            "records": records,
+            "kill_after": kill_after,
+            "seed": seed,
+            "time_to_promote_s": round(report.time_to_promote, 4),
+            "lag_during_partition": report.detail.get("lag_during_partition"),
+            "catchup_seconds_after_heal": report.detail.get(
+                "catchup_seconds_after_heal"
+            ),
+            "promoted_epoch": report.detail.get("promoted_epoch"),
+            "pass": passed,
+        }
+        history = json.loads(path.read_text()) if path.exists() else []
+        history.append(entry)
+        path.write_text(json.dumps(history, indent=2) + "\n")
+        print(f"recorded to {path}")
+    return 0 if passed else 1
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--records", type=int, default=300,
@@ -171,10 +249,24 @@ def main() -> int:
     parser.add_argument("--poison-flood", action="store_true",
                         help="run the combined poison + flood robustness "
                              "drill instead of the crash/recovery drill")
+    parser.add_argument("--failover", action="store_true",
+                        help="run the primary/standby failover drill "
+                             "instead of the crash/recovery drill")
+    parser.add_argument("--bench-out", default=None,
+                        help="JSON history file to append failover timing "
+                             "figures to (e.g. BENCH_robustness.json)")
     args = parser.parse_args()
 
     if args.poison_flood:
         return run_poison_flood(args.seed, args.records)
+    if args.failover:
+        return run_failover_drill(
+            args.seed,
+            args.records,
+            args.crash_after,
+            args.checkpoint_interval,
+            args.bench_out,
+        )
 
     records = make_stream(args.records, args.seed)
     crash_after = (

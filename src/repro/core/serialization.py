@@ -30,12 +30,19 @@ from repro.core.config import AMFConfig
 #: v2 adds ``rng_state_json`` and ``extra_json`` (both optional on load, so
 #: v1 archives remain readable).  v3 reserves ``extra_json`` keys under
 #: ``robustness`` for the outlier gate / dedup-ledger / timestamp-policy
-#: state the prediction server checkpoints alongside the model; the array
-#: layout is unchanged and v1/v2 archives remain readable.
-FORMAT_VERSION = 3
+#: state the prediction server checkpoints alongside the model.  v4
+#: reserves ``extra_json`` keys under ``replication`` for the fencing
+#: token a replicated server persists (``{"epoch": int, "role": str}``) —
+#: control-plane state that legitimately differs between a promoted
+#: standby and a never-failed baseline, which is why
+#: :func:`archive_digest` can exclude it.  The array layout is unchanged
+#: at every bump, so v1-v3 archives remain readable.
+FORMAT_VERSION = 4
+
+_EXTRA_MEMBER = "extra_json.npy"
 
 
-def archive_digest(path: str) -> str:
+def archive_digest(path: str, ignore_extra: "tuple[str, ...]" = ()) -> str:
     """Content digest of a saved model archive, stable across re-saves.
 
     ``np.savez_compressed`` embeds wall-clock timestamps in its zip member
@@ -43,13 +50,27 @@ def archive_digest(path: str) -> str:
     *files*.  This hashes the sorted member names and their decompressed
     contents instead — equal digests mean equal persisted state, which is
     how the recovery tests assert byte-identical checkpoints.
+
+    ``ignore_extra`` names top-level ``extra`` keys excluded from the
+    digest: the ``extra_json`` member is parsed, the named keys dropped,
+    and the remainder hashed in canonical (sorted-key) JSON form.  The
+    failover drill uses ``ignore_extra=("replication",)`` so the fencing
+    epoch — which *must* differ after a promotion — doesn't mask data-plane
+    equality between a promoted standby and a never-failed baseline.
     """
     digest = hashlib.sha256()
     with zipfile.ZipFile(path) as archive:
         for name in sorted(archive.namelist()):
             digest.update(name.encode())
             digest.update(b"\0")
-            digest.update(archive.read(name))
+            if ignore_extra and name == _EXTRA_MEMBER:
+                with np.load(path, allow_pickle=False) as arrays:
+                    extra = json.loads(str(arrays["extra_json"]))
+                for key in ignore_extra:
+                    extra.pop(key, None)
+                digest.update(json.dumps(extra, sort_keys=True).encode())
+            else:
+                digest.update(archive.read(name))
     return digest.hexdigest()
 
 

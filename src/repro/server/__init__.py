@@ -3,18 +3,28 @@
 The paper's prediction module serves users "transparently through a
 standard interface"; this package provides one: a threaded HTTP server
 around a shared AMF model (:mod:`repro.server.app`), a matching resilient
-Python client (:mod:`repro.server.client`), and the durability layer —
+Python client (:mod:`repro.server.client`), the durability layer —
 write-ahead observation log plus atomic checkpoints — that lets the server
-survive crashes (:mod:`repro.server.wal`)."""
+survive crashes (:mod:`repro.server.wal`), and the primary/standby
+replication layer that lets the *deployment* survive node failures
+(:mod:`repro.server.replication`)."""
 
 from repro.server.app import PredictionServer
 from repro.server.client import (
+    DeadlineExceeded,
     PredictionClient,
     PredictionServiceError,
     RetryableServiceError,
     TerminalServiceError,
 )
-from repro.server.wal import CheckpointStore, WriteAheadLog
+from repro.server.replication import (
+    EpochStore,
+    FencedWrite,
+    HttpReplicaLink,
+    ReplicationConfig,
+    StandbyReplicator,
+)
+from repro.server.wal import CheckpointStore, WalAppendError, WriteAheadLog
 
 __all__ = [
     "PredictionServer",
@@ -22,6 +32,13 @@ __all__ = [
     "PredictionServiceError",
     "RetryableServiceError",
     "TerminalServiceError",
+    "DeadlineExceeded",
     "WriteAheadLog",
+    "WalAppendError",
     "CheckpointStore",
+    "EpochStore",
+    "FencedWrite",
+    "HttpReplicaLink",
+    "ReplicationConfig",
+    "StandbyReplicator",
 ]

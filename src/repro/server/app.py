@@ -17,6 +17,9 @@ GET      /status                model statistics + fault-tolerance counters
 GET      /health                liveness/readiness (200 ready / 503 not)
 GET      /metrics               Prometheus text exposition (version 0.0.4)
                                 of every registered metric family
+GET      /replication/wal       ?after_seq=N&limit=M — committed WAL
+                                records for a pulling standby
+GET      /replication/status    role, fencing epoch, lag (replicated mode)
 =======  =====================  ==========================================
 
 A :class:`~repro.core.daemon.BackgroundTrainer` replays retained samples
@@ -55,6 +58,20 @@ Untrusted-stream hardening (:mod:`repro.robustness`, all opt-in):
   token-bucket rate limiting (429), a bounded ingest queue and per-request
   deadline budget (503), all with ``Retry-After``; predictions are never
   shed, so the fallback chain keeps serving through a flood.
+
+High availability (:mod:`repro.server.replication`, ``replication=``):
+
+* a **primary** ships committed WAL records from ``GET /replication/wal``
+  and re-reads the shared epoch store on its write path, fencing itself
+  (409 ``stale_epoch``) the moment a newer primary exists;
+* a **standby** pulls and applies the primary's log through the same
+  gated replay recovery uses (its own WAL stays a byte-identical copy),
+  refuses client writes with 409 ``not_primary``, serves predictions,
+  and :meth:`PredictionServer.promote` turns it into the primary by
+  winning the epoch compare-and-swap;
+* a full WAL disk degrades the server to read-only (structured 507,
+  ``qos_wal_append_errors_total``) instead of a bare 500 — predictions
+  keep serving.
 """
 
 from __future__ import annotations
@@ -62,6 +79,7 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
@@ -83,7 +101,17 @@ from repro.robustness import (
     TimestampPolicy,
     apply_observation,
 )
-from repro.server.wal import CheckpointStore, WriteAheadLog
+from repro.server.replication import (
+    FencedWrite,
+    ReplicationConfig,
+    StandbyReplicator,
+    encode_shipped,
+    note_epoch,
+    note_promotion,
+    note_shipped,
+    note_stale_epoch,
+)
+from repro.server.wal import CheckpointStore, WalAppendError, WriteAheadLog
 
 # Serving observability.  The fallback chain tags every answer with its
 # source, so predictions-by-source is the one counter that shows degradation
@@ -122,6 +150,15 @@ class _BadRequest(Exception):
 
 class _PayloadTooLarge(Exception):
     """Request body exceeds the configured limit (HTTP 413)."""
+
+
+class _StorageUnavailable(Exception):
+    """Durable ingest is impossible (WAL append failed) — HTTP 507.
+
+    The server stays up in read-only degraded mode: predictions (and all
+    GETs) keep serving, observation writes get this structured refusal
+    until an operator frees disk and restarts the process.
+    """
 
 
 def _require(payload: dict, field: str, kind):
@@ -258,6 +295,8 @@ class PredictionServer:
         admission: "AdmissionConfig | bool | None" = None,
         timestamp_policy: "TimestampPolicy | None" = None,
         dedup_capacity: int = 65536,
+        replication: "ReplicationConfig | None" = None,
+        replication_link=None,
     ) -> None:
         if checkpoint_interval < 1:
             raise ValueError(
@@ -265,6 +304,10 @@ class PredictionServer:
             )
         if max_body_bytes < 1:
             raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
+        if replication is not None and data_dir is None:
+            raise ValueError(
+                "replication requires data_dir: log shipping reads/writes the WAL"
+            )
         self.checkpoint_interval = checkpoint_interval
         self.max_body_bytes = max_body_bytes
 
@@ -311,6 +354,42 @@ class PredictionServer:
         self._latest_ingest_ts: "float | None" = robustness_state.get(
             "latest_ingest_ts"
         )
+
+        # Replication / fencing state.  The epoch this node last held rides
+        # in the checkpoint (serialization v4), so a deposed primary that
+        # comes back can compare itself against the shared store and fence
+        # itself before accepting a single write.
+        self.replication = replication
+        self.role = replication.role if replication is not None else "primary"
+        self._epoch_store = replication.store() if replication is not None else None
+        replication_state = checkpoint_extra.get("replication", {})
+        self.epoch = int(replication_state.get("epoch", 0))
+        self._fenced = False
+        self._fence_checked_at = 0.0
+        self._replicator: "StandbyReplicator | None" = None
+        if replication is not None:
+            if self.role == "primary":
+                store_epoch = self._epoch_store.epoch()
+                if store_epoch == 0 and self.epoch == 0:
+                    # Fresh cluster: claim epoch 1.  Losing the CAS means
+                    # another node claimed first — fall through to fencing.
+                    if self._epoch_store.cas(0, 1, owner=replication.node_id):
+                        self.epoch = 1
+                    store_epoch = self._epoch_store.epoch()
+                elif store_epoch < self.epoch:
+                    # The store was lost/reset; re-seed it with our epoch so
+                    # fencing arithmetic stays monotonic.
+                    self._epoch_store.cas(
+                        store_epoch, self.epoch, owner=replication.node_id
+                    )
+                    store_epoch = self._epoch_store.epoch()
+                if store_epoch > self.epoch:
+                    self._fenced = True
+            else:
+                self._replicator = StandbyReplicator(
+                    self, replication, link=replication_link
+                )
+            note_epoch(self.epoch)
 
         latest_timestamp = 0.0
         timestamps = model._store.columns()[2]
@@ -393,6 +472,7 @@ class PredictionServer:
         self._last_checkpoint_seq = applied_seq
         self._observations_since_checkpoint = 0
         self._model_healthy = True
+        self._degraded_reason: "str | None" = None
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -419,6 +499,8 @@ class PredictionServer:
             self.supervisor.start()
         elif self.trainer is not None:
             self.trainer.start()
+        if self._replicator is not None:
+            self._replicator.start()
 
     def stop(self) -> None:
         """Graceful shutdown: final checkpoint, then tear everything down."""
@@ -442,6 +524,8 @@ class PredictionServer:
             self._wal.close()
 
     def _stop_serving(self) -> None:
+        if self._replicator is not None and self._replicator.running:
+            self._replicator.stop()
         if self.supervisor is not None and self.supervisor.running:
             self.supervisor.stop()
         elif self.trainer is not None and self.trainer.running:
@@ -486,8 +570,16 @@ class PredictionServer:
             return
         seq = self._wal.last_seq
         extra = {"robustness": self._robustness_extra()}
+        if self.replication is not None:
+            # Control-plane state (serialization v4): the fencing epoch must
+            # survive a crash so a deposed primary can recognize itself.
+            extra["replication"] = {"epoch": self.epoch, "role": self.role}
         self.model.with_model(lambda m: self._checkpoints.save(m, seq, extra=extra))
-        self._wal.prune(seq)
+        if self.replication is None:
+            # Replicated nodes retain their full log: a standby (or a
+            # re-attaching one after promotion) catches up by shipping from
+            # any sequence, which pruning would turn into an unfillable gap.
+            self._wal.prune(seq)
         self._observations_since_checkpoint = 0
         with self._stats_lock:
             self._checkpoints_written += 1
@@ -497,6 +589,150 @@ class PredictionServer:
         """Force a checkpoint now (also runs periodically during ingestion)."""
         with self._ingest_lock:
             self._checkpoint_locked()
+
+    # -- replication ---------------------------------------------------------
+    @property
+    def wal_last_seq(self) -> int:
+        """Highest durably logged sequence (0 without durability)."""
+        return self._wal.last_seq if self._wal is not None else 0
+
+    @property
+    def fenced(self) -> bool:
+        return self._fenced
+
+    def note_cluster_epoch(self, epoch: int) -> None:
+        """A standby learned the cluster epoch from a shipped batch."""
+        if epoch > self.epoch:
+            self.epoch = epoch
+            note_epoch(epoch)
+
+    def apply_replicated(
+        self, seq: int, record: QoSRecord, key: "str | None"
+    ) -> str:
+        """Apply one shipped WAL record on a standby.
+
+        Returns ``"applied"``, ``"skipped"`` (already durable locally), or
+        ``"gap"`` (the shipment skips sequences this node never saw — the
+        replicator must stop rather than apply a stream with a hole).
+        Appending to the *local* WAL first keeps the standby's directory a
+        byte-identical copy of the primary's log, so standby crash
+        recovery and post-promotion shipping both work unchanged.
+        """
+        with self._ingest_lock:
+            expected = self._wal.last_seq + 1
+            if seq < expected:
+                return "skipped"
+            if seq > expected:
+                return "gap"
+            self._ingest_one(record, key, replicated=True)
+            return "applied"
+
+    def promote(self) -> bool:
+        """Promote this standby to primary via the epoch compare-and-swap.
+
+        Best-effort drains the old primary's tail first, then races
+        ``CAS(E, E+1)`` against any sibling standbys; exactly one wins.
+        The winner persists the new epoch in an immediate checkpoint (the
+        fencing decision must survive its own crash), starts accepting
+        writes, and — because its state came from gated replay of the
+        shipped log — continues the stream bit-exactly where the primary
+        committed.  Returns False if the CAS was lost (stay standby).
+        """
+        if self.replication is None or self.role != "standby":
+            raise RuntimeError("promote() requires a standby with replication")
+        if self._replicator is not None:
+            self._replicator.stop()
+            try:
+                # One last drain: pick up anything committed after our last
+                # poll, if the old primary is still reachable.
+                while self._replicator.poll_once():
+                    pass
+            except Exception:  # noqa: BLE001 — a dead primary is the point
+                pass
+        current = max(self._epoch_store.epoch(), self.epoch)
+        if not self._epoch_store.cas(
+            current, current + 1, owner=self.replication.node_id
+        ):
+            if self._replicator is not None:
+                self._replicator.start()
+            return False
+        with self._ingest_lock:
+            self.epoch = current + 1
+            self.role = "primary"
+            self._fenced = False
+            self._checkpoint_locked()
+        note_promotion(self.epoch)
+        return True
+
+    def _check_write_allowed(self) -> None:
+        """Fencing gate on the observation path.
+
+        Standbys always refuse; a primary re-reads the epoch store at most
+        every ``fence_check_interval`` seconds so a deposed-but-alive node
+        fences itself within one interval of losing its claim.
+        """
+        if self.role == "standby":
+            note_stale_epoch()
+            raise FencedWrite(
+                "this replica is a standby; route observations to the primary",
+                code="not_primary",
+                epoch=self.epoch,
+            )
+        if self._epoch_store is not None and not self._fenced:
+            now = time.monotonic()
+            if now - self._fence_checked_at >= self.replication.fence_check_interval:
+                self._fence_checked_at = now
+                if self._epoch_store.epoch() > self.epoch:
+                    self._fenced = True
+        if self._fenced:
+            note_stale_epoch()
+            raise FencedWrite(
+                f"this node holds stale epoch {self.epoch}; a newer primary "
+                "has been promoted",
+                code="stale_epoch",
+                epoch=self.epoch,
+                cluster_epoch=(
+                    self._epoch_store.epoch()
+                    if self._epoch_store is not None
+                    else None
+                ),
+            )
+
+    def _replication_status(self) -> "dict | None":
+        if self.replication is None:
+            return None
+        status = {
+            "role": self.role,
+            "epoch": self.epoch,
+            "fenced": self._fenced,
+            "last_seq": self.wal_last_seq,
+            "store_epoch": self._epoch_store.epoch(),
+        }
+        if self._replicator is not None:
+            status["standby"] = self._replicator.status()
+        return status
+
+    def _handle_replication_wal(self, query: dict) -> dict:
+        """Ship committed WAL records to a pulling standby."""
+        if self._wal is None:
+            raise _BadRequest("this server is not durable; nothing to ship")
+        try:
+            after_seq = int(query.get("after_seq", ["0"])[0])
+            limit = int(query.get("limit", ["512"])[0])
+        except (ValueError, IndexError) as exc:
+            raise _BadRequest(
+                "after_seq and limit must be integers"
+            ) from exc
+        if after_seq < 0 or limit < 1:
+            raise _BadRequest("after_seq must be >= 0 and limit >= 1")
+        batch = self._wal.read_committed(after_seq=after_seq, limit=min(limit, 4096))
+        note_shipped(len(batch))
+        return {
+            "epoch": self.epoch,
+            "role": self.role,
+            "last_seq": self._wal.last_seq,
+            "records": [encode_shipped(seq, record, key) for seq, record, key in batch],
+        }
 
     # -- request handling ------------------------------------------------------
     def _parse_observation(self, payload: dict) -> "tuple[QoSRecord, str | None]":
@@ -524,20 +760,27 @@ class PredictionServer:
             raise self.admission.note_deadline_exceeded()
         return _HeldLock(self._ingest_lock)
 
-    def _ingest_one(self, record: QoSRecord, key: "str | None") -> dict:
+    def _ingest_one(
+        self, record: QoSRecord, key: "str | None", replicated: bool = False
+    ) -> dict:
         """Apply one validated observation.  Caller holds the ingest lock.
 
         Order matters for crash consistency: dedup check → timestamp
         policy → WAL append → ledger add → gate+model apply.  The ledger is
         updated only after the record is durably logged, mirroring how
         recovery rebuilds it from the WAL.
+
+        ``replicated`` marks a record shipped from the primary's WAL: it
+        was already deduplicated and policy-checked there, so both gates
+        are bypassed — re-running them against this node's view could fork
+        the replica from the log it is replaying.
         """
-        if key is not None and self.ledger.seen(key):
+        if not replicated and key is not None and self.ledger.seen(key):
             self.ledger.note_duplicate()
             with self._stats_lock:
                 self._observations_deduplicated += 1
             return {"sample_error": None, "action": "deduplicated"}
-        if self.timestamp_policy is not None:
+        if not replicated and self.timestamp_policy is not None:
             try:
                 self.timestamp_policy.check(record.timestamp, self._latest_ingest_ts)
             except StaleObservation as exc:
@@ -546,7 +789,16 @@ class PredictionServer:
                 _OBSERVATIONS_REJECTED.inc()
                 raise _BadRequest(str(exc), code=f"{exc.reason}_timestamp") from exc
         if self._wal is not None:
-            self._wal.append(record, key=key)
+            try:
+                self._wal.append(record, key=key)
+            except WalAppendError as exc:
+                # Durability is gone (full disk, I/O error): acknowledge
+                # nothing further, flip to read-only degraded mode, keep
+                # predictions serving.
+                self._degraded_reason = str(exc)
+                raise _StorageUnavailable(
+                    f"observation not accepted, durable log unavailable: {exc}"
+                ) from exc
         if key is not None:
             self.ledger.add(key)
         if self._latest_ingest_ts is None or record.timestamp > self._latest_ingest_ts:
@@ -582,7 +834,16 @@ class PredictionServer:
                 self._observations_quarantined += 1
         return {"sample_error": error, "action": action}
 
+    def _refuse_if_degraded(self) -> None:
+        if self._degraded_reason is not None:
+            raise _StorageUnavailable(
+                "server is in read-only degraded mode "
+                f"({self._degraded_reason}); predictions still serve"
+            )
+
     def _handle_observation(self, payload: dict) -> dict:
+        self._check_write_allowed()
+        self._refuse_if_degraded()
         record, key = self._parse_observation(payload)
         if self.admission is not None:
             admit = self.admission.admit(cost=1.0)
@@ -593,6 +854,8 @@ class PredictionServer:
                 return self._ingest_one(record, key)
 
     def _handle_observation_batch(self, payload: dict) -> dict:
+        self._check_write_allowed()
+        self._refuse_if_degraded()
         observations = payload.get("observations")
         if not isinstance(observations, list):
             raise _BadRequest("field 'observations' must be a list")
@@ -714,8 +977,10 @@ class PredictionServer:
                     "wal_last_seq": self._wal.last_seq if self.durable else None,
                     "wal_segments": self._wal.segment_count() if self.durable else None,
                     "recovery": self.recovery,
+                    "read_only": self._degraded_reason,
                 },
                 "robustness": self._robustness_status(),
+                "replication": self._replication_status(),
             }
         )
         return counters
@@ -856,6 +1121,22 @@ class PredictionServer:
                         self._send(400, body)
                     except _PayloadTooLarge as exc:
                         self._send(413, {"error": str(exc)})
+                    except FencedWrite as exc:
+                        # Fencing: a structured, terminal refusal — the
+                        # client must re-route to the current primary.
+                        body = {
+                            "error": str(exc),
+                            "code": exc.code,
+                            "epoch": exc.epoch,
+                        }
+                        if exc.cluster_epoch is not None:
+                            body["cluster_epoch"] = exc.cluster_epoch
+                        self._send(409, body)
+                    except _StorageUnavailable as exc:
+                        self._send(
+                            507,
+                            {"error": str(exc), "code": "insufficient_storage"},
+                        )
                     except ShedRequest as exc:
                         # Load shedding: 429 (rate limit) / 503 (overload or
                         # deadline) with a machine-usable retry hint in both
@@ -920,6 +1201,20 @@ class PredictionServer:
                         return 200, server._handle_status()
                     if parsed.path == "/health":
                         return server._handle_health()
+                    if parsed.path == "/replication/wal":
+                        return 200, server._handle_replication_wal(
+                            parse_qs(parsed.query)
+                        )
+                    if parsed.path == "/replication/status":
+                        status = server._replication_status()
+                        if status is None:
+                            return 200, {
+                                "role": server.role,
+                                "epoch": server.epoch,
+                                "fenced": False,
+                                "replicated": False,
+                            }
+                        return 200, status
                     return 404, {"error": f"unknown path {parsed.path}"}
 
                 self._dispatch(route)

@@ -17,22 +17,46 @@ attempt.  Errors are typed:
   HTTP 5xx/429): the same request may succeed if repeated.
 * :class:`TerminalServiceError` — the server understood and refused (HTTP
   4xx): repeating the identical request will fail the identical way.
+* :class:`DeadlineExceeded` — the caller's total time budget ran out
+  before any attempt succeeded (see below).
 
-Both subclass :class:`PredictionServiceError`, so existing ``except``
+All subclass :class:`PredictionServiceError`, so existing ``except``
 clauses keep working.
 
+**Replica sets.**  ``address`` accepts a single ``(host, port)`` pair or a
+list of them.  With several endpoints the client fails over: each endpoint
+carries a small circuit breaker (``breaker_threshold`` consecutive
+transport failures open it for ``breaker_cooldown`` seconds), reads are
+served by whichever replica answers, and writes remember the endpoint
+that last accepted one (the presumed primary).  A fenced ``409`` reply
+(``code`` of ``not_primary`` or ``stale_epoch``, see
+:mod:`repro.server.replication`) guarantees the server applied nothing,
+so the client re-routes the *same* write to the next endpoint without a
+backoff sleep — safe even for observation POSTs that carry no
+idempotency key.
+
+**Total deadline.**  ``retries`` bounds the number of attempts, but a
+server that keeps answering 429 with generous ``Retry-After`` hints can
+stall a caller far longer than it can afford.  ``deadline`` (constructor
+default, overridable per call on :meth:`report_observation`) is a hard
+wall-clock budget across *all* attempts, sleeps, and endpoint rotations:
+when the next backoff sleep would overrun it, the client raises
+:class:`DeadlineExceeded` immediately — chained to the last underlying
+error — instead of sleeping into a timeout it already knows it will miss.
+
 **At-least-once observation delivery.**  A bare observation POST is *not*
-retried: a timeout is ambiguous (the server may have durably applied the
-sample before the response was lost), and re-reporting re-applies an SGD
-step.  Passing ``idempotency_key`` to :meth:`report_observation` changes
-the contract to at-least-once: the key rides with the payload, the server
-remembers recently seen keys in a bounded ledger (surviving crash
-recovery via the WAL), and a retried delivery is acknowledged without a
-second model update — so the client then retries observation POSTs like
-any idempotent request.  Keys must be unique per *measurement* (e.g.
-``f"{collector_id}:{sequence_number}"``), not per request, and the
-server's ledger capacity bounds how stale a retry may arrive
-(``docs/operations.md``).
+retried on transient failures: a timeout is ambiguous (the server may
+have durably applied the sample before the response was lost), and
+re-reporting re-applies an SGD step.  Passing ``idempotency_key`` to
+:meth:`report_observation` changes the contract to at-least-once: the key
+rides with the payload, the server remembers recently seen keys in a
+bounded ledger (surviving crash recovery via the WAL), and a retried
+delivery is acknowledged without a second model update — so the client
+then retries observation POSTs like any idempotent request, including
+across a failover to a freshly promoted standby.  Keys must be unique per
+*measurement* (e.g. ``f"{collector_id}:{sequence_number}"``), not per
+request, and the server's ledger capacity bounds how stale a retry may
+arrive (``docs/operations.md``).
 """
 
 from __future__ import annotations
@@ -43,6 +67,11 @@ import time
 import urllib.error
 import urllib.parse
 import urllib.request
+
+#: 409 ``code`` values that guarantee the server applied no state change,
+#: making an immediate re-route of the same request safe (fencing replies
+#: from repro.server.replication).
+_FENCED_CODES = ("not_primary", "stale_epoch")
 
 
 def _retry_after_hint(exc: "urllib.error.HTTPError", body) -> "float | None":
@@ -79,28 +108,49 @@ class TerminalServiceError(PredictionServiceError):
     """Definitive rejection — retrying the same request cannot succeed."""
 
 
+class DeadlineExceeded(PredictionServiceError):
+    """The caller's total time budget expired before a request succeeded.
+
+    Raised *instead of sleeping* when the next backoff delay would overrun
+    the budget; ``__cause__`` carries the last underlying service error.
+    """
+
+
 class PredictionClient:
-    """HTTP client bound to one prediction-server address.
+    """HTTP client bound to one prediction-server address or a replica set.
 
     Args:
-        address:     ``(host, port)`` of the server.
+        address:     ``(host, port)`` of the server, or a list of such
+                     pairs for a replicated deployment (first entry is the
+                     initially preferred endpoint).
         timeout:     per-attempt socket timeout in seconds.
         retries:     extra attempts for idempotent (GET) requests on
-                     transient failures; POSTs are never retried.
+                     transient failures; POSTs are never retried unless
+                     they carry an idempotency key.
         backoff:     first retry delay; doubles per attempt.
         backoff_max: delay cap.
         jitter:      each delay is multiplied by ``1 + uniform(0, jitter)``
                      so a fleet of recovering clients doesn't stampede.
+        deadline:    default total wall-clock budget (seconds) per logical
+                     request across all retries and endpoint rotations;
+                     ``None`` keeps the attempt-count bound only.
+        breaker_threshold: consecutive transport failures that open an
+                     endpoint's circuit breaker.
+        breaker_cooldown:  seconds an open breaker diverts traffic away
+                     from an endpoint before it is probed again.
     """
 
     def __init__(
         self,
-        address: tuple[str, int],
+        address: "tuple[str, int] | list[tuple[str, int]]",
         timeout: float = 5.0,
         retries: int = 2,
         backoff: float = 0.05,
         backoff_max: float = 2.0,
         jitter: float = 0.5,
+        deadline: "float | None" = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -108,32 +158,105 @@ class PredictionClient:
             raise ValueError("backoff and backoff_max must be positive")
         if jitter < 0:
             raise ValueError(f"jitter must be >= 0, got {jitter}")
-        host, port = address
-        self._base = f"http://{host}:{port}"
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        if breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        if breaker_cooldown < 0:
+            raise ValueError(
+                f"breaker_cooldown must be >= 0, got {breaker_cooldown}"
+            )
+        addresses = (
+            [address] if isinstance(address, tuple) else list(address)
+        )
+        if not addresses:
+            raise ValueError("address list must not be empty")
+        self._bases = [f"http://{host}:{port}" for host, port in addresses]
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.backoff_max = backoff_max
         self.jitter = jitter
+        self.deadline = deadline
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
         self._jitter_rng = random.Random()
         self.retries_performed = 0
+        self.failovers_performed = 0
+        # Routing state: _preferred serves reads, _primary (once learned
+        # from a successful write) serves writes.  Per-endpoint breaker
+        # state lives in parallel lists.
+        self._preferred = 0
+        self._primary: "int | None" = None
+        self._failures = [0] * len(self._bases)
+        self._open_until = [0.0] * len(self._bases)
 
+    @property
+    def endpoints(self) -> "list[str]":
+        """Base URLs of the configured replica set, in preference order."""
+        return list(self._bases)
+
+    @property
+    def _base(self) -> str:
+        """Currently preferred base URL (kept for single-endpoint callers)."""
+        return self._bases[self._preferred]
+
+    # -- endpoint selection ---------------------------------------------------
+    def _pick_endpoint(self, write: bool) -> int:
+        """Next endpoint to try: the presumed primary for writes (when
+        known), otherwise the preferred read endpoint — skipping endpoints
+        whose breaker is open.  When every breaker is open the preferred
+        endpoint is probed anyway (half-open), so a fully partitioned
+        client still discovers recovery."""
+        count = len(self._bases)
+        start = (
+            self._primary
+            if write and self._primary is not None
+            else self._preferred
+        )
+        now = time.monotonic()
+        for step in range(count):
+            index = (start + step) % count
+            if self._open_until[index] <= now:
+                return index
+        return start
+
+    def _note_success(self, index: int, write: bool) -> None:
+        self._failures[index] = 0
+        self._open_until[index] = 0.0
+        self._preferred = index
+        if write:
+            self._primary = index
+
+    def _note_failure(self, index: int) -> None:
+        self._failures[index] += 1
+        if self._failures[index] >= self.breaker_threshold:
+            self._open_until[index] = time.monotonic() + self.breaker_cooldown
+
+    # -- transport ------------------------------------------------------------
     def _request_once(
         self,
         method: str,
         path: str,
         payload: "dict | None" = None,
         raw: bool = False,
+        index: int = 0,
+        timeout: "float | None" = None,
     ) -> "dict | str":
+        base = self._bases[index]
         data = json.dumps(payload).encode() if payload is not None else None
         request = urllib.request.Request(
-            self._base + path,
+            base + path,
             data=data,
             method=method,
             headers={"Content-Type": "application/json"} if data else {},
         )
+        if timeout is None:
+            timeout = self.timeout
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
                 body = response.read()
                 return body.decode("utf-8") if raw else json.loads(body)
         except urllib.error.HTTPError as exc:
@@ -155,11 +278,11 @@ class PredictionClient:
             raise error from exc
         except urllib.error.URLError as exc:
             raise RetryableServiceError(
-                f"cannot reach prediction service at {self._base}: {exc.reason}"
+                f"cannot reach prediction service at {base}: {exc.reason}"
             ) from exc
         except TimeoutError as exc:
             raise RetryableServiceError(
-                f"{method} {path} timed out after {self.timeout}s"
+                f"{method} {path} timed out after {timeout}s"
             ) from exc
 
     def _request(
@@ -169,16 +292,72 @@ class PredictionClient:
         payload: "dict | None" = None,
         idempotent: "bool | None" = None,
         raw: bool = False,
+        write: bool = False,
+        deadline: "float | None" = None,
     ) -> "dict | str":
         if idempotent is None:
             idempotent = method == "GET"
+        if deadline is None:
+            deadline = self.deadline
+        deadline_at = (
+            time.monotonic() + deadline if deadline is not None else None
+        )
         attempts = self.retries + 1 if idempotent else 1
         delay = self.backoff
-        for attempt in range(attempts):
+        attempt = 0
+        redirects = 0
+        last_error: "PredictionServiceError | None" = None
+        while True:
+            timeout = self.timeout
+            if deadline_at is not None:
+                remaining = deadline_at - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlineExceeded(
+                        f"{method} {path}: deadline of {deadline}s exhausted"
+                    ) from last_error
+                timeout = min(timeout, remaining)
+            index = self._pick_endpoint(write)
             try:
-                return self._request_once(method, path, payload, raw=raw)
+                result = self._request_once(
+                    method, path, payload, raw=raw, index=index, timeout=timeout
+                )
+            except TerminalServiceError as exc:
+                body = getattr(exc, "body", None)
+                code = body.get("code") if isinstance(body, dict) else None
+                if (
+                    code in _FENCED_CODES
+                    and len(self._bases) > 1
+                    and redirects < len(self._bases)
+                ):
+                    # A fenced 409 guarantees the server applied nothing,
+                    # so re-routing the same request — even a keyless
+                    # observation POST — is safe, and no backoff sleep is
+                    # needed: the replica is healthy, just not primary.
+                    redirects += 1
+                    self.failovers_performed += 1
+                    last_error = exc
+                    if write:
+                        self._primary = None
+                    self._preferred = (index + 1) % len(self._bases)
+                    continue
+                raise
             except RetryableServiceError as exc:
-                if attempt + 1 >= attempts:
+                # Only transport failures (no HTTP status: refused, reset,
+                # timed out) indict the endpoint itself; a 429/503 means
+                # the node is alive and shedding, so it keeps its breaker
+                # standing and its primary role.
+                if getattr(exc, "status", None) is None:
+                    self._note_failure(index)
+                    if write:
+                        self._primary = None
+                    if len(self._bases) > 1:
+                        # Rotate away from the dead replica right away; the
+                        # breaker keeps it deprioritized until it recovers.
+                        self._preferred = (index + 1) % len(self._bases)
+                        self.failovers_performed += 1
+                last_error = exc
+                attempt += 1
+                if attempt >= attempts:
                     raise
                 sleep = min(delay, self.backoff_max) * (
                     1.0 + self.jitter * self._jitter_rng.random()
@@ -190,10 +369,21 @@ class PredictionClient:
                 hint = getattr(exc, "retry_after", None)
                 if hint is not None:
                     sleep = max(sleep, hint)
+                if deadline_at is not None and (
+                    time.monotonic() + sleep >= deadline_at
+                ):
+                    # Sleeping would overrun the budget; fail fast with
+                    # the real cause chained instead of dozing into it.
+                    raise DeadlineExceeded(
+                        f"{method} {path}: next retry would exceed the "
+                        f"{deadline}s deadline"
+                    ) from exc
                 time.sleep(sleep)
                 delay *= 2.0
                 self.retries_performed += 1
-        raise AssertionError("unreachable")  # pragma: no cover
+            else:
+                self._note_success(index, write)
+                return result
 
     # -- the Fig. 3 interface -------------------------------------------------
     def report_observation(
@@ -203,15 +393,19 @@ class PredictionClient:
         value: float,
         timestamp: float,
         idempotency_key: "str | None" = None,
+        deadline: "float | None" = None,
     ) -> float:
         """Upload one observed QoS sample; returns its pre-update error.
 
         With ``idempotency_key`` set, the POST is retried on transient
         failures like an idempotent request — the server's dedup ledger
         guarantees the sample is applied at most once (see the module
-        docstring for the at-least-once contract).  Returns NaN when the
-        server acknowledged without a fresh model update (a deduplicated
-        retry, or a sample the outlier gate quarantined).
+        docstring for the at-least-once contract).  ``deadline`` caps the
+        total time spent across retries and failovers for this one call
+        (overriding the constructor default); on expiry
+        :class:`DeadlineExceeded` is raised.  Returns NaN when the server
+        acknowledged without a fresh model update (a deduplicated retry,
+        or a sample the outlier gate quarantined).
         """
         payload = {
             "timestamp": timestamp,
@@ -226,6 +420,8 @@ class PredictionClient:
             "/observations",
             payload,
             idempotent=idempotency_key is not None,
+            write=True,
+            deadline=deadline,
         )
         error = body.get("sample_error")
         return float(error) if error is not None else float("nan")
@@ -242,7 +438,10 @@ class PredictionClient:
         """Upload many samples; returns ``{accepted, rejected, sample_errors}``
         where ``rejected`` lists ``{index, error}`` per refused record."""
         return self._request(
-            "POST", "/observations/batch", {"observations": observations}
+            "POST",
+            "/observations/batch",
+            {"observations": observations},
+            write=True,
         )
 
     def predict(self, user_id: int, service_id: int) -> float:
@@ -271,6 +470,11 @@ class PredictionClient:
     def status(self) -> dict:
         """Server-side model statistics."""
         return self._request("GET", "/status")
+
+    def replication_status(self) -> dict:
+        """Replication role/epoch/lag of the currently preferred endpoint
+        (``{"replicated": False, ...}`` for an unreplicated server)."""
+        return self._request("GET", "/replication/status")
 
     def metrics(self) -> str:
         """Raw ``/metrics`` body — Prometheus text exposition, not JSON.

@@ -54,12 +54,33 @@ _WAL_TORN_LINES = _METRICS.counter(
     "qos_wal_torn_lines_total",
     "Unparsable (torn) WAL lines skipped during recovery scans",
 )
+_WAL_APPEND_ERRORS = _METRICS.counter(
+    "qos_wal_append_errors_total",
+    "WAL appends that failed at the OS layer (full disk, I/O error)",
+)
 _CHECKPOINT_SAVES = _METRICS.counter(
     "qos_checkpoint_saves_total", "Model checkpoints written"
 )
 _CHECKPOINT_SAVE_SECONDS = _METRICS.histogram(
     "qos_checkpoint_save_seconds", "Wall-clock seconds per checkpoint save"
 )
+
+
+class WalAppendError(OSError):
+    """A WAL append failed at the OS layer (``ENOSPC``, I/O error, ...).
+
+    The log is left in a failed state (``writable`` turns false) because a
+    partial line may sit at the tail of the active segment: acknowledging
+    further appends after an unflushed write would break the
+    log-before-apply ordering durability depends on.  The server maps this
+    to read-only degraded mode — predictions keep serving, observation
+    writes get a structured 507.  ``errno`` is preserved from the
+    underlying :class:`OSError`.
+    """
+
+    def __init__(self, message: str, errno: "int | None" = None) -> None:
+        super().__init__(message)
+        self.errno = errno
 
 
 def _segment_name(first_seq: int) -> str:
@@ -102,6 +123,7 @@ class WriteAheadLog:
         self._lock = threading.Lock()
         self._handle = None
         self._closed = False
+        self._append_failed: "str | None" = None
         self.torn_lines = 0
         self.appended = 0
         os.makedirs(self.directory, exist_ok=True)
@@ -186,16 +208,11 @@ class WriteAheadLog:
         with self._lock:
             if self._closed:
                 raise ValueError("write-ahead log is closed")
-            seq = self._last_seq + 1
-            if seq - self._active_first_seq >= self.segment_max_records:
-                self._handle.close()
-                self._active_first_seq = seq
-                self._handle = open(
-                    os.path.join(self.directory, _segment_name(seq)),
-                    "a",
-                    encoding="utf-8",
+            if self._append_failed is not None:
+                raise WalAppendError(
+                    f"write-ahead log is in a failed state: {self._append_failed}"
                 )
-                _WAL_SEGMENTS.set(self.segment_count())
+            seq = self._last_seq + 1
             entry = {
                 "seq": seq,
                 "t": record.timestamp,
@@ -206,12 +223,35 @@ class WriteAheadLog:
             if key is not None:
                 entry["k"] = key
             line = json.dumps(entry)
-            self._handle.write(line + "\n")
-            self._handle.flush()
-            if self.fsync:
-                fsync_started = time.perf_counter()
-                os.fsync(self._handle.fileno())
-                _WAL_FSYNC_SECONDS.observe(time.perf_counter() - fsync_started)
+            try:
+                if seq - self._active_first_seq >= self.segment_max_records:
+                    self._handle.close()
+                    self._active_first_seq = seq
+                    self._handle = open(
+                        os.path.join(self.directory, _segment_name(seq)),
+                        "a",
+                        encoding="utf-8",
+                    )
+                    _WAL_SEGMENTS.set(self.segment_count())
+                self._handle.write(line + "\n")
+                self._handle.flush()
+                if self.fsync:
+                    fsync_started = time.perf_counter()
+                    os.fsync(self._handle.fileno())
+                    _WAL_FSYNC_SECONDS.observe(
+                        time.perf_counter() - fsync_started
+                    )
+            except OSError as exc:
+                # A failed write may have left a partial line in the active
+                # segment; freeze the log so the failure is sticky and the
+                # server can degrade to read-only instead of acknowledging
+                # observations that never became durable.
+                self._append_failed = f"{type(exc).__name__}: {exc}"
+                _WAL_APPEND_ERRORS.inc()
+                raise WalAppendError(
+                    f"WAL append of seq {seq} failed: {exc}",
+                    errno=getattr(exc, "errno", None),
+                ) from exc
             self._last_seq = seq
             self.appended += 1
             _WAL_APPENDS.inc()
@@ -270,10 +310,38 @@ class WriteAheadLog:
         """Health probe: the log can accept appends right now."""
         return (
             not self._closed
+            and self._append_failed is None
             and self._handle is not None
             and not self._handle.closed
             and os.access(self.directory, os.W_OK)
         )
+
+    @property
+    def append_failure(self) -> "str | None":
+        """Why the log is frozen (``None`` while healthy)."""
+        return self._append_failed
+
+    def read_committed(
+        self, after_seq: int = 0, limit: int = 1024
+    ) -> list[tuple[int, QoSRecord, "str | None"]]:
+        """Read up to ``limit`` committed records with ``seq > after_seq``.
+
+        The replication shipping path: holds the append lock while reading,
+        so the active segment cannot gain a half-flushed line mid-scan and
+        every returned record is already fsync'd (committed).  Returns
+        ``(seq, record, idempotency_key)`` tuples in sequence order.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        with self._lock:
+            batch: list[tuple[int, QoSRecord, "str | None"]] = []
+            for seq, record, key in self.replay_full(after_seq):
+                if seq > self._last_seq:
+                    break
+                batch.append((seq, record, key))
+                if len(batch) >= limit:
+                    break
+            return batch
 
     def segment_count(self) -> int:
         return len(self._segment_names())

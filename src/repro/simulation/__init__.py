@@ -1,19 +1,24 @@
 """Simulation utilities: a slice-aware clock, churn schedules for the
 scalability experiment (users/services joining and leaving mid-run), and
-fault injection for hardening the serving stack (hostile streams plus
-kill-and-restart crash/recovery checks)."""
+fault injection for hardening the serving stack (hostile streams,
+kill-and-restart crash/recovery checks, and primary/standby failover
+drills with partitioned replica links)."""
 
 from repro.simulation.clock import SimClock
 from repro.simulation.churn import ChurnEvent, ChurnSchedule
 from repro.simulation.faults import (
     CORE_METRIC_FAMILIES,
+    FailoverReport,
     FaultConfig,
     FaultEvent,
     FaultInjector,
+    FaultyReplicaLink,
+    LinkFaultConfig,
     RecoveryReport,
     check_metrics_exposition,
     drive_client,
     run_crash_recovery,
+    run_failover,
     run_flood,
 )
 
@@ -22,12 +27,16 @@ __all__ = [
     "ChurnEvent",
     "ChurnSchedule",
     "CORE_METRIC_FAMILIES",
+    "FailoverReport",
     "FaultConfig",
     "FaultEvent",
     "FaultInjector",
+    "FaultyReplicaLink",
+    "LinkFaultConfig",
     "RecoveryReport",
     "check_metrics_exposition",
     "drive_client",
     "run_crash_recovery",
+    "run_failover",
     "run_flood",
 ]

@@ -6,7 +6,7 @@ the same conditions: lossy collectors (dropped samples), at-least-once
 delivery (duplicates), out-of-order arrival, corrupted measurements, stalls
 — and the server process itself dying mid-stream.
 
-Two tools:
+Three tools:
 
 * :class:`FaultInjector` wraps any record stream with configurable drop /
   duplicate / reorder / corrupt-value / stall faults, drawn from a seeded
@@ -17,8 +17,17 @@ Two tools:
   checkpoint + WAL tail, finishes the stream, and compares the recovered
   model *sample-for-sample* against an uninterrupted baseline: same
   ``updates_applied``, bit-identical factor matrices.
+* :func:`run_failover` drives a primary/standby pair
+  (:mod:`repro.server.replication`) through a partition of the replication
+  link, a ``kill -9`` of the primary mid-stream, auto-promotion of the
+  standby via the epoch CAS, client failover onto the new primary, and a
+  fencing probe against the revived old primary — then diffs the promoted
+  standby against a never-failed baseline (factors, gate, dedup ledger,
+  windowed accuracy, checkpoint digest).  :class:`FaultyReplicaLink`
+  injects the partition / packet-loss / slow-link faults between replicas.
 
-Used by ``tests/test_recovery.py`` and ``scripts/chaos_check.py``.
+Used by ``tests/test_recovery.py``, ``tests/test_replication.py`` and
+``scripts/chaos_check.py``.
 """
 
 from __future__ import annotations
@@ -62,6 +71,14 @@ CORE_METRIC_FAMILIES: tuple[str, ...] = (
     "qos_ingest_stale_total",
     "qos_requests_shed_total",
     "qos_ingest_queue_depth",
+    "qos_wal_append_errors_total",
+    "qos_replication_epoch",
+    "qos_replication_lag_records",
+    "qos_replication_records_shipped_total",
+    "qos_replication_records_applied_total",
+    "qos_replication_fetch_errors_total",
+    "qos_replication_promotions_total",
+    "qos_replication_stale_epoch_total",
 )
 
 
@@ -588,3 +605,456 @@ def run_flood(
     outcome.update(probe_tally)
     outcome["shed"] = outcome["rate_limited"] + outcome["overloaded"]
     return outcome
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFaultConfig:
+    """Fault profile for the replication link between two replicas.
+
+    Attributes:
+        loss_rate:     probability one pull attempt is lost in transit
+                       (the fetch raises as if the packet never arrived).
+        delay_seconds: added one-way latency per successful pull (a slow
+                       WAN link; inflates replication lag without losing
+                       anything).
+        partitioned:   start with the link down; :meth:`FaultyReplicaLink
+                       .heal` restores it.
+    """
+
+    loss_rate: float = 0.0
+    delay_seconds: float = 0.0
+    partitioned: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.loss_rate <= 1.0):
+            raise ValueError(f"loss_rate must be in [0, 1], got {self.loss_rate}")
+        if self.delay_seconds < 0:
+            raise ValueError(
+                f"delay_seconds must be >= 0, got {self.delay_seconds}"
+            )
+
+
+class FaultyReplicaLink:
+    """Wrap a replica link with partition / packet-loss / slow-link faults.
+
+    Drop-in for :class:`repro.server.replication.HttpReplicaLink` (it only
+    needs ``fetch``), so the standby's replicator pulls through the fault
+    layer without knowing it.  A partitioned or lossy fetch raises
+    :class:`OSError` — indistinguishable, by design, from the primary being
+    dead, which is exactly the ambiguity a real standby faces.  ``counts``
+    tallies what the link did; :meth:`partition` / :meth:`heal` flip the
+    partition at runtime (thread-safe: the replicator thread reads the
+    flag while the chaos harness writes it).
+    """
+
+    def __init__(
+        self,
+        inner,
+        config: "LinkFaultConfig | None" = None,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        self.inner = inner
+        self.config = config if config is not None else LinkFaultConfig()
+        self._rng = spawn_rng(rng)
+        self._partitioned = self.config.partitioned
+        self.counts: dict[str, int] = {
+            "fetches": 0,
+            "delivered": 0,
+            "lost": 0,
+            "blocked": 0,
+            "delayed": 0,
+        }
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned
+
+    def partition(self) -> None:
+        """Sever the link: every fetch fails until :meth:`heal`."""
+        self._partitioned = True
+
+    def heal(self) -> None:
+        self._partitioned = False
+
+    def fetch(self, after_seq: int, limit: int) -> dict:
+        self.counts["fetches"] += 1
+        if self._partitioned:
+            self.counts["blocked"] += 1
+            raise OSError("replication link partitioned")
+        if self.config.loss_rate and self._rng.random() < self.config.loss_rate:
+            self.counts["lost"] += 1
+            raise OSError("replication pull lost in transit")
+        if self.config.delay_seconds:
+            self.counts["delayed"] += 1
+            time.sleep(self.config.delay_seconds)
+        batch = self.inner.fetch(after_seq, limit)
+        self.counts["delivered"] += 1
+        return batch
+
+
+@dataclass
+class FailoverReport:
+    """Outcome of :func:`run_failover`.
+
+    ``matches`` is the drill verdict: the promoted standby is
+    indistinguishable from a server that never failed (state, accuracy
+    window, checkpoint digest), promotion won a strictly higher epoch, the
+    deposed primary is fenced, and the at-least-once retry across the
+    promotion deduplicated.  ``time_to_promote`` is seconds from the
+    primary's death to the standby serving as primary.
+    """
+
+    matches: bool
+    detail: dict = field(default_factory=dict)
+    metrics_ok: bool = True
+    time_to_promote: float = float("nan")
+
+    def summary(self) -> str:
+        lines = [
+            "failover "
+            + ("MATCHES" if self.matches else "DIVERGES from")
+            + " never-failed baseline"
+        ]
+        lines.append(
+            f"metrics exposition {'OK' if self.metrics_ok else 'INVALID'}"
+        )
+        lines.append(f"time to promote: {self.time_to_promote:.3f}s")
+        for key, value in self.detail.items():
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+
+def _ha_snapshot(server) -> dict:
+    state = _snapshot(server)
+    state["drift"] = server.drift.snapshot()
+    state["ledger"] = server.ledger.state_dict()
+    return state
+
+
+def run_failover(
+    records: "list[QoSRecord]",
+    kill_after: int,
+    primary_dir: str,
+    standby_dir: str,
+    baseline_dir: str,
+    epoch_store: str,
+    config: "AMFConfig | None" = None,
+    rng: int = 0,
+    checkpoint_interval: int = 50,
+    server_kwargs: "dict | None" = None,
+    link_faults: "LinkFaultConfig | None" = None,
+    auto_promote_after: "float | None" = 0.25,
+    catchup_timeout: float = 30.0,
+    key_prefix: str = "failover",
+) -> FailoverReport:
+    """Kill the primary mid-stream and prove the promoted standby is exact.
+
+    The drill, in order:
+
+    1. A durable **primary** and a WAL-shipping **standby** come up around
+       a shared ``epoch_store``; a multi-endpoint
+       :class:`~repro.server.client.PredictionClient` posts the first
+       ``kill_after`` records (each with an idempotency key) to the
+       primary while the standby replicates.
+    2. Mid-stream the replication link is **partitioned** (plus whatever
+       ``link_faults`` adds — packet loss, slow link); the primary keeps
+       ingesting, the standby falls behind, the link **heals**, and the
+       drill waits for replication lag to return to zero.
+    3. The primary is killed (``kill -9`` semantics — no final
+       checkpoint).  With ``auto_promote_after`` set the standby detects
+       the silence and promotes itself via the epoch CAS (the measured
+       **time to promote**); ``None`` promotes explicitly, timing just the
+       CAS + fencing checkpoint.
+    4. The *same* client resends the last pre-kill record (same key —
+       must deduplicate on the new primary, proving at-least-once across
+       promotion), then fails over and posts the remaining records.
+    5. The old primary is revived from its untouched data dir and probed
+       with a write: it must refuse with a structured 409 ``stale_epoch``.
+    6. A never-failed baseline server ingests the identical stream; the
+       promoted standby must match it sample-for-sample — model factors,
+       gate state, dedup ledger, windowed MAE/MRE/NPRE — and its final
+       checkpoint must be byte-identical under
+       :func:`~repro.core.serialization.archive_digest` with the
+       control-plane ``replication`` extra (the necessarily-higher epoch)
+       excluded.
+
+    Both replicas and the baseline run ``background_replay=False`` so every
+    comparison is an equality, not a tolerance.
+    """
+    from repro.core.serialization import archive_digest
+    from repro.server.app import PredictionServer
+    from repro.server.client import (
+        PredictionClient,
+        TerminalServiceError,
+    )
+    from repro.server.replication import HttpReplicaLink, ReplicationConfig
+    from repro.server.wal import CheckpointStore
+
+    if not (1 <= kill_after <= len(records)):
+        raise ValueError(
+            f"kill_after must be within [1, {len(records)}], got {kill_after}"
+        )
+
+    server_args = dict(
+        config=config,
+        rng=rng,
+        background_replay=False,
+        checkpoint_interval=checkpoint_interval,
+    )
+    if server_kwargs:
+        server_args.update(server_kwargs)
+
+    mismatches: list[str] = []
+    detail: dict = {"records": len(records), "kill_after": kill_after}
+
+    primary = PredictionServer(
+        data_dir=primary_dir,
+        replication=ReplicationConfig(
+            epoch_store, role="primary", node_id="drill-primary"
+        ),
+        **server_args,
+    )
+    primary.start()
+    link = FaultyReplicaLink(
+        HttpReplicaLink(primary.address, timeout=2.0), link_faults, rng=rng
+    )
+    standby = PredictionServer(
+        data_dir=standby_dir,
+        replication=ReplicationConfig(
+            epoch_store,
+            role="standby",
+            primary_address=primary.address,
+            node_id="drill-standby",
+            poll_interval=0.01,
+            fetch_timeout=2.0,
+            auto_promote_after=auto_promote_after,
+        ),
+        replication_link=link,
+        **server_args,
+    )
+    standby.start()
+
+    client = PredictionClient(
+        [primary.address, standby.address],
+        retries=4,
+        backoff=0.02,
+        backoff_max=0.25,
+        jitter=0.1,
+    )
+
+    def post(batch_start: int, batch_end: int) -> None:
+        for index in range(batch_start, batch_end):
+            record = records[index]
+            client.report_observation(
+                record.user_id,
+                record.service_id,
+                record.value,
+                record.timestamp,
+                idempotency_key=f"{key_prefix}:{index}",
+            )
+
+    def wait_catchup() -> float:
+        started = time.perf_counter()
+        deadline = started + catchup_timeout
+        while standby.wal_last_seq < primary.wal_last_seq:
+            if time.perf_counter() > deadline:
+                mismatches.append(
+                    "replication: standby never caught up "
+                    f"(standby seq {standby.wal_last_seq} < primary "
+                    f"{primary.wal_last_seq}: "
+                    f"{standby._replicator.status()})"
+                )
+                break
+            time.sleep(0.005)
+        return time.perf_counter() - started
+
+    # Phase 1+2: stream to the primary; partition the link mid-stream so
+    # the standby falls behind, then heal and require full catch-up.
+    partition_at = max(1, kill_after // 2)
+    post(0, partition_at)
+    wait_catchup()
+    link.partition()
+    post(partition_at, kill_after)
+    detail["lag_during_partition"] = (
+        primary.wal_last_seq - standby.wal_last_seq
+    )
+    link.heal()
+    detail["catchup_seconds_after_heal"] = round(wait_catchup(), 4)
+    detail["link_counts"] = dict(link.counts)
+
+    # Phase 3: kill the primary (no final checkpoint) and wait for the
+    # standby to promote itself via health-check timeout + epoch CAS.
+    primary.kill()
+    promote_started = time.perf_counter()
+    if auto_promote_after is None:
+        if not standby.promote():
+            mismatches.append("promotion: explicit promote() lost the CAS")
+        time_to_promote = time.perf_counter() - promote_started
+    else:
+        promote_deadline = promote_started + auto_promote_after + catchup_timeout
+        while standby.role != "primary":
+            if time.perf_counter() > promote_deadline:
+                mismatches.append(
+                    "promotion: standby never auto-promoted "
+                    f"({standby._replicator.status()})"
+                )
+                break
+            time.sleep(0.005)
+        time_to_promote = time.perf_counter() - promote_started
+    detail["promoted_epoch"] = standby.epoch
+    if standby.role == "primary" and standby.epoch < 2:
+        mismatches.append(
+            f"promotion: epoch did not advance (still {standby.epoch})"
+        )
+
+    # Phase 4: the at-least-once retry across the promotion, then the rest
+    # of the stream through client failover (the dead primary's endpoint
+    # trips the breaker; the write lands on the new primary).
+    if standby.role == "primary":
+        resend = records[kill_after - 1]
+        duplicate_error = client.report_observation(
+            resend.user_id,
+            resend.service_id,
+            resend.value,
+            resend.timestamp,
+            idempotency_key=f"{key_prefix}:{kill_after - 1}",
+        )
+        if duplicate_error == duplicate_error:  # not NaN -> re-applied
+            mismatches.append(
+                "dedup: retried key re-applied an SGD step across promotion"
+            )
+        post(kill_after, len(records))
+        sample = records[0]
+        client.predict(sample.user_id, sample.service_id)
+        metrics_ok, metrics_detail = check_metrics_exposition(client.metrics())
+        detail["client_failovers"] = client.failovers_performed
+        detail["replication_status"] = client.replication_status()
+    else:
+        metrics_ok, metrics_detail = False, {"skipped": "promotion failed"}
+    detail["metrics"] = metrics_detail
+
+    # Phase 5: revive the deposed primary from its own data dir; the epoch
+    # store outranks its checkpoint, so it must come up fenced and refuse
+    # writes with a structured 409.
+    revived = PredictionServer(
+        data_dir=primary_dir,
+        replication=ReplicationConfig(
+            epoch_store, role="primary", node_id="drill-primary-revived"
+        ),
+        **server_args,
+    )
+    revived.start()
+    fence_probe = records[0]
+    try:
+        PredictionClient(revived.address, retries=0).report_observation(
+            fence_probe.user_id,
+            fence_probe.service_id,
+            fence_probe.value,
+            fence_probe.timestamp,
+        )
+        mismatches.append("fencing: deposed primary accepted a write")
+    except TerminalServiceError as exc:
+        body = getattr(exc, "body", None) or {}
+        detail["fence_probe"] = {
+            "status": getattr(exc, "status", None),
+            "code": body.get("code"),
+            "cluster_epoch": body.get("cluster_epoch"),
+        }
+        if getattr(exc, "status", None) != 409 or body.get("code") != "stale_epoch":
+            mismatches.append(
+                "fencing: expected 409 stale_epoch, got "
+                f"{detail['fence_probe']}"
+            )
+    revived.kill()
+
+    standby_state = _ha_snapshot(standby)
+    standby.stop()  # final checkpoint carries the post-promotion epoch
+
+    # Phase 6: the never-failed baseline sees the identical logical stream,
+    # including the duplicate resend (a ledger no-op on both sides).
+    baseline = PredictionServer(data_dir=baseline_dir, **server_args)
+    baseline.start()
+    baseline_client = PredictionClient(baseline.address)
+    for index, record in enumerate(records[:kill_after]):
+        baseline_client.report_observation(
+            record.user_id,
+            record.service_id,
+            record.value,
+            record.timestamp,
+            idempotency_key=f"{key_prefix}:{index}",
+        )
+    resend = records[kill_after - 1]
+    baseline_client.report_observation(
+        resend.user_id,
+        resend.service_id,
+        resend.value,
+        resend.timestamp,
+        idempotency_key=f"{key_prefix}:{kill_after - 1}",
+    )
+    for index in range(kill_after, len(records)):
+        record = records[index]
+        baseline_client.report_observation(
+            record.user_id,
+            record.service_id,
+            record.value,
+            record.timestamp,
+            idempotency_key=f"{key_prefix}:{index}",
+        )
+    baseline_state = _ha_snapshot(baseline)
+    baseline.stop()
+
+    for key in ("updates_applied", "stored_samples"):
+        if standby_state[key] != baseline_state[key]:
+            mismatches.append(
+                f"{key}: promoted={standby_state[key]} "
+                f"baseline={baseline_state[key]}"
+            )
+    for key in ("user_factors", "service_factors"):
+        if standby_state[key].shape != baseline_state[key].shape:
+            mismatches.append(
+                f"{key}: shape {standby_state[key].shape} vs "
+                f"{baseline_state[key].shape}"
+            )
+        elif not np.array_equal(standby_state[key], baseline_state[key]):
+            delta = float(
+                np.max(np.abs(standby_state[key] - baseline_state[key]))
+            )
+            mismatches.append(f"{key}: max abs divergence {delta:.3e}")
+    if standby_state["gate"] != baseline_state["gate"]:
+        mismatches.append("gate: promoted state diverges from baseline")
+    if standby_state["ledger"] != baseline_state["ledger"]:
+        mismatches.append("ledger: promoted dedup ledger diverges from baseline")
+    drift_promoted, drift_baseline = standby_state["drift"], baseline_state["drift"]
+    for metric in ("window", "mae", "mre", "npre"):
+        lhs, rhs = drift_promoted[metric], drift_baseline[metric]
+        if lhs != rhs and not (lhs != lhs and rhs != rhs):  # NaN == NaN here
+            mismatches.append(
+                f"drift {metric}: promoted={lhs!r} baseline={rhs!r}"
+            )
+    detail["windowed_accuracy"] = {
+        "promoted": drift_promoted,
+        "baseline": drift_baseline,
+    }
+
+    digests = {
+        "promoted": archive_digest(
+            CheckpointStore(standby_dir).path, ignore_extra=("replication",)
+        ),
+        "baseline": archive_digest(
+            CheckpointStore(baseline_dir).path, ignore_extra=("replication",)
+        ),
+    }
+    detail["checkpoint_digests"] = digests
+    if digests["promoted"] != digests["baseline"]:
+        mismatches.append(
+            "checkpoint: promoted and baseline archives differ "
+            f"({digests['promoted'][:12]} vs {digests['baseline'][:12]})"
+        )
+
+    detail["mismatches"] = mismatches
+    return FailoverReport(
+        matches=not mismatches,
+        metrics_ok=metrics_ok,
+        detail=detail,
+        time_to_promote=time_to_promote,
+    )

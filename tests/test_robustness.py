@@ -211,6 +211,88 @@ class TestDedupLedger:
             DedupLedger(capacity=0)
 
 
+class TestDedupEvictionVsWalTail:
+    """FIFO eviction must stay coherent with crash recovery: a key the WAL
+    tail would replay after a crash has to still be in the live ledger, and
+    the ledger rebuilt from checkpoint + tail must equal the pre-crash one
+    (eviction applied in the same order during replay as it was live)."""
+
+    def _keyed_server(self, data_dir, capacity=16, interval=8):
+        server = PredictionServer(
+            data_dir=str(data_dir),
+            rng=0,
+            background_replay=False,
+            checkpoint_interval=interval,
+            dedup_capacity=capacity,
+        )
+        server.start()
+        return server
+
+    @staticmethod
+    def _post_keyed(client, n, prefix="evict"):
+        for k in range(n):
+            client.report_observation(
+                k % 7, k % 9, 0.5 + (k % 5) * 0.2, float(k),
+                idempotency_key=f"{prefix}:{k}",
+            )
+
+    def test_eviction_spares_every_key_in_the_live_wal_tail(self, tmp_path):
+        # capacity (16) exceeds the checkpoint interval (8), so the keys the
+        # post-checkpoint WAL tail carries are always younger than anything
+        # FIFO eviction has discarded.
+        server = self._keyed_server(tmp_path)
+        try:
+            client = PredictionClient(server.address)
+            self._post_keyed(client, 43)
+            checkpoint_seq = server._checkpoints.load()[1]
+            assert checkpoint_seq == 40
+            tail = server._wal.read_committed(after_seq=checkpoint_seq)
+            assert len(tail) == 3
+            for __, __, key in tail:
+                assert server.ledger.seen(key)
+            # ... while the oldest keys were in fact evicted (bounded memory).
+            assert not server.ledger.seen("evict:0")
+            assert len(server.ledger) == 16
+        finally:
+            server.stop()
+
+    def test_ledger_rebuilt_from_wal_matches_pre_crash_one(self, tmp_path):
+        server = self._keyed_server(tmp_path)
+        client = PredictionClient(server.address)
+        self._post_keyed(client, 43)
+        pre_crash = server.ledger.state_dict()
+        server.kill()  # no final checkpoint: the tail lives only in the WAL
+
+        recovered = self._keyed_server(tmp_path)
+        try:
+            assert recovered.ledger.state_dict() == pre_crash
+            # A late duplicate of a tail key is still absorbed after recovery.
+            updates_before = recovered.model.updates_applied
+            duplicate_error = PredictionClient(recovered.address).report_observation(
+                42 % 7, 42 % 9, 99.0, 42.0, idempotency_key="evict:42"
+            )
+            assert duplicate_error != duplicate_error  # NaN: deduplicated
+            assert recovered.model.updates_applied == updates_before
+        finally:
+            recovered.stop()
+
+    def test_replayed_eviction_preserves_fifo_order(self, tmp_path):
+        # More keyed records since the checkpoint than the ledger holds:
+        # replay must evict in arrival order, ending with the newest keys.
+        server = self._keyed_server(tmp_path, capacity=4, interval=100)
+        client = PredictionClient(server.address)
+        self._post_keyed(client, 10)
+        pre_crash = server.ledger.state_dict()
+        assert pre_crash["keys"] == [f"evict:{k}" for k in (6, 7, 8, 9)]
+        server.kill()
+
+        recovered = self._keyed_server(tmp_path, capacity=4, interval=100)
+        try:
+            assert recovered.ledger.state_dict() == pre_crash
+        finally:
+            recovered.stop()
+
+
 class TestTimestampPolicy:
     def test_first_observation_always_passes(self):
         TimestampPolicy(max_future_skew=0.0, max_staleness=0.0).check(1e9, None)

@@ -1,5 +1,6 @@
 """Tests for the write-ahead observation log and the checkpoint store."""
 
+import errno
 import os
 
 import numpy as np
@@ -7,7 +8,12 @@ import pytest
 
 from repro.core import AdaptiveMatrixFactorization, AMFConfig
 from repro.datasets.schema import QoSRecord
-from repro.server.wal import CheckpointStore, WriteAheadLog
+from repro.server import (
+    PredictionClient,
+    PredictionServer,
+    RetryableServiceError,
+)
+from repro.server.wal import CheckpointStore, WalAppendError, WriteAheadLog
 
 
 def record(k, value=1.0):
@@ -116,6 +122,112 @@ class TestTornTail:
         # but never yields a corrupt or duplicated record.
         seqs = [seq for seq, __ in fresh.replay()]
         assert seqs == sorted(set(seqs))
+
+
+class _NoSpaceHandle:
+    """Wraps the real segment handle; ``write`` fails like a full disk."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def write(self, data):
+        raise OSError(errno.ENOSPC, "No space left on device")
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestAppendFailure:
+    def test_os_error_surfaces_as_wal_append_error(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), fsync=False)
+        for k in range(3):
+            wal.append(record(k))
+        real_handle = wal._handle
+        wal._handle = _NoSpaceHandle(real_handle)
+        with pytest.raises(WalAppendError) as excinfo:
+            wal.append(record(3))
+        assert excinfo.value.errno == errno.ENOSPC
+        assert wal.last_seq == 3  # the failed append assigned no sequence
+        assert not wal.writable
+        assert "No space left" in wal.append_failure
+
+    def test_failure_is_sticky_even_if_disk_recovers(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), fsync=False)
+        wal.append(record(0))
+        real_handle = wal._handle
+        wal._handle = _NoSpaceHandle(real_handle)
+        with pytest.raises(WalAppendError):
+            wal.append(record(1))
+        wal._handle = real_handle  # "space freed" — a partial line may
+        with pytest.raises(WalAppendError, match="failed state"):
+            wal.append(record(1))  # still sit at the tail, so stay frozen
+
+    def test_committed_prefix_survives_a_failed_append(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), fsync=False)
+        for k in range(5):
+            wal.append(record(k, value=2.0 + k))
+        wal._handle = _NoSpaceHandle(wal._handle)
+        with pytest.raises(WalAppendError):
+            wal.append(record(5))
+        reopened = WriteAheadLog(str(tmp_path), fsync=False)
+        assert reopened.last_seq == 5
+        assert [seq for seq, __ in reopened.replay()] == [1, 2, 3, 4, 5]
+
+
+class TestReadCommitted:
+    def test_windows_by_after_seq_and_limit(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_max_records=4, fsync=False)
+        for k in range(10):
+            wal.append(record(k), key=f"k:{k}")
+        batch = wal.read_committed(after_seq=3, limit=4)
+        assert [seq for seq, __, __ in batch] == [4, 5, 6, 7]
+        assert [key for __, __, key in batch] == ["k:3", "k:4", "k:5", "k:6"]
+        assert wal.read_committed(after_seq=10) == []
+
+    def test_keyless_records_ship_none(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), fsync=False)
+        wal.append(record(0))
+        [(seq, shipped, key)] = wal.read_committed()
+        assert seq == 1
+        assert key is None
+        assert shipped.value == record(0).value
+
+    def test_limit_must_be_positive(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), fsync=False)
+        with pytest.raises(ValueError, match="limit"):
+            wal.read_committed(limit=0)
+
+
+class TestReadOnlyDegradedServer:
+    def test_failed_append_degrades_to_read_only_507(self, tmp_path):
+        server = PredictionServer(
+            data_dir=str(tmp_path / "srv"),
+            rng=0,
+            background_replay=False,
+            checkpoint_interval=1000,
+        )
+        server.start()
+        try:
+            client = PredictionClient(server.address, retries=0)
+            for k in range(10):
+                rec = record(k, value=1.0 + 0.1 * k)
+                client.report_observation(
+                    rec.user_id, rec.service_id, rec.value, rec.timestamp
+                )
+            server._wal._handle = _NoSpaceHandle(server._wal._handle)
+            for __ in range(2):  # the degradation is sticky
+                with pytest.raises(RetryableServiceError) as excinfo:
+                    client.report_observation(0, 0, 1.0, 99.0)
+                assert excinfo.value.status == 507
+                assert excinfo.value.body["code"] == "insufficient_storage"
+            # Predictions keep serving from the in-memory model.
+            assert client.predict(0, 0) > 0
+            assert client.status()["durability"]["read_only"] is not None
+            assert client.health()["checks"]["wal_writable"] is False
+            exposition = client.metrics()
+            assert "qos_wal_append_errors_total" in exposition
+        finally:
+            server.stop()
 
 
 class TestCheckpointStore:
