@@ -78,7 +78,7 @@ _KERNEL_HANDLES = {
         _REPLAY_BATCHES.labels(kernel=kernel),
         _REPLAY_BATCH_SECONDS.labels(kernel=kernel),
     )
-    for kernel in ("scalar", "vectorized")
+    for kernel in ("scalar", "vectorized", "parallel")
 }
 _REPLAY_BLOCK_WIDTH = _METRICS.histogram(
     "qos_amf_replay_block_width",
@@ -91,13 +91,22 @@ _REPLAY_FALLBACK_STEPS = _METRICS.counter(
 
 
 class _GrowableFactors:
-    """Row-growable latent factor matrix with random row initialization."""
+    """Row-growable latent factor matrix with random row initialization.
+
+    Each row carries a monotonically increasing **version counter**, bumped
+    on every write to that row (SGD step, scatter write-back, or
+    reinitialization).  Prediction caches stamp entries with the versions
+    in force at compute time and treat any mismatch as stale — per-entity
+    invalidation without the writer knowing who is caching
+    (:class:`repro.core.online.PredictionCache`).
+    """
 
     def __init__(self, rank: int, init_scale: float, rng: np.random.Generator) -> None:
         self.rank = rank
         self._init_scale = init_scale
         self._rng = rng
         self._rows = np.empty((16, rank), dtype=float)
+        self._versions = np.zeros(16, dtype=np.int64)
         self._size = 0
 
     def __len__(self) -> int:
@@ -112,6 +121,9 @@ class _GrowableFactors:
             grown = np.empty((new_capacity, self.rank), dtype=float)
             grown[: self._size] = self._rows[: self._size]
             self._rows = grown
+            grown_versions = np.zeros(new_capacity, dtype=np.int64)
+            grown_versions[: self._size] = self._versions[: self._size]
+            self._versions = grown_versions
         while self._size <= row_id:
             self._rows[self._size] = self._rng.standard_normal(self.rank) * self._init_scale
             self._size += 1
@@ -121,10 +133,27 @@ class _GrowableFactors:
         self.ensure(row_id)
         return self._rows[row_id]
 
+    def version(self, row_id: int) -> int:
+        """Write-version of a row; 0 for rows never updated (or unknown)."""
+        if row_id < 0:
+            raise IndexError(f"row id must be non-negative, got {row_id}")
+        if row_id >= self._size:
+            return 0
+        return int(self._versions[row_id])
+
+    def bump_versions(self, row_ids: np.ndarray) -> None:
+        """Advance version counters after a batch of row writes.
+
+        Safe for repeated ids (``np.add.at`` accumulates); the kernels that
+        guarantee unique ids per scatter bump ``_versions`` directly.
+        """
+        np.add.at(self._versions, row_ids, 1)
+
     def reinitialize(self, row_id: int) -> None:
         """Draw a fresh random vector for ``row_id`` (used on entity rejoin)."""
         self.ensure(row_id)
         self._rows[row_id] = self._rng.standard_normal(self.rank) * self._init_scale
+        self._versions[row_id] += 1
 
     def matrix(self) -> np.ndarray:
         """Copy of all initialized rows, shape ``(size, rank)``."""
@@ -372,6 +401,9 @@ class AdaptiveMatrixFactorization:
         )
         self._store = _SampleStore()
         self._updates_applied = 0
+        # Attached by repro.core.parallel.ParallelReplayEngine; enables the
+        # "parallel" replay kernel (process-local, never serialized).
+        self._parallel_engine = None
         # Cache the transform constants: the per-sample hot loop normalizes
         # scalars inline instead of going through the (array-general)
         # QoSNormalizer, which would rebuild its Box-Cox bounds on each call.
@@ -530,19 +562,31 @@ class AdaptiveMatrixFactorization:
 
         ``kernel`` overrides ``config.kernel`` for this call: ``"scalar"``
         executes the sequential reference loop, ``"vectorized"`` the
-        conflict-free block kernel.  Both consume the same uniform draws, so
+        conflict-free block kernel, and ``"parallel"`` the multi-process
+        engine (requires an attached
+        :class:`repro.core.parallel.ParallelReplayEngine`; bit-exact with
+        ``"vectorized"``).  All kernels consume the same uniform draws, so
         when no sample expires mid-batch they replay the same sample
-        sequence; the vectorized kernel resolves expiry against the
+        sequence; the batched kernels resolve expiry against the
         pre-batch store rather than interleaved with the updates.
         """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         kernel = self.config.kernel if kernel is None else kernel
-        if kernel not in ("scalar", "vectorized"):
-            raise ValueError(f"kernel must be 'scalar' or 'vectorized', got {kernel!r}")
+        if kernel not in ("scalar", "vectorized", "parallel"):
+            raise ValueError(
+                f"kernel must be 'scalar', 'vectorized' or 'parallel', got {kernel!r}"
+            )
         started = time.perf_counter()
         if kernel == "vectorized":
             result = self._replay_many_vectorized(now, count)
+        elif kernel == "parallel":
+            if self._parallel_engine is None:
+                raise RuntimeError(
+                    "kernel 'parallel' requires an attached ParallelReplayEngine "
+                    "(see repro.core.parallel)"
+                )
+            result = self._parallel_engine._replay_batch(now, count)
         else:
             result = self._replay_many_scalar(now, count)
         steps, expired, batches, seconds = _KERNEL_HANDLES[kernel]
@@ -582,13 +626,27 @@ class AdaptiveMatrixFactorization:
         mean_error = error_sum / applied if applied else float("nan")
         return applied, expired, mean_error
 
-    def _replay_many_vectorized(self, now: float, count: int) -> tuple[int, int, float]:
-        """Conflict-free block kernel: the whole batch in fused NumPy passes."""
+    def _draw_replay_batch(
+        self, now: float, count: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[int], int]:
+        """Draw, expire, and schedule one replay batch (shared kernel front).
+
+        Everything the batched kernels do *before* executing blocks: consume
+        ``count`` uniforms from the model RNG, gather the drawn samples,
+        discard the expired ones, partition into conflict-free blocks, and
+        permute so each block is one contiguous slice.  Returns
+        ``(users, services, r, boundaries, expired)`` where ``boundaries``
+        lists each block's exclusive stop index (empty when nothing
+        applied).  Both the in-process vectorized kernel and the
+        multi-process engine run from this exact schedule, which is what
+        makes them bit-exact with each other.
+        """
         store = self._store
         uniforms = self._rng.random(count)  # same RNG consumption as scalar
         size = len(store._keys)
+        empty = np.empty(0, dtype=np.intp)
         if size == 0 or count == 0:
-            return 0, 0, float("nan")
+            return empty, empty, np.empty(0), [], 0
         indices = (uniforms * size).astype(np.intp)
         # Gather the drawn batch before any discard moves rows around.
         users = store._users[indices]
@@ -605,9 +663,8 @@ class AdaptiveMatrixFactorization:
             users = users[fresh]
             services = services[fresh]
             norms = norms[fresh]
-        applied = int(users.size)
-        if applied == 0:
-            return 0, expired, float("nan")
+        if users.size == 0:
+            return empty, empty, np.empty(0), [], expired
 
         # Schedule: permute the batch so each conflict-free block is one
         # contiguous slice (blocks stay in order, per-entity draw order is
@@ -617,9 +674,21 @@ class AdaptiveMatrixFactorization:
         users = users[order]
         services = services[order]
         r = norms[order]
+        boundaries = np.cumsum(np.bincount(blocks)).tolist()
+        # Replayed entities were registered at observe time; ensure() is a
+        # cheap idempotent guard for store states rebuilt by hand.
+        self.weights._user_errors.ensure(int(users.max()))
+        self.weights._service_errors.ensure(int(services.max()))
+        return users, services, r, boundaries, expired
+
+    def _replay_many_vectorized(self, now: float, count: int) -> tuple[int, int, float]:
+        """Conflict-free block kernel: the whole batch in fused NumPy passes."""
+        users, services, r, boundaries, expired = self._draw_replay_batch(now, count)
+        applied = int(users.size)
+        if applied == 0:
+            return 0, expired, float("nan")
         inv_r = 1.0 / r
         inv_r_sq = inv_r * inv_r
-        boundaries = np.cumsum(np.bincount(blocks)).tolist()
 
         # Hoist every per-step constant out of the block loop.
         config = self.config
@@ -631,10 +700,8 @@ class AdaptiveMatrixFactorization:
         beta = self.weights.beta
         user_rows = self._user_factors._rows
         service_rows = self._service_factors._rows
-        # Replayed entities were registered at observe time; ensure() is a
-        # cheap idempotent guard for store states rebuilt by hand.
-        self.weights._user_errors.ensure(int(users.max()))
-        self.weights._service_errors.ensure(int(services.max()))
+        user_versions = self._user_factors._versions
+        service_versions = self._service_factors._versions
         user_errors = self.weights._user_errors._values
         service_errors = self.weights._service_errors._values
 
@@ -711,6 +778,9 @@ class AdaptiveMatrixFactorization:
             new_s -= (step_s * residual)[:, None] * u_block
             user_rows[block_users] = new_u
             service_rows[block_services] = new_s
+            # Conflict-freedom makes the plain scatter increment safe.
+            user_versions[block_users] += 1
+            service_versions[block_services] += 1
             vectorized_steps += width
 
         self._updates_applied += vectorized_steps
@@ -761,6 +831,8 @@ class AdaptiveMatrixFactorization:
         s_vector -= (step_s * residual) * u_vector
         u_vector[:] = new_u
 
+        self._user_factors._versions[user_id] += 1
+        self._service_factors._versions[service_id] += 1
         self._updates_applied += 1
         return sample_error
 
@@ -781,6 +853,59 @@ class AdaptiveMatrixFactorization:
     def predict(self, user_id: int, service_id: int) -> float:
         """Predicted raw QoS value ``R_hat_ij`` (backward-transformed)."""
         return float(self.normalizer.denormalize(self.predict_normalized(user_id, service_id)))
+
+    def predict_for_user(self, user_id: int, service_ids) -> np.ndarray:
+        """Batched prediction for one user against many candidate services.
+
+        The candidate-ranking primitive: one fused matrix-vector product
+        ``S[ids] @ U_u`` plus one vectorized sigmoid + denormalize pass,
+        instead of ``len(service_ids)`` per-pair dot products.  Every id
+        must already be known to the model (callers route unknown ids
+        through their fallback chain); raises :class:`KeyError` otherwise.
+        """
+        service_ids = np.asarray(service_ids, dtype=np.intp)
+        if user_id < 0 or user_id >= self.n_users:
+            raise KeyError(f"unknown user {user_id} (have {self.n_users})")
+        if service_ids.size == 0:
+            return np.empty(0, dtype=float)
+        if service_ids.min() < 0 or service_ids.max() >= self.n_services:
+            raise KeyError(
+                f"unknown service id in batch (have {self.n_services} services)"
+            )
+        inner = self._service_factors.view()[service_ids] @ self._user_factors.view()[user_id]
+        return np.asarray(self.normalizer.denormalize(sigmoid(inner)), dtype=float)
+
+    def rank_candidates(
+        self, user_id: int, service_ids, k: "int | None" = None, prefer: str = "min"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-K candidate ranking on the fused batch kernel.
+
+        Returns ``(ordered_ids, predictions)`` — the best ``k`` candidates
+        (all when ``k`` is None) sorted best-first.  ``prefer="min"`` ranks
+        ascending (response time: lower is better), ``"max"`` descending
+        (throughput).  Ties keep the caller's candidate order.
+        """
+        if prefer not in ("min", "max"):
+            raise ValueError(f"prefer must be 'min' or 'max', got {prefer!r}")
+        service_ids = np.asarray(service_ids, dtype=np.intp)
+        predictions = self.predict_for_user(user_id, service_ids)
+        keys = predictions if prefer == "min" else -predictions
+        if k is None or k >= service_ids.size:
+            order = np.argsort(keys, kind="stable")
+        else:
+            if k < 1:
+                raise ValueError(f"k must be >= 1, got {k}")
+            top = np.argpartition(keys, k - 1)[:k]
+            order = top[np.argsort(keys[top], kind="stable")]
+        return service_ids[order], predictions[order]
+
+    def user_version(self, user_id: int) -> int:
+        """Write-version of a user's factor row (prediction-cache stamp)."""
+        return self._user_factors.version(user_id)
+
+    def service_version(self, service_id: int) -> int:
+        """Write-version of a service's factor row (prediction-cache stamp)."""
+        return self._service_factors.version(service_id)
 
     def predict_matrix(self) -> np.ndarray:
         """Dense prediction matrix over all known users and services."""

@@ -98,6 +98,71 @@ class ConcurrentModel:
                 return None
             return self._model.predict(user_id, service_id)
 
+    def predict_batch_known(
+        self, user_id: int, service_ids, cache=None
+    ) -> tuple[list, int]:
+        """Batched :meth:`predict_known` for one user: a single lock
+        acquisition and one fused mat-vec for every cache miss.
+
+        Returns ``(values, cache_hits)`` where ``values[i]`` is the
+        prediction for ``service_ids[i]`` or ``None`` when the user or that
+        service is unknown.  With a
+        :class:`~repro.core.online.PredictionCache`, hits are served from
+        stamped entries and only misses touch the factors; the stamps are
+        read under the same lock the SGD writers take, so a concurrent
+        update can never leave a fresh-looking stale entry behind.
+        """
+        with self._lock:
+            model = self._model
+            n_services = model.n_services
+            if user_id < 0 or user_id >= model.n_users:
+                return [None] * len(service_ids), 0
+            values: list = [None] * len(service_ids)
+            hits = 0
+            if cache is None:
+                miss_positions = [
+                    k for k, sid in enumerate(service_ids) if 0 <= sid < n_services
+                ]
+            else:
+                user_version = model.user_version(user_id)
+                miss_positions = []
+                for k, service_id in enumerate(service_ids):
+                    if service_id < 0 or service_id >= n_services:
+                        continue
+                    cached = cache.get(
+                        user_id,
+                        service_id,
+                        user_version,
+                        model.service_version(service_id),
+                    )
+                    if cached is None:
+                        miss_positions.append(k)
+                    else:
+                        values[k] = cached
+                        hits += 1
+            if miss_positions:
+                miss_ids = np.asarray(
+                    [service_ids[k] for k in miss_positions], dtype=np.intp
+                )
+                predictions = model.predict_for_user(user_id, miss_ids)
+                for k, service_id, value in zip(
+                    miss_positions, miss_ids, predictions
+                ):
+                    value = float(value)
+                    values[k] = value
+                    # Only finite values are cacheable: a non-finite
+                    # prediction signals unhealthy factors, and serving it
+                    # from cache would outlive the model being repaired.
+                    if cache is not None and np.isfinite(value):
+                        cache.put(
+                            user_id,
+                            int(service_id),
+                            value,
+                            user_version,
+                            model.service_version(int(service_id)),
+                        )
+            return values, hits
+
     def expected_error(self, user_id: int, service_id: int) -> float:
         """Anticipated relative error of predicting ``(user_id, service_id)``
         from the EMA error trackers (the calibration confidence signal)."""
@@ -186,8 +251,11 @@ class BackgroundTrainer:
                       full blocks to fuse), small enough to keep arrival
                       latency low.
         idle_sleep:   seconds to sleep when the store is empty.
-        kernel:       replay kernel override ("scalar" or "vectorized");
-                      ``None`` (default) uses the model's ``config.kernel``.
+        kernel:       replay kernel override ("scalar", "vectorized" or
+                      "parallel" — the latter requires a
+                      :class:`~repro.core.parallel.ParallelReplayEngine`
+                      attached to the model); ``None`` (default) uses the
+                      model's ``config.kernel``.
     """
 
     def __init__(
@@ -201,9 +269,9 @@ class BackgroundTrainer:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         check_positive("idle_sleep", idle_sleep)
-        if kernel is not None and kernel not in ("scalar", "vectorized"):
+        if kernel is not None and kernel not in ("scalar", "vectorized", "parallel"):
             raise ValueError(
-                f"kernel must be 'scalar' or 'vectorized', got {kernel!r}"
+                f"kernel must be 'scalar', 'vectorized' or 'parallel', got {kernel!r}"
             )
         self.model = model
         self.clock = clock if clock is not None else (lambda: model.latest_timestamp)

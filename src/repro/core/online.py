@@ -11,7 +11,9 @@ wait until observing new QoS data").
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -43,6 +45,122 @@ _LAST_EPOCH_ERROR = _METRICS.gauge(
     "qos_trainer_last_epoch_error",
     "Mean replay relative error of the most recent replay epoch",
 )
+_CACHE_HITS = _METRICS.counter(
+    "qos_predict_cache_hits_total",
+    "Prediction-cache lookups answered without touching the factors",
+)
+_CACHE_MISSES = _METRICS.counter(
+    "qos_predict_cache_misses_total",
+    "Prediction-cache lookups that had to recompute",
+    labelnames=("reason",),
+)
+_CACHE_MISS_COLD = _CACHE_MISSES.labels(reason="cold")
+_CACHE_MISS_STALE = _CACHE_MISSES.labels(reason="stale")
+_CACHE_EVICTIONS = _METRICS.counter(
+    "qos_predict_cache_evictions_total",
+    "Prediction-cache entries evicted by the LRU capacity bound",
+)
+_CACHE_SIZE = _METRICS.gauge(
+    "qos_predict_cache_size",
+    "Live entries in the prediction cache",
+)
+
+
+class PredictionCache:
+    """Version-stamped LRU cache for (user, service) predictions.
+
+    Every SGD write site — scalar online updates, vectorized block
+    scatter-writes, parallel-engine copy-out, and row reinitialisation
+    (``forget_user``/``forget_service``) — bumps a per-row version counter
+    on the factor matrices.  A cache entry stores the prediction together
+    with the (user_version, service_version) pair it was computed under;
+    a lookup whose stamps no longer match is a *stale* miss, so a stale
+    value is never served, without any write-path invalidation hooks.
+
+    The cache holds derived, process-local state: it is never serialized,
+    so a model restored from a checkpoint (whose version counters restart
+    at zero) simply starts with an empty cache.  Thread-safe; callers that
+    pair :meth:`get` with a recompute-and-:meth:`put` sequence should hold
+    the model lock across the pair so the stamps match the value.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[int, int], tuple[float, int, int]] = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        _CACHE_SIZE.set_function(lambda: float(len(self._entries)))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self,
+        user_id: int,
+        service_id: int,
+        user_version: int,
+        service_version: int,
+    ) -> float | None:
+        """The cached prediction, or ``None`` on a cold or stale miss."""
+        key = (user_id, service_id)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                _CACHE_MISS_COLD.inc()
+                return None
+            value, cached_user_version, cached_service_version = entry
+            if (
+                cached_user_version != user_version
+                or cached_service_version != service_version
+            ):
+                # The factors moved under this entry; drop it so the slot
+                # doesn't pin a dead value in the LRU order.
+                del self._entries[key]
+                self.misses += 1
+                _CACHE_MISS_STALE.inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            _CACHE_HITS.inc()
+            return value
+
+    def put(
+        self,
+        user_id: int,
+        service_id: int,
+        value: float,
+        user_version: int,
+        service_version: int,
+    ) -> None:
+        key = (user_id, service_id)
+        with self._lock:
+            self._entries[key] = (value, user_version, service_version)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                _CACHE_EVICTIONS.inc()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 def _record_replay_pass(report: "TrainReport") -> None:
@@ -101,9 +219,12 @@ class StreamTrainer:
                       the plateau detector occasionally mistakes the saddle
                       for convergence and returns an underfit model.
         max_epochs:   hard cap on replay epochs per :meth:`process` call.
-        kernel:       replay kernel override ("scalar" or "vectorized")
-                      passed to every :meth:`replay_many` call; ``None``
-                      (default) uses the model's ``config.kernel``.
+        kernel:       replay kernel override ("scalar", "vectorized" or
+                      "parallel") passed to every :meth:`replay_many` call;
+                      ``None`` (default) uses the model's ``config.kernel``.
+                      "parallel" requires a
+                      :class:`~repro.core.parallel.ParallelReplayEngine`
+                      attached to the model.
         gate:         optional :class:`repro.robustness.SanitizerGate`;
                       when set, :meth:`consume` routes every arrival
                       through it, so outliers are clipped or quarantined
@@ -129,9 +250,9 @@ class StreamTrainer:
             raise ValueError(
                 f"max_epochs ({max_epochs}) must be >= min_epochs ({min_epochs})"
             )
-        if kernel is not None and kernel not in ("scalar", "vectorized"):
+        if kernel is not None and kernel not in ("scalar", "vectorized", "parallel"):
             raise ValueError(
-                f"kernel must be 'scalar' or 'vectorized', got {kernel!r}"
+                f"kernel must be 'scalar', 'vectorized' or 'parallel', got {kernel!r}"
             )
         self.model = model
         self.tolerance = tolerance

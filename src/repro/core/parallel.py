@@ -1,0 +1,616 @@
+"""Multi-core replay: entity-partitioned workers over conflict-free blocks.
+
+The vectorized kernel (:meth:`AdaptiveMatrixFactorization._replay_many_vectorized`)
+executes each conflict-free block as one fused NumPy pass on a single core.
+Within a block no user and no service repeats, so every *row* of the block
+computation is independent of every other row — which means a block can be
+split across workers with **bit-exact** results, as long as each worker runs
+the identical elementwise arithmetic on its slice.
+
+:class:`ParallelReplayEngine` does exactly that:
+
+* the factor matrices and EMA error trackers are staged into
+  ``multiprocessing.shared_memory`` buffers (copy-in per batch, copy-out
+  after — the model object itself is never shared, so checkpointing and
+  serialization are untouched);
+* a pool of persistent worker *processes* attaches the buffers by name; each
+  worker owns the slice of every block whose ``user_id % n_workers`` equals
+  its index (entity partitioning: a user's row is only ever written by one
+  worker, so scatter write-backs never race);
+* blocks execute in schedule order behind a cyclic barrier shared by the
+  workers and the parent — the same block-by-block sequential semantics as
+  the single-core kernel, with the *inside* of each wide block parallel;
+* blocks narrower than the vectorized kernel's scalar-fallback threshold
+  are executed by the parent with the exact scalar arithmetic of
+  ``_online_update`` (the two code paths round differently, and parity with
+  the single-core kernel requires replicating its mixed execution).
+
+The batch *schedule* (RNG draws, expiry, partitioning) comes from the same
+:meth:`~AdaptiveMatrixFactorization._draw_replay_batch` the vectorized
+kernel uses, so the engine consumes the model RNG identically — replay
+recovery and cross-kernel parity both hold.  ``mean_error`` aggregates
+per-worker partial sums, so it can differ from the single-core kernel in
+the last bits (summation order); factors, error trackers, counters, and
+RNG state are bit-identical.
+
+Usage::
+
+    model = AdaptiveMatrixFactorization(AMFConfig.for_response_time())
+    ...
+    with ParallelReplayEngine(model, n_workers=4) as engine:
+        model.replay_many(now, count, kernel="parallel")
+        # or: engine.replay_many(now, count)
+
+Scaling requires physical cores; on a single-CPU host the engine is
+correct but slower than the in-process kernel (IPC + staging overhead).
+``scripts/bench_trajectory.py --workers`` records the actual curve.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import threading
+import traceback
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.amf import AdaptiveMatrixFactorization
+from repro.observability import get_registry
+
+#: Blocks narrower than this run scalar in the parent — must match the
+#: vectorized kernel's fallback threshold or parity breaks.
+MIN_PARALLEL_WIDTH = 6
+
+_METRICS = get_registry()
+_WORKER_STEPS = _METRICS.counter(
+    "qos_replay_worker_steps_total",
+    "Replay SGD steps executed per parallel-replay worker",
+    labelnames=("worker",),
+)
+_PARALLEL_SCALAR_STEPS = _METRICS.counter(
+    "qos_replay_parallel_scalar_steps_total",
+    "Steps the parallel engine executed via the parent's scalar fallback",
+)
+
+
+class _SharedArray:
+    """A NumPy array backed by a named shared-memory segment (parent side)."""
+
+    def __init__(self, shape: tuple, dtype) -> None:
+        self.shape = tuple(int(dim) for dim in shape)
+        self.dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(self.shape)) * self.dtype.itemsize)
+        self.shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.array = np.ndarray(self.shape, dtype=self.dtype, buffer=self.shm.buf)
+
+    def spec(self) -> tuple:
+        """(name, shape, dtype-str) — everything a worker needs to attach."""
+        return (self.shm.name, self.shape, self.dtype.str)
+
+    def destroy(self) -> None:
+        # Drop the array view before closing: an exported buffer keeps the
+        # mmap alive and SharedMemory.close() would raise.
+        self.array = None
+        self.shm.close()
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _scalar_shared_update(
+    user_rows: np.ndarray,
+    service_rows: np.ndarray,
+    user_errors: np.ndarray,
+    service_errors: np.ndarray,
+    user_id: int,
+    service_id: int,
+    r: float,
+    params: dict,
+) -> float:
+    """``_online_update``'s exact arithmetic against the shared buffers.
+
+    Bit-for-bit the scalar kernel: ``math.exp`` sigmoid, scalar credence
+    weights and EMA (AdaptiveWeights.observe), ``(g-r)*g'/(r*r)`` residual,
+    fused scale-and-subtract.  The parent runs this for blocks below
+    :data:`MIN_PARALLEL_WIDTH`, mirroring the vectorized kernel's fallback.
+    """
+    u_vector = user_rows[user_id]
+    s_vector = service_rows[service_id]
+    x = float(u_vector.dot(s_vector))
+    if x >= 0:
+        g = 1.0 / (1.0 + math.exp(-x))
+    else:
+        exp_x = math.exp(x)
+        g = exp_x / (1.0 + exp_x)
+    g_prime = g * (1.0 - g)
+
+    sample_error = abs(r - g) / r
+    e_u = user_errors[user_id]
+    e_s = service_errors[service_id]
+    total = e_u + e_s
+    if total <= 0:
+        w_u = w_s = 0.5
+    else:
+        w_u = e_u / total
+        w_s = e_s / total
+    beta = params["beta"]
+    user_errors[user_id] = beta * w_u * sample_error + (1.0 - beta * w_u) * e_u
+    service_errors[service_id] = (
+        beta * w_s * sample_error + (1.0 - beta * w_s) * e_s
+    )
+
+    if params["relative_loss"]:
+        residual = (g - r) * g_prime / (r * r)
+    else:
+        residual = (g - r) * g_prime
+    grad_clip = params["grad_clip"]
+    if residual > grad_clip:
+        residual = grad_clip
+    elif residual < -grad_clip:
+        residual = -grad_clip
+    step_u = params["learning_rate"] * w_u
+    step_s = params["learning_rate"] * w_s
+    shrink_u = 1.0 - step_u * params["lambda_u"]
+    shrink_s = 1.0 - step_s * params["lambda_s"]
+    new_u = shrink_u * u_vector - (step_u * residual) * s_vector
+    s_vector *= shrink_s
+    s_vector -= (step_s * residual) * u_vector
+    u_vector[:] = new_u
+    return sample_error
+
+
+def _block_slice_update(
+    user_rows: np.ndarray,
+    service_rows: np.ndarray,
+    user_errors: np.ndarray,
+    service_errors: np.ndarray,
+    block_users: np.ndarray,
+    block_services: np.ndarray,
+    block_r: np.ndarray,
+    params: dict,
+) -> float:
+    """One worker's slice of one wide block — the vectorized kernel's exact
+    elementwise arithmetic, so the union of all slices is bit-identical to
+    the single-core block pass.  Returns the slice's error sum."""
+    u_block = user_rows[block_users]
+    s_block = service_rows[block_services]
+    x = np.einsum("ij,ij->i", u_block, s_block)
+    exp_neg = np.exp(-np.abs(x))
+    g = np.where(x >= 0.0, 1.0, exp_neg) / (1.0 + exp_neg)
+    g_prime = g * (1.0 - g)
+
+    difference = g - block_r
+    inv_r = 1.0 / block_r
+    sample_errors = np.abs(difference) * inv_r
+    error_sum = float(sample_errors.sum())
+
+    e_u = user_errors[block_users]
+    e_s = service_errors[block_services]
+    total = e_u + e_s
+    if total.min() > 0.0:
+        w_u = e_u / total
+        w_s = e_s / total
+    else:
+        safe = np.where(total > 0.0, total, 1.0)
+        w_u = np.where(total > 0.0, e_u / safe, 0.5)
+        w_s = np.where(total > 0.0, e_s / safe, 0.5)
+    beta = params["beta"]
+    ema_u = beta * w_u
+    ema_s = beta * w_s
+    user_errors[block_users] = ema_u * sample_errors + (1.0 - ema_u) * e_u
+    service_errors[block_services] = ema_s * sample_errors + (1.0 - ema_s) * e_s
+
+    if params["relative_loss"]:
+        inv_r_sq = inv_r * inv_r
+        residual = difference * g_prime * inv_r_sq
+    else:
+        residual = difference * g_prime
+    np.minimum(residual, params["grad_clip"], out=residual)
+    np.maximum(residual, -params["grad_clip"], out=residual)
+    learning_rate = params["learning_rate"]
+    step_u = learning_rate * w_u
+    step_s = learning_rate * w_s
+    new_u = (1.0 - step_u * params["lambda_u"])[:, None] * u_block
+    new_u -= (step_u * residual)[:, None] * s_block
+    new_s = (1.0 - step_s * params["lambda_s"])[:, None] * s_block
+    new_s -= (step_s * residual)[:, None] * u_block
+    user_rows[block_users] = new_u
+    service_rows[block_services] = new_s
+    return error_sum
+
+
+def _attach_arrays(specs: dict, cache: dict) -> dict:
+    """Attach (or reuse) the shared segments named in ``specs``.
+
+    ``cache`` maps segment name -> SharedMemory across batches so a
+    persistent worker re-attaches nothing; segments retired by a parent
+    reallocation (growth) are closed.
+    """
+    wanted = {spec[0] for spec in specs.values()}
+    for name in [n for n in cache if n not in wanted]:
+        cache.pop(name).close()
+    arrays = {}
+    for key, (name, shape, dtype) in specs.items():
+        shm = cache.get(name)
+        if shm is None:
+            shm = shared_memory.SharedMemory(name=name)
+            cache[name] = shm
+        arrays[key] = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+    return arrays
+
+
+def _worker_main(worker_id, n_workers, conn, barrier, params, timeout):
+    """Persistent worker loop: one message per batch, barriers inside."""
+    cache: dict = {}
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                return
+            try:
+                arrays = _attach_arrays(message["specs"], cache)
+                user_rows = arrays["user_rows"]
+                service_rows = arrays["service_rows"]
+                user_errors = arrays["user_errors"]
+                service_errors = arrays["service_errors"]
+                n = message["n"]
+                users = arrays["users"][:n]
+                services = arrays["services"][:n]
+                r = arrays["r"][:n]
+                boundaries = arrays["boundaries"][: message["n_blocks"]]
+                stats = arrays["stats"]
+                steps = 0
+                error_sum = 0.0
+                for kind, first, last in message["plan"]:
+                    if kind == "S":
+                        # Parent executes these blocks scalar; we just keep
+                        # the barrier schedule in lock-step.
+                        barrier.wait(timeout)
+                        continue
+                    for block_id in range(first, last + 1):
+                        start = 0 if block_id == 0 else int(boundaries[block_id - 1])
+                        stop = int(boundaries[block_id])
+                        mine = start + np.flatnonzero(
+                            users[start:stop] % n_workers == worker_id
+                        )
+                        if mine.size:
+                            error_sum += _block_slice_update(
+                                user_rows,
+                                service_rows,
+                                user_errors,
+                                service_errors,
+                                users[mine],
+                                services[mine],
+                                r[mine],
+                                params,
+                            )
+                            steps += int(mine.size)
+                        barrier.wait(timeout)
+                stats[worker_id, 0] = steps
+                stats[worker_id, 1] = error_sum
+                barrier.wait(timeout)
+            except Exception:  # noqa: BLE001 — shipped to the parent
+                try:
+                    conn.send(traceback.format_exc())
+                except Exception:  # noqa: BLE001
+                    pass
+                barrier.abort()
+                return
+    except (EOFError, OSError):
+        return
+    finally:
+        for shm in cache.values():
+            shm.close()
+
+
+class ParallelReplayEngine:
+    """Entity-partitioned multi-process executor for the replay kernel.
+
+    Attaching an engine to a model enables ``kernel="parallel"`` on
+    :meth:`AdaptiveMatrixFactorization.replay_many` (and therefore on
+    :class:`~repro.core.online.StreamTrainer` /
+    :class:`~repro.core.daemon.BackgroundTrainer`).  The engine is
+    process-local runtime state: it is never serialized, and a model
+    restored from a checkpoint starts without one.
+
+    Args:
+        model:       the model to accelerate (one engine per model).
+        n_workers:   worker processes; defaults to ``os.cpu_count()``.
+        start_method: multiprocessing start method; default ``"fork"``
+                     when available (cheapest), else the platform default.
+                     Create the engine *before* starting server threads —
+                     forking a process with running threads is undefined.
+        barrier_timeout: seconds any party waits at a block barrier before
+                     declaring the batch broken.
+    """
+
+    def __init__(
+        self,
+        model: AdaptiveMatrixFactorization,
+        n_workers: "int | None" = None,
+        start_method: "str | None" = None,
+        barrier_timeout: float = 60.0,
+    ) -> None:
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if barrier_timeout <= 0:
+            raise ValueError(f"barrier_timeout must be positive, got {barrier_timeout}")
+        if getattr(model, "_parallel_engine", None) is not None:
+            raise RuntimeError("model already has a ParallelReplayEngine attached")
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+        self._model = model
+        self.n_workers = n_workers
+        self._timeout = barrier_timeout
+        self._lock = threading.Lock()
+        self._closed = False
+        self._broken: "str | None" = None
+        config = model.config
+        self._params = {
+            "learning_rate": config.learning_rate,
+            "lambda_u": config.lambda_u,
+            "lambda_s": config.lambda_s,
+            "grad_clip": config.grad_clip,
+            "relative_loss": model._relative_loss,
+            "beta": model.weights.beta,
+        }
+        self._step_handles = [
+            _WORKER_STEPS.labels(worker=str(index)) for index in range(n_workers)
+        ]
+
+        self._ctx = multiprocessing.get_context(start_method)
+        self._barrier = self._ctx.Barrier(n_workers + 1)
+        self._stats = _SharedArray((n_workers, 2), np.float64)
+        # Factor/error staging grows on demand; batch staging likewise.
+        self._buffers: dict[str, _SharedArray] = {"stats": self._stats}
+        self._conns = []
+        self._processes = []
+        for worker_id in range(n_workers):
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    n_workers,
+                    child_conn,
+                    self._barrier,
+                    self._params,
+                    barrier_timeout,
+                ),
+                name=f"amf-replay-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._processes.append(process)
+        model._parallel_engine = self
+
+    # -- lifecycle -----------------------------------------------------------
+    def __enter__(self) -> "ParallelReplayEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop the workers and release every shared segment (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for conn in self._conns:
+                try:
+                    conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            for process in self._processes:
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+            for conn in self._conns:
+                conn.close()
+            for buffer in self._buffers.values():
+                buffer.destroy()
+            self._buffers = {}
+            if getattr(self._model, "_parallel_engine", None) is self:
+                self._model._parallel_engine = None
+
+    # -- staging -------------------------------------------------------------
+    def _buffer(self, key: str, shape: tuple, dtype) -> _SharedArray:
+        """A shared buffer of at least ``shape``, reallocating to grow.
+
+        Growth allocates a fresh (fresh-named) segment; workers notice the
+        new name in the next batch's specs and drop the stale attachment.
+        """
+        existing = self._buffers.get(key)
+        if existing is not None and all(
+            have >= need for have, need in zip(existing.shape, shape)
+        ):
+            return existing
+        if existing is None:
+            grown_shape = tuple(shape)
+        else:
+            # Double only the dimensions that ran out (amortized growth);
+            # sufficient dimensions (e.g. the factor rank) stay put.
+            grown_shape = tuple(
+                have if have >= need else max(need, 2 * have)
+                for need, have in zip(shape, existing.shape)
+            )
+        replacement = _SharedArray(grown_shape, dtype)
+        if existing is not None:
+            existing.destroy()
+        self._buffers[key] = replacement
+        return replacement
+
+    # -- execution -----------------------------------------------------------
+    def replay_many(self, now: float, count: int) -> tuple[int, int, float]:
+        """Convenience wrapper: ``model.replay_many(..., kernel="parallel")``
+        (records the per-kernel replay metrics like any other kernel)."""
+        return self._model.replay_many(now, count, kernel="parallel")
+
+    def _replay_batch(self, now: float, count: int) -> tuple[int, int, float]:
+        """Execute one replay batch across the worker pool.
+
+        Called by ``AdaptiveMatrixFactorization.replay_many`` under
+        ``kernel="parallel"``; callers go through that entry point.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ParallelReplayEngine is closed")
+            if self._broken is not None:
+                raise RuntimeError(
+                    f"ParallelReplayEngine is broken by an earlier failure:\n"
+                    f"{self._broken}"
+                )
+            model = self._model
+            users, services, r, boundaries, expired = model._draw_replay_batch(
+                now, count
+            )
+            applied = int(users.size)
+            if applied == 0:
+                return 0, expired, float("nan")
+
+            # Segment plan: consecutive wide blocks run parallel ("P"),
+            # consecutive narrow blocks run scalar in the parent ("S").
+            plan: list[tuple[str, int, int]] = []
+            widths = []
+            start = 0
+            for stop in boundaries:
+                widths.append(stop - start)
+                start = stop
+            for block_id, width in enumerate(widths):
+                kind = "P" if width >= MIN_PARALLEL_WIDTH else "S"
+                if plan and plan[-1][0] == kind:
+                    plan[-1] = (kind, plan[-1][1], block_id)
+                else:
+                    plan.append((kind, block_id, block_id))
+
+            # Copy-in: factors, error trackers, and the batch schedule.
+            user_factors = model._user_factors
+            service_factors = model._service_factors
+            user_errors = model.weights._user_errors
+            service_errors = model.weights._service_errors
+            n_u, n_s = len(user_factors), len(service_factors)
+            n_ue, n_se = user_errors._size, service_errors._size
+            rank = user_factors.rank
+            uf = self._buffer("user_rows", (max(n_u, 1), rank), np.float64)
+            sf = self._buffer("service_rows", (max(n_s, 1), rank), np.float64)
+            ue = self._buffer("user_errors", (max(n_ue, 1),), np.float64)
+            se = self._buffer("service_errors", (max(n_se, 1),), np.float64)
+            bu = self._buffer("users", (applied,), np.int64)
+            bs = self._buffer("services", (applied,), np.int64)
+            br = self._buffer("r", (applied,), np.float64)
+            bb = self._buffer("boundaries", (len(boundaries),), np.int64)
+            uf.array[:n_u] = user_factors._rows[:n_u]
+            sf.array[:n_s] = service_factors._rows[:n_s]
+            ue.array[:n_ue] = user_errors._values[:n_ue]
+            se.array[:n_se] = service_errors._values[:n_se]
+            bu.array[:applied] = users
+            bs.array[:applied] = services
+            br.array[:applied] = r
+            bb.array[: len(boundaries)] = boundaries
+            self._stats.array[:] = 0.0
+
+            message = {
+                "specs": {
+                    "user_rows": uf.spec(),
+                    "service_rows": sf.spec(),
+                    "user_errors": ue.spec(),
+                    "service_errors": se.spec(),
+                    "users": bu.spec(),
+                    "services": bs.spec(),
+                    "r": br.spec(),
+                    "boundaries": bb.spec(),
+                    "stats": self._stats.spec(),
+                },
+                "n": applied,
+                "n_blocks": len(boundaries),
+                "plan": plan,
+            }
+            for conn in self._conns:
+                conn.send(message)
+
+            scalar_error_sum = 0.0
+            scalar_steps = 0
+            try:
+                for kind, first, last in plan:
+                    if kind == "P":
+                        # Workers split each block; the parent only keeps
+                        # the per-block barrier schedule.
+                        for __ in range(first, last + 1):
+                            self._barrier.wait(self._timeout)
+                        continue
+                    for block_id in range(first, last + 1):
+                        block_start = (
+                            0 if block_id == 0 else boundaries[block_id - 1]
+                        )
+                        for k in range(block_start, boundaries[block_id]):
+                            scalar_error_sum += _scalar_shared_update(
+                                uf.array,
+                                sf.array,
+                                ue.array,
+                                se.array,
+                                int(users[k]),
+                                int(services[k]),
+                                float(r[k]),
+                                self._params,
+                            )
+                            scalar_steps += 1
+                    self._barrier.wait(self._timeout)
+                self._barrier.wait(self._timeout)  # workers publish stats
+            except threading.BrokenBarrierError:
+                self._broken = self._collect_failures()
+                raise RuntimeError(
+                    f"parallel replay batch failed:\n{self._broken}"
+                ) from None
+
+            # Copy-out: the staged buffers are now the post-batch state.
+            user_factors._rows[:n_u] = uf.array[:n_u]
+            service_factors._rows[:n_s] = sf.array[:n_s]
+            user_errors._values[:n_ue] = ue.array[:n_ue]
+            service_errors._values[:n_se] = se.array[:n_se]
+            user_factors.bump_versions(users)
+            service_factors.bump_versions(services)
+            model._updates_applied += applied
+
+            worker_steps = self._stats.array[:, 0]
+            error_sum = scalar_error_sum + float(self._stats.array[:, 1].sum())
+            for index, handle in enumerate(self._step_handles):
+                steps = int(worker_steps[index])
+                if steps:
+                    handle.inc(steps)
+            if scalar_steps:
+                _PARALLEL_SCALAR_STEPS.inc(scalar_steps)
+            return applied, expired, error_sum / applied
+
+    def _collect_failures(self) -> str:
+        """Drain worker tracebacks after a broken barrier."""
+        failures = []
+        for index, conn in enumerate(self._conns):
+            try:
+                while conn.poll(0.1):
+                    failures.append(f"[worker {index}] {conn.recv()}")
+            except (EOFError, OSError):
+                failures.append(f"[worker {index}] connection lost")
+        for index, process in enumerate(self._processes):
+            if not process.is_alive():
+                failures.append(
+                    f"[worker {index}] exited with code {process.exitcode}"
+                )
+        return "\n".join(failures) if failures else "no worker diagnostics"

@@ -121,6 +121,25 @@ class AdaptiveWeights:
         :meth:`user_error`)."""
         return self._service_errors.get(service_id)
 
+    def service_error_many(self, service_ids) -> "np.ndarray":
+        """EMA relative errors for a batch of services (pure read).
+
+        The batched counterpart of :meth:`service_error`, used by the
+        fused candidate-ranking path to report per-prediction expected
+        errors without one Python call per service.  Unknown ids report
+        ``init_error``, exactly like the scalar read.
+        """
+        service_ids = np.asarray(service_ids, dtype=np.intp)
+        errors = np.full(service_ids.shape, self.init_error, dtype=float)
+        if service_ids.size == 0:
+            return errors
+        if service_ids.min() < 0:
+            raise IndexError("service ids must be non-negative")
+        known = service_ids < self._service_errors._size
+        if known.any():
+            errors[known] = self._service_errors._values[service_ids[known]]
+        return errors
+
     def credence(self, user_id: int, service_id: int) -> tuple[float, float]:
         """Return ``(w_u, w_s)`` for a sample between the two entities (Eq. 12).
 

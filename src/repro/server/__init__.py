@@ -10,6 +10,7 @@ replication layer that lets the *deployment* survive node failures
 (:mod:`repro.server.replication`)."""
 
 from repro.server.app import PredictionServer
+from repro.server.binary import BinaryConnection, BinaryServerError, ProtocolError
 from repro.server.client import (
     DeadlineExceeded,
     PredictionClient,
@@ -29,6 +30,9 @@ from repro.server.wal import CheckpointStore, WalAppendError, WriteAheadLog
 __all__ = [
     "PredictionServer",
     "PredictionClient",
+    "BinaryConnection",
+    "BinaryServerError",
+    "ProtocolError",
     "PredictionServiceError",
     "RetryableServiceError",
     "TerminalServiceError",

@@ -87,6 +87,7 @@ from repro.core.amf import AdaptiveMatrixFactorization
 from repro.core.config import AMFConfig
 from repro.core.daemon import BackgroundTrainer, ConcurrentModel, TrainerSupervisor
 from repro.core.fallback import FallbackPredictor
+from repro.core.online import PredictionCache
 from repro.core.transform import sigmoid
 from repro.datasets.schema import QoSRecord
 from repro.observability import StreamAccuracyMonitor, get_registry
@@ -100,6 +101,13 @@ from repro.robustness import (
     StaleObservation,
     TimestampPolicy,
     apply_observation,
+)
+from repro.server.binary import (
+    SOURCE_CODES,
+    SOURCE_UNKNOWN,
+    TRANSPORT_JSON_REQUESTS,
+    BinaryTransportServer,
+    set_transport_mode,
 )
 from repro.server.replication import (
     FencedWrite,
@@ -133,6 +141,10 @@ _OBSERVATIONS_REJECTED = _METRICS.counter(
 )
 _INTERNAL_ERRORS = _METRICS.counter(
     "qos_server_internal_errors_total", "Requests that hit the HTTP 500 boundary"
+)
+_BATCH_SIZE = _METRICS.histogram(
+    "qos_predict_batch_size",
+    "Service ids per batched prediction request (both transports)",
 )
 
 
@@ -277,6 +289,18 @@ class PredictionServer:
       stale/future observation timestamps may be.
     * ``dedup_capacity`` — idempotency-key ledger size (the ledger itself
       is always on; it costs nothing until a client sends keys).
+
+    Hot-path serving knobs:
+
+    * ``binary_port`` — port for the persistent-connection binary
+      transport (:mod:`repro.server.binary`); 0 (default) binds an
+      ephemeral port next to the HTTP listener, ``None`` disables the
+      binary transport entirely.  Read ``binary_address`` after ``start``.
+    * ``predict_cache_size`` — capacity of the version-stamped
+      :class:`~repro.core.online.PredictionCache` fronting the batched
+      predict path; ``None`` or 0 disables caching.  The cache is derived
+      state: it is never checkpointed, and version stamps make entries
+      self-invalidating when SGD writes move the factors.
     """
 
     def __init__(
@@ -297,6 +321,8 @@ class PredictionServer:
         dedup_capacity: int = 65536,
         replication: "ReplicationConfig | None" = None,
         replication_link=None,
+        binary_port: "int | None" = 0,
+        predict_cache_size: "int | None" = 65536,
     ) -> None:
         if checkpoint_interval < 1:
             raise ValueError(
@@ -455,6 +481,14 @@ class PredictionServer:
         self._port = port
         self._httpd: "ThreadingHTTPServer | None" = None
         self._thread: "threading.Thread | None" = None
+        self._predict_cache = (
+            PredictionCache(predict_cache_size) if predict_cache_size else None
+        )
+        self._binary = (
+            BinaryTransportServer(self, host=host, port=binary_port)
+            if binary_port is not None
+            else None
+        )
         # Ingest lock: keeps WAL-append order identical to model-apply order
         # across handler threads (recovery replays in WAL order).  Stats
         # lock: ThreadingHTTPServer handlers increment counters from many
@@ -486,6 +520,14 @@ class PredictionServer:
     def durable(self) -> bool:
         return self._wal is not None
 
+    @property
+    def binary_address(self) -> "tuple[str, int] | None":
+        """(host, port) of the binary transport; ``None`` when disabled.
+        Valid after :meth:`start`."""
+        if self._binary is None or not self._binary.running:
+            return None
+        return self._binary.address
+
     def start(self) -> None:
         if self._httpd is not None:
             return
@@ -495,6 +537,9 @@ class PredictionServer:
             target=self._httpd.serve_forever, name="qos-prediction-http", daemon=True
         )
         self._thread.start()
+        if self._binary is not None:
+            self._binary.start()
+        set_transport_mode(True, self._binary is not None)
         if self.supervisor is not None:
             self.supervisor.start()
         elif self.trainer is not None:
@@ -524,6 +569,8 @@ class PredictionServer:
             self._wal.close()
 
     def _stop_serving(self) -> None:
+        if self._binary is not None and self._binary.running:
+            self._binary.stop()
         if self._replicator is not None and self._replicator.running:
             self._replicator.stop()
         if self.supervisor is not None and self.supervisor.running:
@@ -934,24 +981,130 @@ class PredictionServer:
         response.update(self._predict_one(user_id, service_id))
         return response
 
+    def _predict_batch(
+        self, user_id: int, service_ids: list[int]
+    ) -> tuple[list[float], list[str]]:
+        """Fused batch predict: one lock acquisition, one mat-vec for all
+        cache misses, fallback chain per id that the model cannot answer.
+
+        The shared core of the JSON ``/predictions/batch`` route and the
+        binary ``PREDICT_BATCH`` opcode.  Unlike the single-prediction
+        path, batch answers skip the per-pair expected-error histogram —
+        the calibration signal stays on the single-GET path, keeping the
+        ranking hot path at one credence read per *miss*, not per id.
+        """
+        _BATCH_SIZE.observe(len(service_ids))
+        if self._model_healthy:
+            values, __ = self.model.predict_batch_known(
+                user_id, service_ids, self._predict_cache
+            )
+        else:
+            values = [None] * len(service_ids)
+        sources: list[str] = [""] * len(service_ids)
+        model_served = 0
+        for index, value in enumerate(values):
+            if value is not None:
+                if math.isfinite(value):
+                    sources[index] = "model"
+                    model_served += 1
+                    continue
+                # Poisoned factors: distrust the model for the rest of the
+                # batch too (predict_batch_known never caches non-finites).
+                self._model_healthy = False
+            result = self.fallback.predict(user_id, service_ids[index])
+            values[index] = result.value
+            sources[index] = result.source
+            _PREDICTIONS.labels(source=result.source).inc()
+        if model_served:
+            _PREDICTIONS.labels(source="model").inc(model_served)
+        with self._stats_lock:
+            self._predictions_served += len(service_ids)
+            self._degraded_predictions += len(service_ids) - model_served
+        return values, sources
+
     def _handle_prediction_batch(self, payload: dict) -> dict:
         user_id = _require(payload, "user_id", int)
-        service_ids = payload.get("service_ids")
-        if not isinstance(service_ids, list) or not service_ids:
+        raw_ids = payload.get("service_ids")
+        if not isinstance(raw_ids, list) or not raw_ids:
             raise _BadRequest("field 'service_ids' must be a non-empty list")
-        predictions = {}
-        sources = {}
-        for raw in service_ids:
+        service_ids: list[int] = []
+        for raw in raw_ids:
             try:
                 service_id = int(raw)
             except (TypeError, ValueError) as exc:
                 raise _BadRequest("service_ids must be integers") from exc
             if user_id < 0 or service_id < 0:
                 raise _BadRequest("ids must be non-negative")
-            result = self._predict_one(user_id, service_id)
-            predictions[str(service_id)] = result["prediction"]
-            sources[str(service_id)] = result["source"]
-        return {"user_id": user_id, "predictions": predictions, "sources": sources}
+            service_ids.append(service_id)
+        values, sources = self._predict_batch(user_id, service_ids)
+        predictions = {}
+        source_map = {}
+        for service_id, value, source in zip(service_ids, values, sources):
+            predictions[str(service_id)] = value
+            source_map[str(service_id)] = source
+        return {"user_id": user_id, "predictions": predictions, "sources": source_map}
+
+    # -- binary transport backend ---------------------------------------------
+    def _binary_error(self, exc: Exception) -> tuple[int, dict]:
+        """Map a handler exception to (status, body) — the same statuses and
+        structured bodies ``_dispatch`` puts on the HTTP transport."""
+        if isinstance(exc, _BadRequest):
+            body = {"error": str(exc)}
+            if exc.code is not None:
+                body["code"] = exc.code
+            return 400, body
+        if isinstance(exc, _PayloadTooLarge):
+            return 413, {"error": str(exc)}
+        if isinstance(exc, FencedWrite):
+            body = {"error": str(exc), "code": exc.code, "epoch": exc.epoch}
+            if exc.cluster_epoch is not None:
+                body["cluster_epoch"] = exc.cluster_epoch
+            return 409, body
+        if isinstance(exc, _StorageUnavailable):
+            return 507, {"error": str(exc), "code": "insufficient_storage"}
+        if isinstance(exc, ShedRequest):
+            return exc.status, {"error": str(exc), "retry_after": exc.retry_after}
+        with self._stats_lock:
+            self._internal_errors += 1
+        _INTERNAL_ERRORS.inc()
+        return 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+
+    def _binary_predict_batch(self, user_id: int, service_ids: list[int]):
+        """``PREDICT_BATCH`` opcode backend: (200, (values, source codes))
+        or (status, error body)."""
+        try:
+            if not service_ids:
+                raise _BadRequest("service_ids must be non-empty")
+            if user_id < 0 or min(service_ids) < 0:
+                raise _BadRequest("ids must be non-negative")
+            values, sources = self._predict_batch(user_id, service_ids)
+        except Exception as exc:  # noqa: BLE001 — the binary error boundary
+            return self._binary_error(exc)
+        codes = [SOURCE_CODES.get(source, SOURCE_UNKNOWN) for source in sources]
+        return 200, (values, codes)
+
+    def _binary_observe(
+        self,
+        timestamp: float,
+        user_id: int,
+        service_id: int,
+        value: float,
+        key: "str | None",
+    ):
+        """``OBSERVE`` opcode backend: same ingest pipeline (validation,
+        fencing, admission, WAL, gate) as ``POST /observations``."""
+        payload = {
+            "timestamp": timestamp,
+            "user_id": user_id,
+            "service_id": service_id,
+            "value": value,
+        }
+        if key is not None:
+            payload["idempotency_key"] = key
+        try:
+            return 200, self._handle_observation(payload)
+        except Exception as exc:  # noqa: BLE001 — the binary error boundary
+            return self._binary_error(exc)
 
     def _handle_status(self) -> dict:
         with self._stats_lock:
@@ -981,6 +1134,18 @@ class PredictionServer:
                 },
                 "robustness": self._robustness_status(),
                 "replication": self._replication_status(),
+                "transport": {
+                    "binary_address": (
+                        list(self.binary_address)
+                        if self.binary_address is not None
+                        else None
+                    ),
+                },
+                "predict_cache": (
+                    self._predict_cache.stats()
+                    if self._predict_cache is not None
+                    else None
+                ),
             }
         )
         return counters
@@ -1110,6 +1275,7 @@ class PredictionServer:
                 never a dropped connection mid-request.  Failures writing
                 the response itself (client already gone) are swallowed.
                 """
+                TRANSPORT_JSON_REQUESTS.inc()
                 try:
                     try:
                         status, body = route()

@@ -1,0 +1,529 @@
+"""Persistent-connection binary transport for the prediction hot path.
+
+The JSON/HTTP interface (:mod:`repro.server.app`) pays for a TCP handshake,
+HTTP framing, and JSON encode/decode on every request.  For the serving hot
+path — candidate ranking, where a client asks for predictions of one user
+against many services — this module adds a length-prefixed binary protocol
+over a plain TCP socket that a client opens once and reuses:
+
+Frame (both directions)::
+
+    +-------+---------+--------+-----------------+---------+
+    | magic | version | opcode | body length     | body    |
+    | "QP"  | 0x01    | 1 byte | uint32 (big-e.) | ...     |
+    +-------+---------+--------+-----------------+---------+
+
+header = ``struct('!2sBBI')`` = 8 bytes.  Response opcode = request opcode
+with the high bit set (``| 0x80``); errors use opcode ``0x7F`` regardless
+of the request.
+
+Request bodies (all integers fixed-width, predictions float64):
+
+* ``PING (0x01)`` — empty body; response body empty.  Liveness + version
+  negotiation.
+* ``PREDICT_BATCH (0x02)`` — ``struct('!qI')`` user_id, count, then
+  ``count`` int64 service ids (``'!%dq'``).  Response: ``struct('!I')``
+  count, then ``count`` float64 predictions, then ``count`` uint8 source
+  codes (see :data:`SOURCE_CODES`).  Columnar, so the client decodes the
+  whole batch with two ``struct`` calls — no per-element parsing.
+* ``OBSERVE (0x03)`` — ``struct('!dqqdH')`` timestamp, user_id,
+  service_id, value, key length, then the UTF-8 idempotency key (empty =
+  no key).  Response: ``struct('!dB')`` sample_error (NaN when the gate
+  withheld it) + action code (:data:`ACTION_CODES`).
+* ``ERROR (0x7F)`` response — ``struct('!H')`` status (the HTTP status the
+  JSON API would have returned: 400, 409, 413, 429, 503, 507, 500...)
+  followed by the UTF-8 JSON error body, so binary clients get the same
+  structured refusals (fencing codes, retry hints) as HTTP clients.
+
+The transport is an accelerator, not a second API: every request is
+answered by the *same* server methods as the HTTP routes, so fencing,
+admission control, degraded mode, and the fallback chain behave
+identically on both transports.  Stdlib-only (``socket`` + ``struct``);
+one daemon thread per connection, mirroring ``ThreadingHTTPServer``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import socket
+import struct
+import threading
+
+from repro.observability import get_registry
+
+MAGIC = b"QP"
+PROTOCOL_VERSION = 1
+
+OP_PING = 0x01
+OP_PREDICT_BATCH = 0x02
+OP_OBSERVE = 0x03
+OP_ERROR = 0x7F
+RESPONSE_FLAG = 0x80
+
+_HEADER = struct.Struct("!2sBBI")
+_PREDICT_REQ_HEAD = struct.Struct("!qI")
+_PREDICT_RESP_HEAD = struct.Struct("!I")
+_OBSERVE_REQ = struct.Struct("!dqqdH")
+_OBSERVE_RESP = struct.Struct("!dB")
+_ERROR_HEAD = struct.Struct("!H")
+
+#: Bound on a single frame body; a length prefix beyond this is a protocol
+#: violation (or garbage), not a request worth buffering.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Wire encoding of the fallback-chain source strings (uint8 per answer).
+SOURCE_CODES = {
+    "model": 0,
+    "user_service_mean": 1,
+    "user_mean": 2,
+    "service_mean": 3,
+    "global_mean": 4,
+    "prior": 5,
+}
+SOURCE_NAMES = {code: name for name, code in SOURCE_CODES.items()}
+SOURCE_UNKNOWN = 255
+
+ACTION_CODES = {
+    "admit": 0,
+    "clip": 1,
+    "quarantine": 2,
+    "release": 3,
+    "deduplicated": 4,
+}
+ACTION_NAMES = {code: name for name, code in ACTION_CODES.items()}
+ACTION_UNKNOWN = 255
+
+_METRICS = get_registry()
+_TRANSPORT_REQUESTS = _METRICS.counter(
+    "qos_transport_requests_total",
+    "Requests served, by transport",
+    labelnames=("transport",),
+)
+TRANSPORT_JSON_REQUESTS = _TRANSPORT_REQUESTS.labels(transport="json")
+TRANSPORT_BINARY_REQUESTS = _TRANSPORT_REQUESTS.labels(transport="binary")
+_TRANSPORT_MODE = _METRICS.gauge(
+    "qos_transport_mode",
+    "Whether a transport is enabled on this server (1/0)",
+    labelnames=("transport",),
+)
+
+
+class ProtocolError(Exception):
+    """The peer sent bytes that are not a valid protocol frame."""
+
+
+def pack_frame(opcode: int, body: bytes = b"") -> bytes:
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, opcode, len(body)) + body
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise ``ConnectionError`` on EOF."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> "tuple[int, bytes] | None":
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = _recv_exact(sock, _HEADER.size)
+    except ConnectionError:
+        return None
+    magic, version, opcode, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame body of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length) if length else b""
+    return opcode, body
+
+
+def pack_predict_request(user_id: int, service_ids) -> bytes:
+    body = _PREDICT_REQ_HEAD.pack(user_id, len(service_ids))
+    body += struct.pack(f"!{len(service_ids)}q", *service_ids)
+    return pack_frame(OP_PREDICT_BATCH, body)
+
+
+def unpack_predict_request(body: bytes) -> tuple[int, list[int]]:
+    if len(body) < _PREDICT_REQ_HEAD.size:
+        raise ProtocolError("truncated PREDICT_BATCH body")
+    user_id, count = _PREDICT_REQ_HEAD.unpack_from(body)
+    expected = _PREDICT_REQ_HEAD.size + 8 * count
+    if len(body) != expected:
+        raise ProtocolError(
+            f"PREDICT_BATCH body of {len(body)} bytes, expected {expected}"
+        )
+    service_ids = list(
+        struct.unpack_from(f"!{count}q", body, _PREDICT_REQ_HEAD.size)
+    )
+    return user_id, service_ids
+
+
+def pack_predict_response(predictions, source_codes) -> bytes:
+    count = len(predictions)
+    body = (
+        _PREDICT_RESP_HEAD.pack(count)
+        + struct.pack(f"!{count}d", *predictions)
+        + bytes(source_codes)
+    )
+    return pack_frame(OP_PREDICT_BATCH | RESPONSE_FLAG, body)
+
+
+def unpack_predict_response(body: bytes) -> tuple[list[float], list[int]]:
+    if len(body) < _PREDICT_RESP_HEAD.size:
+        raise ProtocolError("truncated PREDICT_BATCH response")
+    (count,) = _PREDICT_RESP_HEAD.unpack_from(body)
+    expected = _PREDICT_RESP_HEAD.size + 9 * count
+    if len(body) != expected:
+        raise ProtocolError(
+            f"PREDICT_BATCH response of {len(body)} bytes, expected {expected}"
+        )
+    predictions = list(struct.unpack_from(f"!{count}d", body, _PREDICT_RESP_HEAD.size))
+    codes = list(body[_PREDICT_RESP_HEAD.size + 8 * count :])
+    return predictions, codes
+
+
+def pack_observe_request(
+    timestamp: float,
+    user_id: int,
+    service_id: int,
+    value: float,
+    key: "str | None" = None,
+) -> bytes:
+    encoded = key.encode("utf-8") if key else b""
+    if len(encoded) > 0xFFFF:
+        raise ProtocolError("idempotency key exceeds 65535 bytes")
+    body = _OBSERVE_REQ.pack(timestamp, user_id, service_id, value, len(encoded))
+    return pack_frame(OP_OBSERVE, body + encoded)
+
+
+def unpack_observe_request(body: bytes) -> tuple[float, int, int, float, "str | None"]:
+    if len(body) < _OBSERVE_REQ.size:
+        raise ProtocolError("truncated OBSERVE body")
+    timestamp, user_id, service_id, value, key_length = _OBSERVE_REQ.unpack_from(body)
+    expected = _OBSERVE_REQ.size + key_length
+    if len(body) != expected:
+        raise ProtocolError(f"OBSERVE body of {len(body)} bytes, expected {expected}")
+    key = body[_OBSERVE_REQ.size :].decode("utf-8") if key_length else None
+    return timestamp, user_id, service_id, value, key
+
+
+def pack_error(status: int, payload: dict) -> bytes:
+    body = _ERROR_HEAD.pack(status) + json.dumps(payload).encode("utf-8")
+    return pack_frame(OP_ERROR, body)
+
+
+def unpack_error(body: bytes) -> tuple[int, dict]:
+    if len(body) < _ERROR_HEAD.size:
+        raise ProtocolError("truncated ERROR body")
+    (status,) = _ERROR_HEAD.unpack_from(body)
+    try:
+        payload = json.loads(body[_ERROR_HEAD.size :].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        payload = {"error": "malformed error payload"}
+    return status, payload
+
+
+class BinaryServerError(Exception):
+    """Raised by the client when the server answered with an error frame."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"binary transport error {status}: {payload.get('error')}")
+        self.status = status
+        self.payload = payload
+
+
+class BinaryTransportServer:
+    """TCP listener speaking the frame protocol above.
+
+    ``backend`` is the owning :class:`~repro.server.app.PredictionServer`;
+    every decoded request is answered through its ``_binary_*`` methods so
+    both transports share one behavior (fallback chain, fencing, admission,
+    degraded mode).  One daemon thread accepts; one daemon thread per
+    connection serves until the peer hangs up.
+    """
+
+    def __init__(self, backend, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._backend = backend
+        self._host = host
+        self._port = port
+        self._listener: "socket.socket | None" = None
+        self._accept_thread: "threading.Thread | None" = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self._connections: set[socket.socket] = set()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._listener is None:
+            raise RuntimeError("binary transport is not running")
+        return self._listener.getsockname()[0], self._listener.getsockname()[1]
+
+    @property
+    def running(self) -> bool:
+        return self._listener is not None
+
+    def start(self) -> None:
+        if self._listener is not None:
+            return
+        self._stopping.clear()
+        listener = socket.create_server(
+            (self._host, self._port), backlog=128, reuse_port=False
+        )
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="qos-binary-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        self._stopping.set()
+        listener = self._listener
+        if listener is not None:
+            self._listener = None
+            try:
+                listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopping.is_set() and listener is not None:
+            try:
+                conn, __ = listener.accept()
+            except OSError:
+                return  # listener closed
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                if self._stopping.is_set():
+                    conn.close()
+                    return
+                self._connections.add(conn)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="qos-binary-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while not self._stopping.is_set():
+                try:
+                    frame = read_frame(conn)
+                except ProtocolError as exc:
+                    # Framing is gone — answer once, then drop the
+                    # connection (resync inside a corrupt stream is
+                    # guesswork).
+                    try:
+                        conn.sendall(pack_error(400, {"error": str(exc)}))
+                    except OSError:
+                        pass
+                    return
+                except OSError:
+                    return
+                if frame is None:
+                    return
+                opcode, body = frame
+                try:
+                    response = self._handle(opcode, body)
+                except ProtocolError as exc:
+                    try:
+                        conn.sendall(pack_error(400, {"error": str(exc)}))
+                    except OSError:
+                        pass
+                    return
+                except Exception as exc:  # noqa: BLE001 — keep the conn alive
+                    response = pack_error(
+                        500,
+                        {"error": f"internal error: {type(exc).__name__}: {exc}"},
+                    )
+                try:
+                    conn.sendall(response)
+                except OSError:
+                    return
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle(self, opcode: int, body: bytes) -> bytes:
+        TRANSPORT_BINARY_REQUESTS.inc()
+        if opcode == OP_PING:
+            return pack_frame(OP_PING | RESPONSE_FLAG)
+        if opcode == OP_PREDICT_BATCH:
+            user_id, service_ids = unpack_predict_request(body)
+            status, payload = self._backend._binary_predict_batch(
+                user_id, service_ids
+            )
+            if status != 200:
+                return pack_error(status, payload)
+            predictions, source_codes = payload
+            return pack_predict_response(predictions, source_codes)
+        if opcode == OP_OBSERVE:
+            timestamp, user_id, service_id, value, key = unpack_observe_request(body)
+            status, payload = self._backend._binary_observe(
+                timestamp, user_id, service_id, value, key
+            )
+            if status != 200:
+                return pack_error(status, payload)
+            error = payload.get("sample_error")
+            action = ACTION_CODES.get(payload.get("action"), ACTION_UNKNOWN)
+            return pack_frame(
+                OP_OBSERVE | RESPONSE_FLAG,
+                _OBSERVE_RESP.pack(
+                    float("nan") if error is None else float(error), action
+                ),
+            )
+        raise ProtocolError(f"unknown opcode 0x{opcode:02x}")
+
+
+def set_transport_mode(json_enabled: bool, binary_enabled: bool) -> None:
+    """Publish which transports this server exposes (``qos_transport_mode``)."""
+    _TRANSPORT_MODE.labels(transport="json").set(1.0 if json_enabled else 0.0)
+    _TRANSPORT_MODE.labels(transport="binary").set(1.0 if binary_enabled else 0.0)
+
+
+class BinaryConnection:
+    """Client side: one persistent connection, thread-safe request/response.
+
+    Used by :class:`~repro.server.client.PredictionClient` when its
+    ``transport`` allows binary; usable directly for custom tooling::
+
+        with BinaryConnection(("127.0.0.1", 9201)) as conn:
+            values, sources = conn.predict_batch(3, [0, 1, 2])
+    """
+
+    def __init__(self, address: tuple[str, int], timeout: float = 10.0) -> None:
+        self._address = (address[0], int(address[1]))
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._sock: "socket.socket | None" = None
+
+    def connect(self) -> None:
+        with self._lock:
+            self._ensure_locked()
+
+    def _ensure_locked(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(self._address, timeout=self._timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+
+    def __enter__(self) -> "BinaryConnection":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _roundtrip(self, frame: bytes, expected_opcode: int) -> bytes:
+        """Send one frame, read one response; drop the socket on any error
+        so the next call reconnects from a clean frame boundary."""
+        with self._lock:
+            sock = self._ensure_locked()
+            try:
+                sock.sendall(frame)
+                response = read_frame(sock)
+            except (OSError, ProtocolError):
+                self._sock = None
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                raise
+            if response is None:
+                self._sock = None
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                raise ConnectionError("server closed the connection")
+        opcode, body = response
+        if opcode == OP_ERROR:
+            raise BinaryServerError(*unpack_error(body))
+        if opcode != expected_opcode:
+            self.close()
+            raise ProtocolError(f"unexpected response opcode 0x{opcode:02x}")
+        return body
+
+    def ping(self) -> bool:
+        self._roundtrip(pack_frame(OP_PING), OP_PING | RESPONSE_FLAG)
+        return True
+
+    def predict_batch(
+        self, user_id: int, service_ids
+    ) -> tuple[list[float], list[str]]:
+        body = self._roundtrip(
+            pack_predict_request(user_id, service_ids),
+            OP_PREDICT_BATCH | RESPONSE_FLAG,
+        )
+        predictions, codes = unpack_predict_response(body)
+        if len(predictions) != len(service_ids):
+            raise ProtocolError(
+                f"server answered {len(predictions)} predictions for "
+                f"{len(service_ids)} ids"
+            )
+        sources = [SOURCE_NAMES.get(code, "unknown") for code in codes]
+        return predictions, sources
+
+    def observe(
+        self,
+        timestamp: float,
+        user_id: int,
+        service_id: int,
+        value: float,
+        key: "str | None" = None,
+    ) -> dict:
+        body = self._roundtrip(
+            pack_observe_request(timestamp, user_id, service_id, value, key),
+            OP_OBSERVE | RESPONSE_FLAG,
+        )
+        if len(body) != _OBSERVE_RESP.size:
+            raise ProtocolError("truncated OBSERVE response")
+        error, action = _OBSERVE_RESP.unpack(body)
+        return {
+            "sample_error": None if math.isnan(error) else error,
+            "action": ACTION_NAMES.get(action, "unknown"),
+        }

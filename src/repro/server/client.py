@@ -63,10 +63,13 @@ from __future__ import annotations
 
 import json
 import random
+import threading
 import time
 import urllib.error
 import urllib.parse
 import urllib.request
+
+from repro.server.binary import BinaryConnection, BinaryServerError, ProtocolError
 
 #: 409 ``code`` values that guarantee the server applied no state change,
 #: making an immediate re-route of the same request safe (fencing replies
@@ -138,6 +141,16 @@ class PredictionClient:
                      endpoint's circuit breaker.
         breaker_cooldown:  seconds an open breaker diverts traffic away
                      from an endpoint before it is probed again.
+        transport:   serving transport for :meth:`predict_candidates` —
+                     ``"auto"`` (default) uses the persistent binary
+                     connection when the server offers one and silently
+                     falls back to JSON/HTTP on any transport-level
+                     failure; ``"binary"`` requires it (transport failures
+                     raise); ``"json"`` never touches the binary port.
+                     Server *answers* (including errors) never trigger a
+                     fallback — both transports hit the same backend.
+        binary_address: ``(host, port)`` of the server's binary listener;
+                     ``None`` (default) discovers it from ``/status``.
     """
 
     def __init__(
@@ -151,6 +164,8 @@ class PredictionClient:
         deadline: "float | None" = None,
         breaker_threshold: int = 3,
         breaker_cooldown: float = 1.0,
+        transport: str = "auto",
+        binary_address: "tuple[str, int] | None" = None,
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -167,6 +182,10 @@ class PredictionClient:
         if breaker_cooldown < 0:
             raise ValueError(
                 f"breaker_cooldown must be >= 0, got {breaker_cooldown}"
+            )
+        if transport not in ("auto", "json", "binary"):
+            raise ValueError(
+                f"transport must be 'auto', 'json' or 'binary', got {transport!r}"
             )
         addresses = (
             [address] if isinstance(address, tuple) else list(address)
@@ -192,6 +211,13 @@ class PredictionClient:
         self._primary: "int | None" = None
         self._failures = [0] * len(self._bases)
         self._open_until = [0.0] * len(self._bases)
+        # Binary-transport state: one persistent connection, lazily opened
+        # (and lazily re-discovered after it drops).
+        self.transport = transport
+        self._binary_address = binary_address
+        self._binary_lock = threading.Lock()
+        self._binary_conn: "BinaryConnection | None" = None
+        self._binary_retry_at = 0.0
 
     @property
     def endpoints(self) -> "list[str]":
@@ -457,15 +483,131 @@ class PredictionClient:
         )
         return self._request("GET", f"/predictions?{query}")
 
-    def predict_candidates(self, user_id: int, service_ids: "list[int]") -> dict[int, float]:
-        """Predicted QoS for a candidate pool, keyed by service id."""
+    # -- binary transport -----------------------------------------------------
+    def _discover_binary_address(self) -> tuple[str, int]:
+        if self._binary_address is not None:
+            return self._binary_address
+        status = self._request("GET", "/status")
+        advertised = (status.get("transport") or {}).get("binary_address")
+        if not advertised:
+            raise ConnectionError("server does not advertise a binary transport")
+        return advertised[0], int(advertised[1])
+
+    def _binary_connection(self) -> BinaryConnection:
+        """The persistent binary connection, opening (and discovering the
+        address) on first use or after a drop."""
+        with self._binary_lock:
+            if self._binary_conn is not None:
+                return self._binary_conn
+        address = self._discover_binary_address()
+        conn = BinaryConnection(address, timeout=self.timeout)
+        conn.connect()
+        with self._binary_lock:
+            if self._binary_conn is None:
+                self._binary_conn = conn
+                return conn
+        conn.close()  # lost the race; use the one another thread opened
+        return self._binary_conn
+
+    def _drop_binary_connection(self) -> None:
+        with self._binary_lock:
+            conn = self._binary_conn
+            self._binary_conn = None
+            self._binary_retry_at = time.monotonic() + self.breaker_cooldown
+        if conn is not None:
+            conn.close()
+
+    def close(self) -> None:
+        """Release the persistent binary connection (JSON needs no cleanup)."""
+        with self._binary_lock:
+            conn = self._binary_conn
+            self._binary_conn = None
+        if conn is not None:
+            conn.close()
+
+    def __enter__(self) -> "PredictionClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @staticmethod
+    def _binary_server_error(exc: BinaryServerError) -> PredictionServiceError:
+        kind = (
+            RetryableServiceError
+            if exc.status >= 500 or exc.status == 429
+            else TerminalServiceError
+        )
+        error = kind(
+            f"PREDICT_BATCH failed with HTTP {exc.status}: "
+            f"{exc.payload.get('error', '')}"
+        )
+        error.status = exc.status
+        error.body = exc.payload
+        error.retry_after = exc.payload.get("retry_after")
+        return error
+
+    def predict_candidates(
+        self, user_id: int, service_ids: "list[int]"
+    ) -> dict[int, float]:
+        """Predicted QoS for a candidate pool, keyed by service id.
+
+        One batched round trip for the whole pool (duplicate ids are
+        deduplicated before hitting the wire), over the persistent binary
+        connection when the transport allows it — see the constructor's
+        ``transport`` parameter.
+        """
+        return self.predict_candidates_detailed(user_id, service_ids)["predictions"]
+
+    def predict_candidates_detailed(
+        self, user_id: int, service_ids: "list[int]"
+    ) -> dict:
+        """Like :meth:`predict_candidates` but returns ``{predictions,
+        sources, transport}`` — per-service fallback-chain provenance plus
+        which transport actually answered."""
+        unique_ids = list(dict.fromkeys(int(s) for s in service_ids))
+        if self.transport != "json":
+            may_probe = (
+                self.transport == "binary"
+                or time.monotonic() >= self._binary_retry_at
+            )
+            if may_probe:
+                try:
+                    conn = self._binary_connection()
+                    values, sources = conn.predict_batch(user_id, unique_ids)
+                except BinaryServerError as exc:
+                    # The server *answered*; JSON would answer identically,
+                    # so surface it instead of falling back.
+                    raise self._binary_server_error(exc) from exc
+                except (OSError, ProtocolError, PredictionServiceError) as exc:
+                    self._drop_binary_connection()
+                    if self.transport == "binary":
+                        if isinstance(exc, PredictionServiceError):
+                            raise
+                        raise RetryableServiceError(
+                            f"binary transport unavailable: {exc}"
+                        ) from exc
+                else:
+                    return {
+                        "user_id": user_id,
+                        "predictions": {
+                            sid: float(v) for sid, v in zip(unique_ids, values)
+                        },
+                        "sources": dict(zip(unique_ids, sources)),
+                        "transport": "binary",
+                    }
         body = self._request(
             "POST",
             "/predictions/batch",
-            {"user_id": user_id, "service_ids": list(service_ids)},
+            {"user_id": user_id, "service_ids": unique_ids},
             idempotent=True,  # predictions don't mutate the model
         )
-        return {int(k): float(v) for k, v in body["predictions"].items()}
+        return {
+            "user_id": user_id,
+            "predictions": {int(k): float(v) for k, v in body["predictions"].items()},
+            "sources": {int(k): v for k, v in body.get("sources", {}).items()},
+            "transport": "json",
+        }
 
     def status(self) -> dict:
         """Server-side model statistics."""

@@ -79,6 +79,15 @@ CORE_METRIC_FAMILIES: tuple[str, ...] = (
     "qos_replication_fetch_errors_total",
     "qos_replication_promotions_total",
     "qos_replication_stale_epoch_total",
+    "qos_predict_cache_hits_total",
+    "qos_predict_cache_misses_total",
+    "qos_predict_cache_evictions_total",
+    "qos_predict_cache_size",
+    "qos_predict_batch_size",
+    "qos_replay_worker_steps_total",
+    "qos_replay_parallel_scalar_steps_total",
+    "qos_transport_requests_total",
+    "qos_transport_mode",
 )
 
 

@@ -1,0 +1,223 @@
+"""Tests for the multi-core replay engine (:mod:`repro.core.parallel`).
+
+The engine's contract is *bit-exact* parity with the single-core vectorized
+kernel: entity partitioning makes per-row block computations independent,
+and the parent replicates the kernel's scalar fallback for narrow blocks,
+so the trained factors, credence trackers, update counters, and RNG stream
+must be identical — not approximately, identically.  These assertions are
+hardware-independent (they hold on one core or sixty-four), which is what
+lets CI enforce the parity half of the acceptance criteria everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveMatrixFactorization,
+    AMFConfig,
+    ParallelReplayEngine,
+    StreamTrainer,
+)
+from repro.datasets.schema import QoSRecord
+
+
+def _seeded_model(seed=11, n_samples=600, n_users=40, n_services=60):
+    model = AdaptiveMatrixFactorization(
+        AMFConfig.for_response_time(kernel="vectorized"), rng=seed
+    )
+    rng = np.random.default_rng(seed)
+    users = rng.integers(0, n_users, n_samples)
+    services = rng.integers(0, n_services, n_samples)
+    values = rng.random(n_samples) * 19.0 + 0.05
+    for k in range(n_samples):
+        model.observe(
+            QoSRecord(
+                timestamp=0.0,
+                user_id=int(users[k]),
+                service_id=int(services[k]),
+                value=float(values[k]),
+            )
+        )
+    return model
+
+
+def _assert_models_identical(reference, candidate):
+    np.testing.assert_array_equal(
+        reference._user_factors.view(), candidate._user_factors.view()
+    )
+    np.testing.assert_array_equal(
+        reference._service_factors.view(), candidate._service_factors.view()
+    )
+    np.testing.assert_array_equal(
+        reference.weights.user_error_snapshot(),
+        candidate.weights.user_error_snapshot(),
+    )
+    np.testing.assert_array_equal(
+        reference.weights.service_error_snapshot(),
+        candidate.weights.service_error_snapshot(),
+    )
+    assert reference.updates_applied == candidate.updates_applied
+    assert (
+        reference._rng.bit_generator.state == candidate._rng.bit_generator.state
+    ), "kernels consumed different RNG draws"
+
+
+class TestBitExactParity:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_parallel_matches_vectorized_bit_for_bit(self, n_workers):
+        single = _seeded_model()
+        multi = _seeded_model()
+        with ParallelReplayEngine(multi, n_workers=n_workers):
+            for __ in range(6):
+                applied_s, expired_s, error_s = single.replay_many(
+                    0.0, 600, kernel="vectorized"
+                )
+                applied_p, expired_p, error_p = multi.replay_many(
+                    0.0, 600, kernel="parallel"
+                )
+                assert applied_s == applied_p
+                assert expired_s == expired_p
+                # Mean error aggregates per-worker partial sums, so only
+                # the summation order may differ.
+                assert error_s == pytest.approx(error_p, rel=1e-9)
+        _assert_models_identical(single, multi)
+
+    def test_narrow_blocks_take_the_scalar_path_exactly(self):
+        """A tiny entity universe forces blocks below the vectorization
+        threshold; parity then rests on the parent's scalar replication."""
+        single = _seeded_model(seed=5, n_samples=120, n_users=3, n_services=4)
+        multi = _seeded_model(seed=5, n_samples=120, n_users=3, n_services=4)
+        with ParallelReplayEngine(multi, n_workers=2):
+            for __ in range(6):
+                single.replay_many(0.0, 120, kernel="vectorized")
+                multi.replay_many(0.0, 120, kernel="parallel")
+        _assert_models_identical(single, multi)
+
+    def test_expiry_is_identical(self):
+        single = _seeded_model()
+        multi = _seeded_model()
+        expiry = single.config.expiry_seconds
+        with ParallelReplayEngine(multi, n_workers=2):
+            result_s = single.replay_many(expiry + 1.0, 300, kernel="vectorized")
+            result_p = multi.replay_many(expiry + 1.0, 300, kernel="parallel")
+        assert result_s[0] == result_p[0] == 0
+        assert result_s[1] == result_p[1] > 0
+        assert single.n_stored_samples == multi.n_stored_samples
+        _assert_models_identical(single, multi)
+
+    def test_versions_bumped_like_vectorized(self):
+        single = _seeded_model()
+        multi = _seeded_model()
+        with ParallelReplayEngine(multi, n_workers=2):
+            single.replay_many(0.0, 400, kernel="vectorized")
+            multi.replay_many(0.0, 400, kernel="parallel")
+        np.testing.assert_array_equal(
+            single._user_factors._versions[: single.n_users],
+            multi._user_factors._versions[: multi.n_users],
+        )
+        np.testing.assert_array_equal(
+            single._service_factors._versions[: single.n_services],
+            multi._service_factors._versions[: multi.n_services],
+        )
+
+    def test_stream_trainer_accepts_parallel_kernel(self):
+        single = _seeded_model()
+        multi = _seeded_model()
+        reference = StreamTrainer(single, kernel="vectorized", max_epochs=8)
+        with ParallelReplayEngine(multi, n_workers=2):
+            trainer = StreamTrainer(multi, kernel="parallel", max_epochs=8)
+            report_s = reference.replay_until_converged(0.0)
+            report_p = trainer.replay_until_converged(0.0)
+        assert report_s.replays == report_p.replays
+        assert report_s.epochs == report_p.epochs
+        _assert_models_identical(single, multi)
+
+
+class TestEngineLifecycle:
+    def test_kernel_requires_attached_engine(self):
+        model = _seeded_model()
+        with pytest.raises(RuntimeError, match="ParallelReplayEngine"):
+            model.replay_many(0.0, 10, kernel="parallel")
+
+    def test_one_engine_per_model(self):
+        model = _seeded_model()
+        with ParallelReplayEngine(model, n_workers=1):
+            with pytest.raises(RuntimeError, match="already has"):
+                ParallelReplayEngine(model, n_workers=1)
+
+    def test_close_is_idempotent_and_detaches(self):
+        model = _seeded_model()
+        engine = ParallelReplayEngine(model, n_workers=2)
+        assert model._parallel_engine is engine
+        engine.close()
+        engine.close()
+        assert engine.closed
+        assert model._parallel_engine is None
+        with pytest.raises(RuntimeError, match="closed"):
+            engine._replay_batch(0.0, 10)
+        # A fresh engine can attach after close.
+        with ParallelReplayEngine(model, n_workers=1) as replacement:
+            applied, __, error = model.replay_many(0.0, 64, kernel="parallel")
+        assert applied == 64
+        assert np.isfinite(error)
+        assert replacement.closed
+
+    def test_invalid_arguments_rejected(self):
+        model = _seeded_model()
+        with pytest.raises(ValueError, match="n_workers"):
+            ParallelReplayEngine(model, n_workers=0)
+        with pytest.raises(ValueError, match="barrier_timeout"):
+            ParallelReplayEngine(model, n_workers=1, barrier_timeout=0.0)
+
+    def test_replay_many_wrapper(self):
+        model = _seeded_model()
+        with ParallelReplayEngine(model, n_workers=2) as engine:
+            applied, expired, error = engine.replay_many(0.0, 128)
+        assert applied == 128
+        assert expired == 0
+        assert np.isfinite(error)
+
+    def test_empty_store_short_circuits(self):
+        model = AdaptiveMatrixFactorization(
+            AMFConfig.for_response_time(kernel="vectorized"), rng=0
+        )
+        with ParallelReplayEngine(model, n_workers=2):
+            applied, expired, error = model.replay_many(0.0, 32, kernel="parallel")
+        assert applied == 0
+        assert expired == 0
+        assert np.isnan(error)
+
+    def test_growth_mid_stream_reallocates_buffers(self):
+        """New entities after the first parallel batch force shared-buffer
+        reallocation; parity must survive the segment swap."""
+        single = _seeded_model(seed=7, n_samples=200, n_users=10, n_services=12)
+        multi = _seeded_model(seed=7, n_samples=200, n_users=10, n_services=12)
+        with ParallelReplayEngine(multi, n_workers=2):
+            single.replay_many(0.0, 200, kernel="vectorized")
+            multi.replay_many(0.0, 200, kernel="parallel")
+            rng = np.random.default_rng(99)
+            for k in range(200):
+                record = QoSRecord(
+                    timestamp=0.0,
+                    user_id=int(rng.integers(0, 200)),
+                    service_id=int(rng.integers(0, 300)),
+                    value=float(rng.random() * 10 + 0.1),
+                )
+                single.observe(record)
+                multi.observe(record)
+            single.replay_many(0.0, 400, kernel="vectorized")
+            multi.replay_many(0.0, 400, kernel="parallel")
+        _assert_models_identical(single, multi)
+
+
+class TestWorkerMetrics:
+    def test_per_worker_steps_are_recorded(self):
+        from repro.observability import get_registry, parse_prometheus_text
+
+        model = _seeded_model()
+        with ParallelReplayEngine(model, n_workers=2):
+            model.replay_many(0.0, 400, kernel="parallel")
+        families = parse_prometheus_text(get_registry().render())
+        assert "qos_replay_worker_steps_total" in families
+        samples = families["qos_replay_worker_steps_total"]["samples"]
+        assert sum(samples.values()) > 0

@@ -1,0 +1,353 @@
+"""Prediction-cache correctness: a stale entry must never be served.
+
+The cache (:class:`repro.core.online.PredictionCache`) carries no
+invalidation hooks — staleness is detected by comparing the per-row version
+stamps the SGD write sites bump.  These tests drive every write site
+(scalar online updates, vectorized replay scatter, parallel-engine
+copy-out, row reinitialisation) plus the two restart-shaped paths
+(checkpoint restore, standby catch-up) and assert the served values always
+match a cache-free recomputation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveMatrixFactorization,
+    AMFConfig,
+    ConcurrentModel,
+    ParallelReplayEngine,
+    PredictionCache,
+)
+from repro.datasets.schema import QoSRecord
+from repro.server.app import PredictionServer
+from repro.server.client import PredictionClient
+
+
+def _feed(model, n=300, n_users=15, n_services=25, seed=3):
+    rng = np.random.default_rng(seed)
+    for k in range(n):
+        model.observe(
+            QoSRecord(
+                timestamp=float(k),
+                user_id=int(rng.integers(0, n_users)),
+                service_id=int(rng.integers(0, n_services)),
+                value=float(rng.random() * 10 + 0.1),
+            )
+        )
+
+
+class TestCacheUnit:
+    def test_cold_then_hit_then_stale(self):
+        cache = PredictionCache(capacity=8)
+        assert cache.get(1, 2, 10, 20) is None  # cold
+        cache.put(1, 2, 3.5, 10, 20)
+        assert cache.get(1, 2, 10, 20) == 3.5  # hit
+        assert cache.get(1, 2, 11, 20) is None  # user moved
+        cache.put(1, 2, 3.5, 10, 20)
+        assert cache.get(1, 2, 10, 21) is None  # service moved
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 3
+
+    def test_lru_eviction(self):
+        cache = PredictionCache(capacity=2)
+        cache.put(0, 0, 1.0, 0, 0)
+        cache.put(0, 1, 2.0, 0, 0)
+        assert cache.get(0, 0, 0, 0) == 1.0  # refresh 0 -> 1 is now LRU
+        cache.put(0, 2, 3.0, 0, 0)
+        assert cache.get(0, 1, 0, 0) is None
+        assert cache.get(0, 0, 0, 0) == 1.0
+        assert cache.stats()["evictions"] == 1
+        assert len(cache) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PredictionCache(capacity=0)
+
+    def test_clear(self):
+        cache = PredictionCache()
+        cache.put(0, 0, 1.0, 0, 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(0, 0, 0, 0) is None
+
+
+class TestVersionStamps:
+    def test_observe_bumps_both_entities(self):
+        model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=0)
+        _feed(model, n=50)
+        user_before = model.user_version(3)
+        service_before = model.service_version(4)
+        other_user = model.user_version(5)
+        model.observe(
+            QoSRecord(timestamp=100.0, user_id=3, service_id=4, value=2.0)
+        )
+        assert model.user_version(3) == user_before + 1
+        assert model.service_version(4) == service_before + 1
+        assert model.user_version(5) == other_user
+
+    @pytest.mark.parametrize("kernel", ["scalar", "vectorized"])
+    def test_replay_bumps_touched_rows(self, kernel):
+        model = AdaptiveMatrixFactorization(
+            AMFConfig.for_response_time(kernel=kernel), rng=0
+        )
+        _feed(model, n=300)
+        before = [model.user_version(u) for u in range(model.n_users)]
+        applied, __, __ = model.replay_many(300.0, 200)
+        assert applied == 200
+        after = [model.user_version(u) for u in range(model.n_users)]
+        assert sum(after) == sum(before) + applied
+
+    def test_parallel_replay_bumps_touched_rows(self):
+        model = AdaptiveMatrixFactorization(
+            AMFConfig.for_response_time(kernel="vectorized"), rng=0
+        )
+        _feed(model, n=300)
+        before = sum(model.user_version(u) for u in range(model.n_users))
+        with ParallelReplayEngine(model, n_workers=2):
+            applied, __, __ = model.replay_many(300.0, 200, kernel="parallel")
+        after = sum(model.user_version(u) for u in range(model.n_users))
+        assert applied == 200
+        assert after == before + applied
+
+    def test_forget_bumps_versions(self):
+        model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=0)
+        _feed(model, n=100)
+        user_before = model.user_version(2)
+        service_before = model.service_version(2)
+        model.forget_user(2)
+        model.forget_service(2)
+        assert model.user_version(2) > user_before
+        assert model.service_version(2) > service_before
+
+
+class TestBatchPathAgainstCache:
+    def _batch_equals_per_pair(self, cm, cache, user_id, service_ids):
+        values, __ = cm.predict_batch_known(user_id, service_ids, cache)
+        for service_id, value in zip(service_ids, values):
+            expected = cm.predict_known(user_id, service_id)
+            if expected is None:
+                assert value is None
+            else:
+                assert value == pytest.approx(expected, abs=0.0)
+
+    def test_cached_batch_matches_per_pair_predictions(self):
+        model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=0)
+        _feed(model)
+        cm = ConcurrentModel(model)
+        cache = PredictionCache()
+        ids = list(range(10)) + [999]
+        # Twice: first pass fills the cache, second serves from it.
+        self._batch_equals_per_pair(cm, cache, 1, ids)
+        self._batch_equals_per_pair(cm, cache, 1, ids)
+        assert cache.stats()["hits"] > 0
+
+    def test_no_stale_serving_after_every_write_kind(self):
+        model = AdaptiveMatrixFactorization(
+            AMFConfig.for_response_time(kernel="vectorized"), rng=0
+        )
+        _feed(model)
+        cm = ConcurrentModel(model)
+        cache = PredictionCache()
+        ids = list(range(12))
+        self._batch_equals_per_pair(cm, cache, 0, ids)
+        # Online SGD write.
+        model.observe(QoSRecord(timestamp=301.0, user_id=0, service_id=3, value=9.0))
+        self._batch_equals_per_pair(cm, cache, 0, ids)
+        # Vectorized replay.
+        model.replay_many(301.0, 150)
+        self._batch_equals_per_pair(cm, cache, 0, ids)
+        # Parallel replay.
+        with ParallelReplayEngine(model, n_workers=2):
+            model.replay_many(301.0, 150, kernel="parallel")
+        self._batch_equals_per_pair(cm, cache, 0, ids)
+        # Row reinitialisation.
+        model.forget_user(0)
+        self._batch_equals_per_pair(cm, cache, 0, ids)
+
+    def test_unknown_user_returns_all_none_without_caching(self):
+        model = AdaptiveMatrixFactorization(AMFConfig.for_response_time(), rng=0)
+        _feed(model)
+        cm = ConcurrentModel(model)
+        cache = PredictionCache()
+        values, hits = cm.predict_batch_known(10_000, [0, 1], cache)
+        assert values == [None, None]
+        assert hits == 0
+        assert len(cache) == 0
+
+
+class TestServerCacheInvalidation:
+    def _predictions(self, client, user_id, ids):
+        return client.predict_candidates(user_id, ids)
+
+    def test_stale_never_served_after_observation(self, tmp_path):
+        with PredictionServer(
+            rng=0, background_replay=False, data_dir=str(tmp_path)
+        ) as server:
+            client = PredictionClient(server.address)
+            for k in range(100):
+                client.report_observation(
+                    k % 4, k % 6, value=2.0 + (k % 3), timestamp=float(k)
+                )
+            ids = list(range(6))
+            first = self._predictions(client, 0, ids)
+            again = self._predictions(client, 0, ids)
+            assert first == again  # cache serves, values stable
+            hits_before = server._predict_cache.stats()["hits"]
+            assert hits_before > 0
+            # Teach the model something new about user 0, then re-ask: the
+            # answers must reflect the write immediately.
+            client.report_observation(0, 2, value=15.0, timestamp=200.0)
+            after = self._predictions(client, 0, ids)
+            assert after != first
+            uncached = {
+                sid: server.model.predict_known(0, sid) for sid in ids
+            }
+            for sid in ids:
+                assert after[sid] == pytest.approx(uncached[sid], abs=0.0)
+            client.close()
+
+    def test_stale_never_served_after_background_replay(self, tmp_path):
+        with PredictionServer(
+            rng=0, background_replay=True, data_dir=str(tmp_path)
+        ) as server:
+            client = PredictionClient(server.address)
+            for k in range(200):
+                client.report_observation(
+                    k % 5, k % 7, value=1.0 + (k % 4), timestamp=float(k)
+                )
+            ids = list(range(7))
+            replays_before = server.trainer.replays_applied
+            self._predictions(client, 1, ids)
+            # Wait for background replay to touch the factors.
+            deadline = 5.0
+            import time
+
+            start = time.monotonic()
+            while (
+                server.trainer.replays_applied == replays_before
+                and time.monotonic() - start < deadline
+            ):
+                time.sleep(0.01)
+            assert server.trainer.replays_applied > replays_before
+            served = self._predictions(client, 1, ids)
+            uncached = {
+                sid: server.model.predict_known(1, sid) for sid in ids
+            }
+            # The serve and the recompute race background replay, so allow
+            # the model to have moved *between* the two reads — re-serving
+            # must converge to the uncached answer once replay pauses.
+            server.trainer.stop()
+            served = self._predictions(client, 1, ids)
+            uncached = {
+                sid: server.model.predict_known(1, sid) for sid in ids
+            }
+            for sid in ids:
+                assert served[sid] == pytest.approx(uncached[sid], abs=0.0)
+            client.close()
+
+    def test_cache_correct_across_checkpoint_restore(self, tmp_path):
+        data_dir = str(tmp_path)
+        with PredictionServer(
+            rng=0, background_replay=False, data_dir=data_dir
+        ) as server:
+            client = PredictionClient(server.address)
+            for k in range(120):
+                client.report_observation(
+                    k % 4, k % 5, value=2.0 + (k % 3), timestamp=float(k)
+                )
+            ids = list(range(5))
+            before = self._predictions(client, 0, ids)
+            before = self._predictions(client, 0, ids)  # cache is warm
+            client.close()
+        # Restore: fresh process state, fresh (empty) cache, version
+        # counters restarted — recovery must serve from the restored
+        # factors, not from anything cached pre-crash.
+        with PredictionServer(
+            rng=0, background_replay=False, data_dir=data_dir
+        ) as restored:
+            client = PredictionClient(restored.address)
+            assert restored._predict_cache.stats()["size"] == 0
+            after = self._predictions(client, 0, ids)
+            uncached = {
+                sid: restored.model.predict_known(0, sid) for sid in ids
+            }
+            for sid in ids:
+                assert after[sid] == pytest.approx(uncached[sid], abs=0.0)
+            # Recovery is exact, so restored answers match pre-restart ones.
+            for sid in ids:
+                assert after[sid] == pytest.approx(before[sid], abs=0.0)
+            client.close()
+
+    def test_cache_disabled_server_still_serves(self):
+        with PredictionServer(
+            rng=0, background_replay=False, predict_cache_size=None
+        ) as server:
+            client = PredictionClient(server.address)
+            client.report_observation(0, 0, value=2.0, timestamp=0.0)
+            predictions = self._predictions(client, 0, [0, 1])
+            assert set(predictions) == {0, 1}
+            assert server._predict_cache is None
+            assert client.status()["predict_cache"] is None
+            client.close()
+
+
+class TestStandbyCatchUp:
+    def test_standby_cache_invalidated_by_replication(self, tmp_path):
+        """A standby's cache must go stale when shipped records are applied
+        through the replication path (no client writes involved)."""
+        from repro.server.replication import ReplicationConfig
+
+        store = str(tmp_path / "epoch.json")
+        primary = PredictionServer(
+            rng=0,
+            background_replay=False,
+            data_dir=str(tmp_path / "primary"),
+            replication=ReplicationConfig(store, role="primary", node_id="p1"),
+        )
+        primary.start()
+        standby = PredictionServer(
+            rng=0,
+            background_replay=False,
+            data_dir=str(tmp_path / "standby"),
+            replication=ReplicationConfig(
+                store,
+                role="standby",
+                node_id="s1",
+                primary_address=primary.address,
+            ),
+        )
+        standby.start()
+        try:
+            # Deterministic catch-up: stop the pull thread, poll explicitly.
+            standby._replicator.stop()
+            client = PredictionClient(primary.address)
+            for k in range(60):
+                client.report_observation(
+                    k % 3, k % 4, value=2.0 + (k % 2), timestamp=float(k)
+                )
+            while standby._replicator.poll_once():
+                pass
+            sclient = PredictionClient(standby.address)
+            ids = list(range(4))
+            first = sclient.predict_candidates(0, ids)
+            first = sclient.predict_candidates(0, ids)  # warm the cache
+            assert standby._predict_cache.stats()["hits"] > 0
+            # More primary writes, shipped to the standby.
+            client.report_observation(0, 1, value=19.0, timestamp=100.0)
+            client.report_observation(0, 2, value=19.0, timestamp=101.0)
+            while standby._replicator.poll_once():
+                pass
+            after = sclient.predict_candidates(0, ids)
+            uncached = {
+                sid: standby.model.predict_known(0, sid) for sid in ids
+            }
+            for sid in ids:
+                assert after[sid] == pytest.approx(uncached[sid], abs=0.0)
+            assert after != first
+            client.close()
+            sclient.close()
+        finally:
+            standby.stop()
+            primary.stop()
