@@ -33,6 +33,12 @@ bit-identical (checkpoint digest, dedup ledger, windowed MAE) to a server
 that never failed.  ``--bench-out`` appends the measured time-to-promote
 and replication-lag figures to a JSON history file
 (``BENCH_robustness.json`` by convention).
+``--memory-pressure`` runs the bounded-memory lifecycle drill instead: a
+hot/cold-tiered server is squeezed under a fault-injected allocation
+ceiling; its watchdog must tighten the hot-tier caps, shed cold-entity
+revive reads with 429 + ``Retry-After`` while hot-entity predictions keep
+answering, and a ``kill -9`` restart must reproduce the squeezed state
+(tier assignment, caps, factors) bit-exactly from checkpoint + WAL.
 """
 
 from __future__ import annotations
@@ -235,6 +241,28 @@ def run_failover_drill(
     return 0 if passed else 1
 
 
+def run_memory_pressure_drill(
+    seed: int, records: int, checkpoint_interval: int
+) -> int:
+    """The bounded-memory lifecycle drill.  Returns a process exit code."""
+    from repro.simulation.faults import run_memory_pressure
+
+    # Many more entities than the hot caps, so the stream itself churns
+    # the tiers before the watchdog ever tightens them.
+    stream = make_stream(records, seed, n_users=120, n_services=60)
+    with tempfile.TemporaryDirectory(prefix="qos-memory-") as data_dir:
+        report = run_memory_pressure(
+            stream,
+            data_dir=data_dir,
+            rng=seed,
+            checkpoint_interval=checkpoint_interval,
+            hot_users=32,
+            hot_services=32,
+        )
+    print(report.summary())
+    return 0 if (report.matches and report.metrics_ok) else 1
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--records", type=int, default=300,
@@ -252,6 +280,10 @@ def main() -> int:
     parser.add_argument("--failover", action="store_true",
                         help="run the primary/standby failover drill "
                              "instead of the crash/recovery drill")
+    parser.add_argument("--memory-pressure", action="store_true",
+                        help="run the bounded-memory lifecycle drill "
+                             "(allocation ceiling -> degrade, never die) "
+                             "instead of the crash/recovery drill")
     parser.add_argument("--bench-out", default=None,
                         help="JSON history file to append failover timing "
                              "figures to (e.g. BENCH_robustness.json)")
@@ -259,6 +291,10 @@ def main() -> int:
 
     if args.poison_flood:
         return run_poison_flood(args.seed, args.records)
+    if args.memory_pressure:
+        return run_memory_pressure_drill(
+            args.seed, args.records, args.checkpoint_interval
+        )
     if args.failover:
         return run_failover_drill(
             args.seed,

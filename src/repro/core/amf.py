@@ -155,6 +155,17 @@ class _GrowableFactors:
         self._rows[row_id] = self._rng.standard_normal(self.rank) * self._init_scale
         self._versions[row_id] += 1
 
+    def set_row(self, row_id: int, values) -> None:
+        """Overwrite a row with an exact vector (entity revival from spill).
+
+        Unlike :meth:`reinitialize` this consumes no randomness; the version
+        counter still advances so prediction-cache entries stamped against
+        the row's previous occupant can never be served.
+        """
+        self.ensure(row_id)
+        self._rows[row_id] = np.asarray(values, dtype=float)
+        self._versions[row_id] += 1
+
     def matrix(self) -> np.ndarray:
         """Copy of all initialized rows, shape ``(size, rank)``."""
         return self._rows[: self._size].copy()
@@ -278,12 +289,19 @@ class _SampleStore:
             del self._service_index[service_id]
 
     def drop_user(self, user_id: int) -> int:
-        """Discard every sample of ``user_id``; O(degree), not O(store)."""
+        """Discard every sample of ``user_id``; O(degree), not O(store).
+
+        Peers are discarded in sorted order: each discard swap-removes, so
+        the store's physical row order would otherwise depend on set
+        iteration order — which differs between an organically-built index
+        and one rebuilt from a checkpoint, breaking byte-exact archive
+        equality between a recovered run and its uninterrupted baseline.
+        """
         services = self._user_index.get(user_id)
         if not services:
             return 0
         dropped = 0
-        for service_id in list(services):
+        for service_id in sorted(services):
             self.discard(user_id, service_id)
             dropped += 1
         return dropped
@@ -294,7 +312,7 @@ class _SampleStore:
         if not users:
             return 0
         dropped = 0
-        for user_id in list(users):
+        for user_id in sorted(users):
             self.discard(user_id, service_id)
             dropped += 1
         return dropped
@@ -450,6 +468,32 @@ class AdaptiveMatrixFactorization:
     def updates_applied(self) -> int:
         """Total number of SGD steps performed (arrivals + replays)."""
         return self._updates_applied
+
+    def knows_user(self, user_id: int) -> bool:
+        """Whether predictions for ``user_id`` can be served from the model.
+
+        The identity check callers must use instead of comparing against
+        ``n_users``: tiered models (:class:`repro.lifecycle.TieredAMF`) keep
+        a sparse external-id population whose size is unrelated to the
+        allocated row count.
+        """
+        return 0 <= user_id < self.n_users
+
+    def knows_service(self, service_id: int) -> bool:
+        """Whether predictions for ``service_id`` can be served (see
+        :meth:`knows_user`)."""
+        return 0 <= service_id < self.n_services
+
+    def expected_error(self, user_id: int, service_id: int) -> float:
+        """Expected relative error of a prediction for ``(user, service)``.
+
+        Mean of the two entities' EMA error trackers — the confidence signal
+        the serving layer attaches to predictions.  A pure read: unknown
+        entities report ``init_error``.
+        """
+        return (
+            self.weights.user_error(user_id) + self.weights.service_error(service_id)
+        ) / 2.0
 
     def ensure_user(self, user_id: int) -> None:
         """Register a user id, initializing factors and error tracking."""

@@ -94,7 +94,10 @@ class ConcurrentModel:
         unknown.  The degraded-mode serving path uses this so hostile or
         cold queries cannot grow the factor matrices."""
         with self._lock:
-            if user_id >= self._model.n_users or service_id >= self._model.n_services:
+            if not (
+                self._model.knows_user(user_id)
+                and self._model.knows_service(service_id)
+            ):
                 return None
             return self._model.predict(user_id, service_id)
 
@@ -114,20 +117,21 @@ class ConcurrentModel:
         """
         with self._lock:
             model = self._model
-            n_services = model.n_services
-            if user_id < 0 or user_id >= model.n_users:
+            if not model.knows_user(user_id):
                 return [None] * len(service_ids), 0
             values: list = [None] * len(service_ids)
             hits = 0
             if cache is None:
                 miss_positions = [
-                    k for k, sid in enumerate(service_ids) if 0 <= sid < n_services
+                    k
+                    for k, sid in enumerate(service_ids)
+                    if model.knows_service(sid)
                 ]
             else:
                 user_version = model.user_version(user_id)
                 miss_positions = []
                 for k, service_id in enumerate(service_ids):
-                    if service_id < 0 or service_id >= n_services:
+                    if not model.knows_service(service_id):
                         continue
                     cached = cache.get(
                         user_id,
@@ -167,10 +171,7 @@ class ConcurrentModel:
         """Anticipated relative error of predicting ``(user_id, service_id)``
         from the EMA error trackers (the calibration confidence signal)."""
         with self._lock:
-            weights = self._model.weights
-            return (
-                weights.user_error(user_id) + weights.service_error(service_id)
-            ) / 2.0
+            return self._model.expected_error(user_id, service_id)
 
     def is_finite(self) -> bool:
         """Health probe: every initialized factor entry is finite."""

@@ -20,6 +20,7 @@ answers carry no calibration estimate (``expected_error`` is ``None``).
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 
@@ -71,18 +72,41 @@ class FallbackPredictor:
     even on a completely cold start.
     """
 
-    def __init__(self, prior: float) -> None:
+    def __init__(self, prior: float, max_entities: "int | None" = None) -> None:
+        if max_entities is not None and max_entities < 1:
+            raise ValueError(f"max_entities must be >= 1, got {max_entities}")
         self.prior = float(prior)
+        self.max_entities = max_entities
         self._lock = threading.Lock()
-        self._users: dict[int, _RunningMean] = {}
-        self._services: dict[int, _RunningMean] = {}
+        self._users: "OrderedDict[int, _RunningMean]" = OrderedDict()
+        self._services: "OrderedDict[int, _RunningMean]" = OrderedDict()
         self._global = _RunningMean()
 
     def observe(self, user_id: int, service_id: int, value: float) -> None:
-        """Fold one observed sample into all three mean levels."""
+        """Fold one observed sample into all three mean levels.
+
+        With ``max_entities`` set, each per-entity map is bounded: the
+        least-recently-observed entity's mean is dropped beyond the limit
+        (it degrades to the one-sided / global levels).  The bound makes
+        the fallback chain safe under the same unbounded-churn streams the
+        tiered model handles; the means are advisory serving state, never
+        part of the bit-exact checkpoint (they are re-seeded from the
+        retained sample store on restart).
+        """
         with self._lock:
-            self._users.setdefault(user_id, _RunningMean()).add(value)
-            self._services.setdefault(service_id, _RunningMean()).add(value)
+            for table, entity_id in (
+                (self._users, user_id),
+                (self._services, service_id),
+            ):
+                mean = table.get(entity_id)
+                if mean is None:
+                    mean = table[entity_id] = _RunningMean()
+                else:
+                    table.move_to_end(entity_id)
+                mean.add(value)
+                if self.max_entities is not None:
+                    while len(table) > self.max_entities:
+                        table.popitem(last=False)
             self._global.add(value)
 
     def predict(self, user_id: int, service_id: int) -> PredictionResult:

@@ -35,9 +35,14 @@ from repro.core.config import AMFConfig
 #: token a replicated server persists (``{"epoch": int, "role": str}``) —
 #: control-plane state that legitimately differs between a promoted
 #: standby and a never-failed baseline, which is why
-#: :func:`archive_digest` can exclude it.  The array layout is unchanged
-#: at every bump, so v1-v3 archives remain readable.
-FORMAT_VERSION = 4
+#: :func:`archive_digest` can exclude it.  v5 reserves ``extra_json``
+#: keys under ``lifecycle`` for the hot/cold tiering state of
+#: :class:`repro.lifecycle.TieredAMF` (external-id <-> slot maps, free
+#: lists, touch ticks, capacities, spilled-entity sets): the factor/error
+#: arrays are saved in *slot* space, so a tiered checkpoint is unreadable
+#: as a flat model without this mapping.  The array layout is unchanged
+#: at every bump, so v1-v4 archives remain readable.
+FORMAT_VERSION = 5
 
 _EXTRA_MEMBER = "extra_json.npy"
 

@@ -227,6 +227,14 @@ class AdaptiveWeights:
         )
         return w_u, w_s
 
+    def set_user_error(self, user_id: int, value: float) -> None:
+        """Overwrite a user's EMA error exactly (entity revival from spill)."""
+        self._user_errors.set(user_id, float(value))
+
+    def set_service_error(self, service_id: int, value: float) -> None:
+        """Overwrite a service's EMA error exactly (entity revival from spill)."""
+        self._service_errors.set(service_id, float(value))
+
     def reset_user(self, user_id: int) -> None:
         """Restore a user's error to the initial value (entity rejoin)."""
         self._user_errors.reset(user_id)

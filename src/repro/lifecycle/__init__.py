@@ -1,0 +1,21 @@
+"""Bounded-memory entity lifecycle: hot/cold tiering, spill, revive,
+and memory-pressure degradation (see ``docs/operations.md`` § "Memory
+sizing and tiering")."""
+
+from repro.lifecycle.spill import SpillStore
+from repro.lifecycle.tiered import (
+    PRESSURE_LEVELS,
+    ColdEntityError,
+    LifecycleConfig,
+    MemoryWatchdog,
+    TieredAMF,
+)
+
+__all__ = [
+    "PRESSURE_LEVELS",
+    "ColdEntityError",
+    "LifecycleConfig",
+    "MemoryWatchdog",
+    "SpillStore",
+    "TieredAMF",
+]

@@ -1,0 +1,151 @@
+"""Compact on-disk spill store for demoted (cold) entity state.
+
+The hot tier (:class:`repro.lifecycle.TieredAMF`) keeps a bounded number of
+entities dense in RAM; everything else lives here as one row per entity:
+``(kind, external_id) -> payload``, where the payload is the canonical JSON
+demote record (factor row, EMA error, retained samples, gate statistics).
+SQLite is the storage engine — a single ordinary file under the server's
+data directory, zero extra dependencies, transactional enough that a
+``kill -9`` between demote batches can never tear a row.
+
+Consistency contract with the tiering layer:
+
+* a demote batch writes its rows and then calls :meth:`commit` once, so
+  either the whole batch is durable or none of it is;
+* a revive deletes the entity's row (idempotently), keeping *"row present
+  iff entity is spilled"* as the steady-state invariant;
+* crash recovery does **not** read payloads from here — replayed demotes
+  rewrite rows from the bit-exact replayed model state and replayed revive
+  events carry their payload in the WAL — so a spill file that is "ahead"
+  of the checkpoint (rows written after the checkpointed sequence) is
+  harmless and converges back to the invariant during replay.
+
+Not a cache: losing the file loses the cold entities' learned state (they
+would rejoin as new entities).  It belongs next to the WAL and checkpoint
+in the durable data directory.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+_KINDS = ("user", "service")
+
+
+class SpillStore:
+    """One-row-per-cold-entity SQLite table with batch commits.
+
+    Args:
+        path: database file path, or ``":memory:"`` for an ephemeral store
+              (non-durable servers and model-level tests).
+
+    Thread-safe: the server touches it from the ingest path, the predict
+    path (revive-on-read), and the ``/status`` handler concurrently.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS entities ("
+            " kind TEXT NOT NULL,"
+            " ext_id INTEGER NOT NULL,"
+            " payload BLOB NOT NULL,"
+            " PRIMARY KEY (kind, ext_id)"
+            ") WITHOUT ROWID"
+        )
+        self._conn.commit()
+
+    @staticmethod
+    def _check_kind(kind: str) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+
+    def put(self, kind: str, ext_id: int, payload: bytes) -> None:
+        """Write (or rewrite) one entity's spill row; durable after
+        :meth:`commit`."""
+        self._check_kind(kind)
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO entities (kind, ext_id, payload) "
+                "VALUES (?, ?, ?)",
+                (kind, int(ext_id), sqlite3.Binary(payload)),
+            )
+
+    def get(self, kind: str, ext_id: int) -> "bytes | None":
+        self._check_kind(kind)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM entities WHERE kind = ? AND ext_id = ?",
+                (kind, int(ext_id)),
+            ).fetchone()
+        return bytes(row[0]) if row is not None else None
+
+    def delete(self, kind: str, ext_id: int) -> None:
+        """Remove an entity's row (idempotent — revive replay re-deletes)."""
+        self._check_kind(kind)
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM entities WHERE kind = ? AND ext_id = ?",
+                (kind, int(ext_id)),
+            )
+
+    def contains(self, kind: str, ext_id: int) -> bool:
+        return self.get(kind, ext_id) is not None
+
+    def count(self, kind: "str | None" = None) -> int:
+        with self._lock:
+            if kind is None:
+                row = self._conn.execute("SELECT COUNT(*) FROM entities").fetchone()
+            else:
+                self._check_kind(kind)
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM entities WHERE kind = ?", (kind,)
+                ).fetchone()
+        return int(row[0])
+
+    def keys(self, kind: str) -> list[int]:
+        """All spilled external ids of one kind, ascending."""
+        self._check_kind(kind)
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT ext_id FROM entities WHERE kind = ? ORDER BY ext_id",
+                (kind,),
+            ).fetchall()
+        return [int(row[0]) for row in rows]
+
+    def prune_except(self, kind: str, keep_ids) -> int:
+        """Delete every row of ``kind`` whose id is not in ``keep_ids``.
+
+        Startup hygiene: a crash between a revive's row deletion and its
+        commit can leave a row for an entity the recovered state considers
+        hot.  Such rows are never consulted (revival is driven by the
+        in-model spilled set, not by table scans) but would leak file space
+        forever; recovery prunes them back to the invariant.
+        """
+        keep = set(int(ext_id) for ext_id in keep_ids)
+        stale = [ext_id for ext_id in self.keys(kind) if ext_id not in keep]
+        with self._lock:
+            for ext_id in stale:
+                self._conn.execute(
+                    "DELETE FROM entities WHERE kind = ? AND ext_id = ?",
+                    (kind, ext_id),
+                )
+            if stale:
+                self._conn.commit()
+        return len(stale)
+
+    def commit(self) -> None:
+        """Make every write since the last commit durable (one fsync)."""
+        with self._lock:
+            self._conn.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._conn.commit()
+            except sqlite3.Error:
+                pass
+            self._conn.close()

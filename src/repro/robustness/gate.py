@@ -348,6 +348,63 @@ class SanitizerGate:
         _ADMITTED.inc()
         return GateDecision("admit", record.value, score=score)
 
+    # -- per-entity export/import (hot/cold tiering) -------------------------
+    def _drop_pending_for(self, entity_id: int, index: int) -> None:
+        """Evict every pending quarantine pair involving ``entity_id``.
+
+        ``index`` selects the pair component (0 = user, 1 = service).  A
+        demoted entity's pending extremes can never corroborate (its next
+        sample revives it with freshly imported stats), so holding them
+        would leak quarantine budget; dropping is deterministic and counted
+        as eviction, same as FIFO overflow.
+        """
+        stale = [pair for pair in self._pending if pair[index] == entity_id]
+        for pair in stale:
+            dropped = len(self._pending.pop(pair))
+            self._held -= dropped
+            self.counts["evicted"] += dropped
+            _EVICTED.inc(dropped)
+        if stale:
+            _QUARANTINE_SIZE.set(self._held)
+
+    def export_user(self, user_id: int) -> "list | None":
+        """Remove and return a user's tracker as ``[n, center, spread]``.
+
+        ``None`` when the gate has never seen the user.  Pending quarantine
+        pairs involving the user are evicted (see :meth:`_drop_pending_for`).
+        Used by the tiering layer to carry gate state through the spill
+        store so a revived entity resumes gating exactly where it left off.
+        """
+        stats = self._users.pop(user_id, None)
+        self._drop_pending_for(user_id, 0)
+        if stats is None:
+            return None
+        return [stats.n, stats.center, stats.spread]
+
+    def export_service(self, service_id: int) -> "list | None":
+        """Remove and return a service's tracker (see :meth:`export_user`)."""
+        stats = self._services.pop(service_id, None)
+        self._drop_pending_for(service_id, 1)
+        if stats is None:
+            return None
+        return [stats.n, stats.center, stats.spread]
+
+    def import_user(self, user_id: int, entry: "list | None") -> None:
+        """Restore a user's tracker from an :meth:`export_user` triple."""
+        if entry is None:
+            return
+        n, center, spread = entry
+        self._users[user_id] = _EntityStats(int(n), float(center), float(spread))
+
+    def import_service(self, service_id: int, entry: "list | None") -> None:
+        """Restore a service's tracker from an :meth:`export_service` triple."""
+        if entry is None:
+            return
+        n, center, spread = entry
+        self._services[service_id] = _EntityStats(
+            int(n), float(center), float(spread)
+        )
+
     # -- persistence ---------------------------------------------------------
     def state_dict(self) -> dict:
         """JSON-serializable snapshot of the full gate state.

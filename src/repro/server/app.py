@@ -78,6 +78,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -90,12 +91,19 @@ from repro.core.fallback import FallbackPredictor
 from repro.core.online import PredictionCache
 from repro.core.transform import sigmoid
 from repro.datasets.schema import QoSRecord
+from repro.lifecycle import (
+    LifecycleConfig,
+    MemoryWatchdog,
+    SpillStore,
+    TieredAMF,
+)
 from repro.observability import StreamAccuracyMonitor, get_registry
 from repro.robustness import (
     AdmissionConfig,
     AdmissionController,
     DedupLedger,
     GateConfig,
+    RateLimited,
     SanitizerGate,
     ShedRequest,
     StaleObservation,
@@ -114,6 +122,7 @@ from repro.server.replication import (
     ReplicationConfig,
     StandbyReplicator,
     encode_shipped,
+    encode_shipped_event,
     note_epoch,
     note_promotion,
     note_shipped,
@@ -145,6 +154,12 @@ _INTERNAL_ERRORS = _METRICS.counter(
 _BATCH_SIZE = _METRICS.histogram(
     "qos_predict_batch_size",
     "Service ids per batched prediction request (both transports)",
+)
+# Same family repro.lifecycle registers (get-or-create returns the one
+# Counter): the server is where cold-read shedding actually happens.
+_COLD_READS_SHED = _METRICS.counter(
+    "qos_lifecycle_cold_reads_shed_total",
+    "Cold-entity revive reads shed with 429 under critical memory pressure",
 )
 
 
@@ -257,6 +272,48 @@ def _idempotency_key(payload: dict) -> "str | None":
     return key
 
 
+class _LifecycleHooks:
+    """Bridge between the tiered model and server state keyed by external ids.
+
+    Demoting an entity must take its sanitizer-gate statistics with it (they
+    ride the spill payload and come back on revival) and drop any cached
+    predictions for it — a recycled slot's version counter could otherwise
+    coincide with a stale cache stamp.  Called by :class:`TieredAMF` with the
+    model lock held; the gate is only ever mutated under the ingest lock
+    (observe, revive, and replay all hold it), so gate order — and therefore
+    ``gate.state_dict()`` — stays deterministic.
+    """
+
+    __slots__ = ("_server",)
+
+    def __init__(self, server: "PredictionServer") -> None:
+        self._server = server
+
+    def export_user(self, user_id: int) -> "list | None":
+        if self._server._predict_cache is not None:
+            self._server._predict_cache.invalidate_user(user_id)
+        gate = self._server.gate
+        return gate.export_user(user_id) if gate is not None else None
+
+    def export_service(self, service_id: int) -> "list | None":
+        if self._server._predict_cache is not None:
+            self._server._predict_cache.invalidate_service(service_id)
+        gate = self._server.gate
+        return gate.export_service(service_id) if gate is not None else None
+
+    def import_user(self, user_id: int, entry: "list | None") -> None:
+        if self._server._predict_cache is not None:
+            self._server._predict_cache.invalidate_user(user_id)
+        if self._server.gate is not None and entry is not None:
+            self._server.gate.import_user(user_id, entry)
+
+    def import_service(self, service_id: int, entry: "list | None") -> None:
+        if self._server._predict_cache is not None:
+            self._server._predict_cache.invalidate_service(service_id)
+        if self._server.gate is not None and entry is not None:
+            self._server.gate.import_service(service_id, entry)
+
+
 class PredictionServer:
     """Owns the model, the WAL, the supervised trainer, and the HTTP server.
 
@@ -323,6 +380,7 @@ class PredictionServer:
         replication_link=None,
         binary_port: "int | None" = 0,
         predict_cache_size: "int | None" = 65536,
+        lifecycle: "LifecycleConfig | bool | None" = None,
     ) -> None:
         if checkpoint_interval < 1:
             raise ValueError(
@@ -351,6 +409,40 @@ class PredictionServer:
             self._wal = WriteAheadLog(data_dir, fsync=wal_fsync)
         if model is None:
             model = AdaptiveMatrixFactorization(config, rng=rng)
+
+        # Bounded-memory lifecycle (hot/cold tiering, repro.lifecycle).  The
+        # wrap must happen before the WAL tail replay below: the tail can
+        # contain lifecycle events (revives, pressure changes) and the
+        # replayed observations must demote through the same policy that
+        # produced the log.  Like the gate, the setting must stay consistent
+        # across restarts of one data_dir — a flat server cannot replay a
+        # tiered WAL (checked both ways below).
+        if lifecycle is True:
+            lifecycle = LifecycleConfig()
+        self.lifecycle: "LifecycleConfig | None" = (
+            lifecycle if isinstance(lifecycle, LifecycleConfig) else None
+        )
+        self._spill: "SpillStore | None" = None
+        self._tiered: "TieredAMF | None" = None
+        self._watchdog: "MemoryWatchdog | None" = None
+        self._shed_cold_reads = False
+        lifecycle_state = checkpoint_extra.pop("lifecycle", None)
+        if self.lifecycle is None and lifecycle_state is not None:
+            raise ValueError(
+                "checkpoint carries hot/cold tiering state (its factor arrays "
+                "are in slot space); restart with lifecycle= enabled"
+            )
+        if self.lifecycle is not None:
+            spill_path = (
+                os.path.join(data_dir, "spill.sqlite")
+                if data_dir is not None
+                else ":memory:"
+            )
+            self._spill = SpillStore(spill_path)
+            model = TieredAMF.from_model(
+                model, self.lifecycle, self._spill, state=lifecycle_state
+            )
+            self._tiered = model
 
         # Robustness state.  The gate binds the *raw* model's normalization
         # (pure config-derived functions, safe to call lock-free); its state
@@ -417,6 +509,16 @@ class PredictionServer:
                 )
             note_epoch(self.epoch)
 
+        # The predict cache and lifecycle hooks exist before the WAL tail
+        # replay on purpose: replayed demotions must export gate statistics
+        # exactly as the original run did (determinism), and cache
+        # invalidation on an empty cache is a harmless no-op.
+        self._predict_cache = (
+            PredictionCache(predict_cache_size) if predict_cache_size else None
+        )
+        if self._tiered is not None:
+            self._tiered.hooks = _LifecycleHooks(self)
+
         latest_timestamp = 0.0
         timestamps = model._store.columns()[2]
         if timestamps.size:
@@ -428,7 +530,20 @@ class PredictionServer:
             # admit/clip/quarantine decisions — and therefore the pre-crash
             # model — bit-exactly.  Duplicate keys never reach the WAL, so
             # every replayed key is fresh and just rebuilds the ledger.
-            for __, record, key in self._wal.replay_full(after_seq=applied_seq):
+            # Lifecycle events are replayed in their logged interleaving;
+            # revives restore from the logged payload, never from the spill
+            # file (which reflects crash-time state, not this position).
+            for entry in self._wal.replay_entries(after_seq=applied_seq):
+                if entry[0] == "ev":
+                    if self._tiered is None:
+                        raise ValueError(
+                            "WAL contains lifecycle events; restart with "
+                            "lifecycle= enabled to replay this directory"
+                        )
+                    self._tiered.apply_event(entry[2], entry[3])
+                    replayed += 1
+                    continue
+                __, __, record, key = entry
                 apply_observation(model, self.gate, record)
                 if key is not None:
                     self.ledger.add(key)
@@ -444,6 +559,12 @@ class PredictionServer:
                 "wal_replayed": replayed,
                 "torn_lines": self._wal.torn_lines,
             }
+        if self._tiered is not None:
+            # Startup hygiene: a crash between a revive's spill-row delete
+            # and its commit leaves a row for a now-hot entity; replay never
+            # consults such rows, but they would leak file space forever.
+            self._spill.prune_except("user", self._tiered._spilled_users)
+            self._spill.prune_except("service", self._tiered._spilled_services)
 
         self.model = ConcurrentModel(model)
         self.model.note_timestamp(latest_timestamp)
@@ -481,14 +602,28 @@ class PredictionServer:
         self._port = port
         self._httpd: "ThreadingHTTPServer | None" = None
         self._thread: "threading.Thread | None" = None
-        self._predict_cache = (
-            PredictionCache(predict_cache_size) if predict_cache_size else None
-        )
         self._binary = (
             BinaryTransportServer(self, host=host, port=binary_port)
             if binary_port is not None
             else None
         )
+        # Memory watchdog: resident-bytes polling against the configured
+        # ceiling; tighten/critical degradation runs through WAL-logged
+        # pressure events (_apply_pressure) so recovery and standbys
+        # converge to the same tier assignment.  Reads are lock-free and
+        # approximate — fine for a threshold controller.
+        if (
+            self._tiered is not None
+            and self.lifecycle.memory_limit_bytes is not None
+        ):
+            tiered = self._tiered
+            self._watchdog = MemoryWatchdog(
+                self.lifecycle,
+                usage=tiered.resident_bytes,
+                capacities=lambda: (tiered._hot_users, tiered._hot_services),
+                on_tighten=self._apply_pressure,
+                on_shed=self._set_cold_read_shedding,
+            )
         # Ingest lock: keeps WAL-append order identical to model-apply order
         # across handler threads (recovery replays in WAL order).  Stats
         # lock: ThreadingHTTPServer handlers increment counters from many
@@ -507,6 +642,7 @@ class PredictionServer:
         self._observations_since_checkpoint = 0
         self._model_healthy = True
         self._degraded_reason: "str | None" = None
+        self._cold_reads_shed = 0
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -546,6 +682,10 @@ class PredictionServer:
             self.trainer.start()
         if self._replicator is not None:
             self._replicator.start()
+        if self._watchdog is not None and self.role == "primary":
+            # Standbys never initiate tier changes: their tiering follows the
+            # primary's WAL-shipped pressure/revive events, byte for byte.
+            self._watchdog.start()
 
     def stop(self) -> None:
         """Graceful shutdown: final checkpoint, then tear everything down."""
@@ -554,6 +694,8 @@ class PredictionServer:
             with self._ingest_lock:
                 self._checkpoint_locked()
             self._wal.close()
+        if self._spill is not None:
+            self._spill.close()
 
     def kill(self) -> None:
         """Crash simulation: stop serving *without* a final checkpoint.
@@ -567,8 +709,15 @@ class PredictionServer:
         self._stop_serving()
         if self.durable:
             self._wal.close()
+        if self._spill is not None:
+            # Demote batches and revives each committed at the time they
+            # happened, so closing here flushes nothing new — it only frees
+            # the handle so a recovering server can reopen the same file.
+            self._spill.close()
 
     def _stop_serving(self) -> None:
+        if self._watchdog is not None and self._watchdog.running:
+            self._watchdog.stop()
         if self._binary is not None and self._binary.running:
             self._binary.stop()
         if self._replicator is not None and self._replicator.running:
@@ -621,7 +770,16 @@ class PredictionServer:
             # Control-plane state (serialization v4): the fencing epoch must
             # survive a crash so a deposed primary can recognize itself.
             extra["replication"] = {"epoch": self.epoch, "role": self.role}
-        self.model.with_model(lambda m: self._checkpoints.save(m, seq, extra=extra))
+
+        def _save(m: AdaptiveMatrixFactorization) -> None:
+            if isinstance(m, TieredAMF):
+                # Tiering state (serialization v5): the factor arrays above
+                # are in slot space; without the ext<->slot maps and spilled
+                # sets the checkpoint is unreadable.
+                extra["lifecycle"] = m.lifecycle_state()
+            self._checkpoints.save(m, seq, extra=extra)
+
+        self.model.with_model(_save)
         if self.replication is None:
             # Replicated nodes retain their full log: a standby (or a
             # re-attaching one after promotion) catches up by shipping from
@@ -674,6 +832,30 @@ class PredictionServer:
             self._ingest_one(record, key, replicated=True)
             return "applied"
 
+    def apply_replicated_event(self, seq: int, kind: str, data: dict) -> str:
+        """Apply one shipped WAL lifecycle event on a standby.
+
+        Same sequencing contract as :meth:`apply_replicated`.  The event is
+        appended to the local WAL first (byte-identical log copy), then
+        applied under the model lock — a revive restores the payload the
+        primary logged, so the standby converges to the primary's exact
+        tier assignment without ever initiating a revive itself.
+        """
+        with self._ingest_lock:
+            expected = self._wal.last_seq + 1
+            if seq < expected:
+                return "skipped"
+            if seq > expected:
+                return "gap"
+            if self._tiered is None:
+                raise ValueError(
+                    "primary ships lifecycle events but this standby has "
+                    "lifecycle tiering disabled; restart with lifecycle="
+                )
+            self._wal.append_event(kind, data)
+            self.model.with_model(lambda m: m.apply_event(kind, data))
+            return "applied"
+
     def promote(self) -> bool:
         """Promote this standby to primary via the epoch compare-and-swap.
 
@@ -709,6 +891,8 @@ class PredictionServer:
             self._fenced = False
             self._checkpoint_locked()
         note_promotion(self.epoch)
+        if self._watchdog is not None and not self._watchdog.running:
+            self._watchdog.start()
         return True
 
     def _check_write_allowed(self) -> None:
@@ -772,13 +956,21 @@ class PredictionServer:
             ) from exc
         if after_seq < 0 or limit < 1:
             raise _BadRequest("after_seq must be >= 0 and limit >= 1")
-        batch = self._wal.read_committed(after_seq=after_seq, limit=min(limit, 4096))
+        batch = self._wal.read_committed_entries(
+            after_seq=after_seq, limit=min(limit, 4096)
+        )
         note_shipped(len(batch))
+        records = []
+        for entry in batch:
+            if entry[0] == "ev":
+                records.append(encode_shipped_event(entry[1], entry[2], entry[3]))
+            else:
+                records.append(encode_shipped(entry[1], entry[2], entry[3]))
         return {
             "epoch": self.epoch,
             "role": self.role,
             "last_seq": self._wal.last_seq,
-            "records": [encode_shipped(seq, record, key) for seq, record, key in batch],
+            "records": records,
         }
 
     # -- request handling ------------------------------------------------------
@@ -835,6 +1027,13 @@ class PredictionServer:
                     self._observations_rejected += 1
                 _OBSERVATIONS_REJECTED.inc()
                 raise _BadRequest(str(exc), code=f"{exc.reason}_timestamp") from exc
+        if not replicated and self._tiered is not None:
+            # Revive any spilled party *before* logging the observation: the
+            # revive event (payload included) must precede the observation
+            # in the WAL, or recovery would replay an observe against a
+            # still-cold entity.  Standbys skip this — the primary ships its
+            # revive events explicitly.
+            self._revive_locked(record.user_id, record.service_id)
         if self._wal is not None:
             try:
                 self._wal.append(record, key=key)
@@ -880,6 +1079,108 @@ class PredictionServer:
             if action == "quarantine":
                 self._observations_quarantined += 1
         return {"sample_error": error, "action": action}
+
+    # -- entity lifecycle ------------------------------------------------------
+    def _revive_locked(self, user_id: int, service_id: "int | None") -> None:
+        """Revive spilled parties of a request.  Caller holds the ingest lock.
+
+        For each spilled entity: durably log a ``revive_*`` event carrying
+        the full spill payload, then apply it to the model.  Log-then-apply
+        mirrors the observation path — recovery and standbys restore the
+        entity from the logged payload, never from the (crash-time) spill
+        file.
+        """
+        pending = self.model.with_model(
+            lambda m: m.pending_revivals(user_id, service_id)
+        )
+        for kind, ext_id in pending:
+            payload = self.model.with_model(
+                lambda m, k=kind, e=ext_id: m.revive_payload(k, e)
+            )
+            if self._wal is not None:
+                try:
+                    self._wal.append_event(f"revive_{kind}", {"id": ext_id, "p": payload})
+                except WalAppendError as exc:
+                    self._degraded_reason = str(exc)
+                    raise _StorageUnavailable(
+                        f"entity revival not durable, log unavailable: {exc}"
+                    ) from exc
+            self.model.with_model(
+                lambda m, k=kind, e=ext_id, p=payload: m.apply_revive(k, e, p)
+            )
+
+    def _maybe_revive_for_read(
+        self, user_id: int, service_id: "int | None"
+    ) -> None:
+        """Revive-on-read for the prediction path, with pressure shedding.
+
+        Under critical memory pressure, cold-entity reads are shed with a
+        429/Retry-After (the admission layer's :class:`RateLimited`) — the
+        revive would grow the hot tier the watchdog is trying to shrink.
+        Predictions for hot entities are never shed.  Standbys, fenced
+        primaries, and read-only-degraded servers skip the revive (the
+        fallback chain answers): revives mutate the log, and only a healthy
+        primary may do that.
+        """
+        if self._tiered is None:
+            return
+        pending = self.model.with_model(
+            lambda m: m.pending_revivals(user_id, service_id)
+        )
+        if not pending:
+            return
+        if self._shed_cold_reads:
+            with self._stats_lock:
+                self._cold_reads_shed += 1
+            _COLD_READS_SHED.inc()
+            raise RateLimited(
+                "cold-entity revive shed under critical memory pressure; "
+                "retry shortly (hot-entity predictions are unaffected)",
+                retry_after=1.0,
+            )
+        if (
+            self.role != "primary"
+            or self._fenced
+            or self._degraded_reason is not None
+        ):
+            return
+        with self._acquire_ingest_lock():
+            self._revive_locked(user_id, service_id)
+
+    def _apply_pressure(self, hot_users: int, hot_services: int, level: str) -> None:
+        """Watchdog tighten callback: WAL-log, then apply, a capacity change."""
+        if self._tiered is None:
+            return
+        with self._ingest_lock:
+            data = {"hu": int(hot_users), "hs": int(hot_services), "level": level}
+            if self._wal is not None:
+                try:
+                    self._wal.append_event("pressure", data)
+                except WalAppendError as exc:
+                    # Can't log the tier change durably -> don't apply it
+                    # (recovery would diverge); read-only degradation takes
+                    # over on the next write.
+                    self._degraded_reason = str(exc)
+                    return
+            self.model.with_model(
+                lambda m: m.apply_pressure(data["hu"], data["hs"], level)
+            )
+
+    def _set_cold_read_shedding(self, flag: bool) -> None:
+        """Watchdog critical-level callback (serving state, never WAL'd)."""
+        self._shed_cold_reads = bool(flag)
+
+    def _lifecycle_status(self) -> "dict | None":
+        if self._tiered is None:
+            return None
+        status = self.model.with_model(lambda m: m.lifecycle_status())
+        with self._stats_lock:
+            status["cold_reads_shed"] = self._cold_reads_shed
+        status["shedding_cold_reads"] = self._shed_cold_reads
+        status["watchdog_running"] = (
+            self._watchdog.running if self._watchdog is not None else False
+        )
+        return status
 
     def _refuse_if_degraded(self) -> None:
         if self._degraded_reason is not None:
@@ -938,6 +1239,8 @@ class PredictionServer:
 
     def _predict_one(self, user_id: int, service_id: int) -> dict:
         """The degradation chain: model if healthy and informed, else means."""
+        if self._tiered is not None:
+            self._maybe_revive_for_read(user_id, service_id)
         if self._model_healthy:
             value = self.model.predict_known(user_id, service_id)
             if value is not None:
@@ -994,6 +1297,13 @@ class PredictionServer:
         ranking hot path at one credence read per *miss*, not per id.
         """
         _BATCH_SIZE.observe(len(service_ids))
+        if self._tiered is not None:
+            # Revive the user only: a ranking query names one user but many
+            # services, and reviving every spilled service would let a
+            # single wide batch blow through the hot-tier budget.  Spilled
+            # services answer through the fallback chain until they are
+            # observed (or individually queried) again.
+            self._maybe_revive_for_read(user_id, None)
         if self._model_healthy:
             values, __ = self.model.predict_batch_known(
                 user_id, service_ids, self._predict_cache
@@ -1134,6 +1444,7 @@ class PredictionServer:
                 },
                 "robustness": self._robustness_status(),
                 "replication": self._replication_status(),
+                "lifecycle": self._lifecycle_status(),
                 "transport": {
                     "binary_address": (
                         list(self.binary_address)

@@ -113,6 +113,22 @@ class ProtocolError(Exception):
     """The peer sent bytes that are not a valid protocol frame."""
 
 
+class FrameTooLarge(ProtocolError):
+    """A well-formed header declared a body beyond :data:`MAX_FRAME_BYTES`.
+
+    Unlike bad magic or a version mismatch, the stream is *not* corrupt —
+    the header parsed, so exactly ``length`` body bytes follow and the
+    server can drain them and answer with a framed 413 (the HTTP
+    request-too-large equivalent) instead of dropping the connection.
+    """
+
+    def __init__(self, length: int) -> None:
+        super().__init__(
+            f"frame body of {length} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+        self.length = length
+
+
 def pack_frame(opcode: int, body: bytes = b"") -> bytes:
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(
@@ -134,6 +150,17 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
+def _drain_exact(sock: socket.socket, count: int) -> None:
+    """Read and discard ``count`` bytes (no buffering — the length prefix
+    is attacker-controlled up to 4 GiB)."""
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        remaining -= len(chunk)
+
+
 def read_frame(sock: socket.socket) -> "tuple[int, bytes] | None":
     """Read one frame; ``None`` on clean EOF at a frame boundary."""
     try:
@@ -146,7 +173,7 @@ def read_frame(sock: socket.socket) -> "tuple[int, bytes] | None":
     if version != PROTOCOL_VERSION:
         raise ProtocolError(f"unsupported protocol version {version}")
     if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame body of {length} bytes exceeds {MAX_FRAME_BYTES}")
+        raise FrameTooLarge(length)
     body = _recv_exact(sock, length) if length else b""
     return opcode, body
 
@@ -339,6 +366,25 @@ class BinaryTransportServer:
             while not self._stopping.is_set():
                 try:
                     frame = read_frame(conn)
+                except FrameTooLarge as exc:
+                    # The header parsed, so the stream is still in sync:
+                    # drain the declared body and refuse with a framed 413
+                    # — the connection stays usable, matching the HTTP
+                    # API's request-too-large behavior.
+                    try:
+                        _drain_exact(conn, exc.length)
+                        conn.sendall(
+                            pack_error(
+                                413,
+                                {
+                                    "error": str(exc),
+                                    "max_frame_bytes": MAX_FRAME_BYTES,
+                                },
+                            )
+                        )
+                    except (OSError, ConnectionError):
+                        return
+                    continue
                 except ProtocolError as exc:
                     # Framing is gone — answer once, then drop the
                     # connection (resync inside a corrupt stream is

@@ -391,10 +391,16 @@ class PredictionClient:
                 # A shedding server knows when capacity returns; its
                 # Retry-After is a floor under our own backoff, so a fleet
                 # of retrying clients doesn't hammer a rate limiter that
-                # already told them when to come back.
+                # already told them when to come back.  Jitter on top of
+                # the hint too: every shed client got the same number, and
+                # synchronized wake-ups would re-create the very stampede
+                # the server shed.
                 hint = getattr(exc, "retry_after", None)
                 if hint is not None:
-                    sleep = max(sleep, hint)
+                    sleep = max(
+                        sleep,
+                        hint * (1.0 + self.jitter * self._jitter_rng.random()),
+                    )
                 if deadline_at is not None and (
                     time.monotonic() + sleep >= deadline_at
                 ):

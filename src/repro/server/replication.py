@@ -357,8 +357,13 @@ class StandbyReplicator:
             server.note_cluster_epoch(epoch)
         applied = 0
         for entry in batch["records"]:
-            seq, record, key = _decode_shipped(entry)
-            outcome = server.apply_replicated(seq, record, key)
+            decoded = _decode_shipped(entry)
+            if decoded[1] == "ev":
+                seq, __, kind, data = decoded
+                outcome = server.apply_replicated_event(seq, kind, data)
+            else:
+                seq, __, record, key = decoded
+                outcome = server.apply_replicated(seq, record, key)
             if outcome == "gap":
                 self.gap_detected = True
                 raise ReplicationGap(
@@ -417,12 +422,26 @@ class StandbyReplicator:
 
 
 def encode_shipped(seq: int, record: QoSRecord, key: "str | None") -> list:
-    """Wire form of one shipped WAL record (compact JSON array)."""
+    """Wire form of one shipped WAL observation (compact JSON array)."""
     return [seq, record.timestamp, record.user_id, record.service_id,
             record.value, key]
 
 
-def _decode_shipped(entry) -> "tuple[int, QoSRecord, str | None]":
+def encode_shipped_event(seq: int, kind: str, data: dict) -> list:
+    """Wire form of one shipped WAL lifecycle event.
+
+    Two elements with a dict second — unambiguous against the 6-element
+    observation form, so old-format batches still decode.
+    """
+    return [seq, {"ev": str(kind), "d": data}]
+
+
+def _decode_shipped(entry):
+    """Decode one shipped entry to ``(seq, "obs", record, key)`` or
+    ``(seq, "ev", kind, data)``."""
+    if len(entry) == 2 and isinstance(entry[1], dict):
+        seq, body = entry
+        return int(seq), "ev", str(body["ev"]), body["d"]
     seq, timestamp, user_id, service_id, value, key = entry
     record = QoSRecord(
         timestamp=float(timestamp),
@@ -430,7 +449,7 @@ def _decode_shipped(entry) -> "tuple[int, QoSRecord, str | None]":
         service_id=int(service_id),
         value=float(value),
     )
-    return int(seq), record, (str(key) if key is not None else None)
+    return int(seq), "obs", record, (str(key) if key is not None else None)
 
 
 def note_shipped(count: int) -> None:

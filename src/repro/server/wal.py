@@ -150,39 +150,61 @@ class WriteAheadLog:
         if not names:
             return 0
         last_seq = _segment_first_seq(names[-1]) - 1
-        for seq, __, __ in self._read_segment(names[-1]):
-            last_seq = seq
+        for entry in self._read_segment_entries(names[-1]):
+            last_seq = entry[1]
         return last_seq
 
-    def _read_segment(
-        self, name: str
-    ) -> Iterator[tuple[int, QoSRecord, "str | None"]]:
-        """Parse one segment, stopping (and tallying) at the first bad line.
+    def _read_segment_entries(self, name: str) -> Iterator[tuple]:
+        """Parse one segment's tagged entries, stopping at the first bad line.
+
+        The log is a tagged union: observation lines
+        (``{"seq","t","u","s","v","k"?}``) yield
+        ``("obs", seq, record, key)``; lifecycle-event lines
+        (``{"seq","ev","d"}``, e.g. entity revivals and memory-pressure
+        capacity changes) yield ``("ev", seq, kind, data)``.  Both advance
+        the sequence scan — an event at the log tail must count toward
+        ``last_seq`` or the next append would reuse its number.
 
         Read in binary and decode per line: a torn tail can hold arbitrary
-        bytes, which must register as a tear — not raise UnicodeDecodeError
-        out of recovery.
+        bytes, which must register as a tear (tallied, scan stops) — not
+        raise UnicodeDecodeError out of recovery.
         """
         path = os.path.join(self.directory, name)
         with open(path, "rb") as handle:
             for raw in handle:
                 try:
                     entry = json.loads(raw.decode("utf-8"))
-                    record = QoSRecord(
-                        timestamp=float(entry["t"]),
-                        user_id=int(entry["u"]),
-                        service_id=int(entry["s"]),
-                        value=float(entry["v"]),
-                    )
                     seq = int(entry["seq"])
-                    key = entry.get("k")
-                    if key is not None:
-                        key = str(key)
+                    if "ev" in entry:
+                        kind = str(entry["ev"])
+                        data = entry["d"]
+                        if not isinstance(data, dict):
+                            raise TypeError("event data must be an object")
+                        yield_value = ("ev", seq, kind, data)
+                    else:
+                        record = QoSRecord(
+                            timestamp=float(entry["t"]),
+                            user_id=int(entry["u"]),
+                            service_id=int(entry["s"]),
+                            value=float(entry["v"]),
+                        )
+                        key = entry.get("k")
+                        if key is not None:
+                            key = str(key)
+                        yield_value = ("obs", seq, record, key)
                 except (ValueError, KeyError, TypeError):
                     self.torn_lines += 1
                     _WAL_TORN_LINES.inc()
                     return
-                yield seq, record, key
+                yield yield_value
+
+    def _read_segment(
+        self, name: str
+    ) -> Iterator[tuple[int, QoSRecord, "str | None"]]:
+        """Observation-only view of :meth:`_read_segment_entries`."""
+        for entry in self._read_segment_entries(name):
+            if entry[0] == "obs":
+                yield entry[1], entry[2], entry[3]
 
     # -- writing -------------------------------------------------------------
     def _open_active_segment(self) -> None:
@@ -205,57 +227,80 @@ class WriteAheadLog:
         the record (``"k"``) so crash recovery rebuilds the dedup ledger
         from the log itself.
         """
+        entry = {
+            "t": record.timestamp,
+            "u": record.user_id,
+            "s": record.service_id,
+            "v": record.value,
+        }
+        if key is not None:
+            entry["k"] = key
         with self._lock:
-            if self._closed:
-                raise ValueError("write-ahead log is closed")
-            if self._append_failed is not None:
-                raise WalAppendError(
-                    f"write-ahead log is in a failed state: {self._append_failed}"
+            return self._append_locked(entry)
+
+    def append_event(self, kind: str, data: dict) -> int:
+        """Durably log one lifecycle event; returns its sequence number.
+
+        Events share the observation sequence space, so recovery replays
+        observations and events in their original interleaving.  Current
+        kinds (see :meth:`repro.lifecycle.TieredAMF.apply_event`):
+        ``revive_user`` / ``revive_service`` (``data = {"id", "p"}``, the
+        full spill payload — replay must restore from the log, because the
+        spill file reflects crash-time state, not the replayed position)
+        and ``pressure`` (``data = {"hu", "hs", "level"}``, a watchdog
+        capacity change).  Demotions are *not* logged: they are
+        deterministic functions of model state and replay identically.
+        """
+        if not isinstance(data, dict):
+            raise TypeError(f"event data must be a dict, got {type(data).__name__}")
+        with self._lock:
+            return self._append_locked({"ev": str(kind), "d": data})
+
+    def _append_locked(self, entry: dict) -> int:
+        """Assign the next sequence number and durably write one entry.
+
+        Caller holds ``self._lock``; ``entry`` is the seq-less body (the
+        sequence number is assigned here, under the lock).
+        """
+        if self._closed:
+            raise ValueError("write-ahead log is closed")
+        if self._append_failed is not None:
+            raise WalAppendError(
+                f"write-ahead log is in a failed state: {self._append_failed}"
+            )
+        seq = self._last_seq + 1
+        line = json.dumps({"seq": seq, **entry})
+        try:
+            if seq - self._active_first_seq >= self.segment_max_records:
+                self._handle.close()
+                self._active_first_seq = seq
+                self._handle = open(
+                    os.path.join(self.directory, _segment_name(seq)),
+                    "a",
+                    encoding="utf-8",
                 )
-            seq = self._last_seq + 1
-            entry = {
-                "seq": seq,
-                "t": record.timestamp,
-                "u": record.user_id,
-                "s": record.service_id,
-                "v": record.value,
-            }
-            if key is not None:
-                entry["k"] = key
-            line = json.dumps(entry)
-            try:
-                if seq - self._active_first_seq >= self.segment_max_records:
-                    self._handle.close()
-                    self._active_first_seq = seq
-                    self._handle = open(
-                        os.path.join(self.directory, _segment_name(seq)),
-                        "a",
-                        encoding="utf-8",
-                    )
-                    _WAL_SEGMENTS.set(self.segment_count())
-                self._handle.write(line + "\n")
-                self._handle.flush()
-                if self.fsync:
-                    fsync_started = time.perf_counter()
-                    os.fsync(self._handle.fileno())
-                    _WAL_FSYNC_SECONDS.observe(
-                        time.perf_counter() - fsync_started
-                    )
-            except OSError as exc:
-                # A failed write may have left a partial line in the active
-                # segment; freeze the log so the failure is sticky and the
-                # server can degrade to read-only instead of acknowledging
-                # observations that never became durable.
-                self._append_failed = f"{type(exc).__name__}: {exc}"
-                _WAL_APPEND_ERRORS.inc()
-                raise WalAppendError(
-                    f"WAL append of seq {seq} failed: {exc}",
-                    errno=getattr(exc, "errno", None),
-                ) from exc
-            self._last_seq = seq
-            self.appended += 1
-            _WAL_APPENDS.inc()
-            return seq
+                _WAL_SEGMENTS.set(self.segment_count())
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if self.fsync:
+                fsync_started = time.perf_counter()
+                os.fsync(self._handle.fileno())
+                _WAL_FSYNC_SECONDS.observe(time.perf_counter() - fsync_started)
+        except OSError as exc:
+            # A failed write may have left a partial line in the active
+            # segment; freeze the log so the failure is sticky and the
+            # server can degrade to read-only instead of acknowledging
+            # observations that never became durable.
+            self._append_failed = f"{type(exc).__name__}: {exc}"
+            _WAL_APPEND_ERRORS.inc()
+            raise WalAppendError(
+                f"WAL append of seq {seq} failed: {exc}",
+                errno=getattr(exc, "errno", None),
+            ) from exc
+        self._last_seq = seq
+        self.appended += 1
+        _WAL_APPENDS.inc()
+        return seq
 
     # -- reading -------------------------------------------------------------
     def replay(self, after_seq: int = 0) -> Iterator[tuple[int, QoSRecord]]:
@@ -281,6 +326,24 @@ class WriteAheadLog:
             for seq, record, key in self._read_segment(name):
                 if seq > after_seq:
                     yield seq, record, key
+
+    def replay_entries(self, after_seq: int = 0) -> Iterator[tuple]:
+        """Yield every committed entry after ``after_seq``, tagged.
+
+        The full-fidelity recovery stream: ``("obs", seq, record, key)``
+        for observations interleaved with ``("ev", seq, kind, data)`` for
+        lifecycle events, in sequence order.  :meth:`replay` /
+        :meth:`replay_full` remain the observation-only views.
+        """
+        names = self._segment_names()
+        for index, name in enumerate(names):
+            if index + 1 < len(names):
+                segment_end = _segment_first_seq(names[index + 1]) - 1
+                if segment_end <= after_seq:
+                    continue
+            for entry in self._read_segment_entries(name):
+                if entry[1] > after_seq:
+                    yield entry
 
     # -- maintenance ---------------------------------------------------------
     def prune(self, up_to_seq: int) -> int:
@@ -339,6 +402,25 @@ class WriteAheadLog:
                 if seq > self._last_seq:
                     break
                 batch.append((seq, record, key))
+                if len(batch) >= limit:
+                    break
+            return batch
+
+    def read_committed_entries(
+        self, after_seq: int = 0, limit: int = 1024
+    ) -> list[tuple]:
+        """Like :meth:`read_committed` but yields tagged entries — the
+        replication shipping path for logs carrying lifecycle events (the
+        standby must apply revives and pressure changes in sequence order
+        to converge to the primary's tier assignment)."""
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        with self._lock:
+            batch: list[tuple] = []
+            for entry in self.replay_entries(after_seq):
+                if entry[1] > self._last_seq:
+                    break
+                batch.append(entry)
                 if len(batch) >= limit:
                     break
             return batch

@@ -25,9 +25,14 @@ Three tools:
   standby against a never-failed baseline (factors, gate, dedup ledger,
   windowed accuracy, checkpoint digest).  :class:`FaultyReplicaLink`
   injects the partition / packet-loss / slow-link faults between replicas.
+* :func:`run_memory_pressure` squeezes a hot/cold-tiered server under a
+  fault-injected allocation ceiling and proves the degradation contract:
+  caps tighten, cold-entity revive reads shed with a structured 429,
+  hot-entity predictions keep answering, and a ``kill -9`` restart
+  reproduces the squeezed state bit-exactly from checkpoint + WAL.
 
-Used by ``tests/test_recovery.py``, ``tests/test_replication.py`` and
-``scripts/chaos_check.py``.
+Used by ``tests/test_recovery.py``, ``tests/test_replication.py``,
+``tests/test_lifecycle.py`` and ``scripts/chaos_check.py``.
 """
 
 from __future__ import annotations
@@ -88,6 +93,14 @@ CORE_METRIC_FAMILIES: tuple[str, ...] = (
     "qos_replay_parallel_scalar_steps_total",
     "qos_transport_requests_total",
     "qos_transport_mode",
+    "qos_lifecycle_resident_bytes",
+    "qos_lifecycle_hot_entities",
+    "qos_lifecycle_spilled_entities",
+    "qos_lifecycle_demotions_total",
+    "qos_lifecycle_revivals_total",
+    "qos_lifecycle_cold_reads_shed_total",
+    "qos_lifecycle_pressure_level",
+    "qos_lifecycle_pressure_events_total",
 )
 
 
@@ -460,10 +473,18 @@ def run_crash_recovery(
     recovered.stop()
 
     # Baseline: same stream, same seed, never interrupted.  Durable only
-    # when checkpoint contents are being compared.
+    # when checkpoint contents are being compared.  The baseline issues the
+    # same read the recovered server answered above: with tiering enabled a
+    # read can *revive* a cold entity (a deterministic state mutation), so
+    # the equality check requires both servers to see the same read
+    # sequence, not just the same writes.
     baseline = PredictionServer(data_dir=baseline_data_dir, **server_args)
     baseline.start()
-    post(PredictionClient(baseline.address), records)
+    baseline_client = PredictionClient(baseline.address)
+    post(baseline_client, records)
+    if records:
+        sample = records[0]
+        baseline_client.predict(sample.user_id, sample.service_id)
     baseline_state = _snapshot(baseline)
     baseline.stop()
 
@@ -892,9 +913,13 @@ def run_failover(
     detail["link_counts"] = dict(link.counts)
 
     # Phase 3: kill the primary (no final checkpoint) and wait for the
-    # standby to promote itself via health-check timeout + epoch CAS.
-    primary.kill()
+    # standby to promote itself via health-check timeout + epoch CAS.  The
+    # clock starts *before* kill(): the primary stops answering fetches
+    # somewhere inside the teardown, and the standby arms its silence
+    # timer from its last successful fetch — counting teardown time
+    # against the measurement would systematically under-report.
     promote_started = time.perf_counter()
+    primary.kill()
     if auto_promote_after is None:
         if not standby.promote():
             mismatches.append("promotion: explicit promote() lost the CAS")
@@ -1066,4 +1091,249 @@ def run_failover(
         metrics_ok=metrics_ok,
         detail=detail,
         time_to_promote=time_to_promote,
+    )
+
+
+@dataclass
+class MemoryPressureReport:
+    """Outcome of :func:`run_memory_pressure`.
+
+    ``matches`` is the drill verdict: under a fault-injected allocation
+    ceiling the server *degraded* — tightened its hot-tier caps, shed
+    cold-entity revive reads with a structured 429, kept answering
+    hot-entity predictions — instead of dying, and a kill-and-restart
+    reproduced the squeezed state bit-exactly from checkpoint + WAL
+    (pressure and revive events replay at their logged positions).
+    """
+
+    matches: bool
+    detail: dict = field(default_factory=dict)
+    metrics_ok: bool = True
+
+    def summary(self) -> str:
+        lines = [
+            "memory pressure "
+            + ("DEGRADED GRACEFULLY" if self.matches else "FAILED")
+        ]
+        lines.append(
+            f"metrics exposition {'OK' if self.metrics_ok else 'INVALID'}"
+        )
+        for key, value in self.detail.items():
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+
+def run_memory_pressure(
+    records: "list[QoSRecord]",
+    data_dir: str,
+    config: "AMFConfig | None" = None,
+    rng: int = 0,
+    checkpoint_interval: int = 200,
+    hot_users: int = 48,
+    hot_services: int = 48,
+    limit_fraction: float = 0.5,
+    pressure_deadline: float = 30.0,
+    server_kwargs: "dict | None" = None,
+) -> MemoryPressureReport:
+    """Squeeze a tiered server under an allocation ceiling and prove it
+    degrades instead of dying, then recovers bit-exactly.
+
+    The ceiling is fault-injected: a throwaway :class:`TieredAMF` filled to
+    the hot caps measures what a full hot tier costs, and the watchdog
+    limit is set to ``limit_fraction`` of that — guaranteed unreachable, so
+    sustained pressure is certain.  ``min_hot`` is floored at 70% of the
+    caps so one tighten step exhausts the shrink headroom and the server
+    sits in ``critical`` (shedding cold reads) for the rest of the stream.
+
+    The drill then asserts the degradation contract from the outside:
+
+    1. the watchdog escalates to ``critical`` and logs pressure events;
+    2. a prediction for a *spilled* entity is refused with a structured
+       429 + ``Retry-After`` (the revive read is shed);
+    3. a prediction for a *hot* entity still answers from the model —
+       predictions for hot entities are never shed;
+    4. ``/metrics`` stays a valid exposition including every lifecycle
+       family;
+    5. after ``kill()`` (no final checkpoint) a restart reproduces the
+       squeezed state — factors, lifecycle state (tier assignment, caps,
+       counters), pressure level — bit-exactly from checkpoint + WAL.
+    """
+    from repro.datasets.schema import QoSRecord as _QoSRecord
+    from repro.lifecycle import LifecycleConfig, SpillStore, TieredAMF
+    from repro.server.app import PredictionServer
+    from repro.server.client import PredictionClient, RetryableServiceError
+
+    if not records:
+        raise ValueError("memory-pressure drill needs a non-empty stream")
+
+    # Fault injection: measure a full hot tier, then cap below it.
+    probe = TieredAMF(
+        config,
+        rng=rng,
+        lifecycle=LifecycleConfig(
+            hot_users=hot_users, hot_services=hot_services
+        ),
+        spill=SpillStore(":memory:"),
+    )
+    for k in range(max(hot_users, hot_services)):
+        probe.observe(
+            _QoSRecord(
+                timestamp=float(k),
+                user_id=k % hot_users,
+                service_id=k % hot_services,
+                value=1.0,
+            )
+        )
+    full_resident = probe.resident_bytes()
+    limit = max(1, int(full_resident * limit_fraction))
+
+    lifecycle = LifecycleConfig(
+        hot_users=hot_users,
+        hot_services=hot_services,
+        memory_limit_bytes=limit,
+        watchdog_interval=0.02,
+        sustain_polls=2,
+        shrink_factor=0.7,
+        min_hot=max(2, int(hot_users * 0.7)),
+    )
+    server_args = dict(
+        config=config,
+        rng=rng,
+        background_replay=False,
+        checkpoint_interval=checkpoint_interval,
+        lifecycle=lifecycle,
+    )
+    if server_kwargs:
+        server_args.update(server_kwargs)
+
+    mismatches: list[str] = []
+    detail: dict = {
+        "records": len(records),
+        "memory_limit_bytes": limit,
+        "full_tier_resident_bytes": full_resident,
+    }
+
+    server = PredictionServer(data_dir=data_dir, **server_args)
+    server.start()
+    client = PredictionClient(server.address, retries=0)
+    for record in records:
+        client.report_observation(
+            record.user_id, record.service_id, record.value, record.timestamp
+        )
+
+    # 1. Sustained pressure: the watchdog must reach critical, shed, and
+    # tighten the caps all the way to the min_hot floor — after that the
+    # tier assignment is static (further tighten steps are no-ops), so the
+    # hot/spilled entities probed below cannot move underneath the probes.
+    deadline = time.monotonic() + pressure_deadline
+    status = {}
+    sample = records[0]
+    tick = max(record.timestamp for record in records)
+    while time.monotonic() < deadline:
+        status = client.status()["lifecycle"]
+        if (
+            status["pressure_level"] == "critical"
+            and status["shedding_cold_reads"]
+            and status["capacity_users"] <= lifecycle.min_hot
+        ):
+            break
+        # Keep the hot tier warm so resident bytes stay above the ceiling.
+        tick += 1.0
+        client.report_observation(
+            sample.user_id, sample.service_id, sample.value, tick
+        )
+        time.sleep(0.01)
+    detail["lifecycle_status"] = dict(status)
+    if status.get("pressure_level") != "critical":
+        mismatches.append(
+            f"pressure: watchdog never reached critical ({status})"
+        )
+    if not status.get("pressure_events"):
+        mismatches.append("pressure: no pressure events were applied")
+    if status.get("capacity_users", hot_users) >= hot_users:
+        mismatches.append("pressure: hot-user cap was never tightened")
+
+    # 2+3. Shed the cold read, never the hot one.
+    spilled = server.model.with_model(lambda m: sorted(m._spilled_users))
+    hot = server.model.with_model(lambda m: sorted(m._u_slot_of))
+    known_service = server.model.with_model(lambda m: sorted(m._s_slot_of))[0]
+    if not spilled:
+        mismatches.append("tiering: squeeze produced no spilled users")
+    else:
+        try:
+            client.predict(spilled[0], known_service)
+            mismatches.append(
+                "shedding: cold-entity read answered instead of shedding"
+            )
+        except RetryableServiceError as exc:
+            detail["cold_read"] = {
+                "status": exc.status,
+                "retry_after": getattr(exc, "retry_after", None),
+            }
+            if exc.status != 429 or not getattr(exc, "retry_after", None):
+                mismatches.append(
+                    f"shedding: expected 429 + Retry-After, got {exc.status}"
+                )
+    hot_answer = client.predict_detailed(hot[0], known_service)
+    detail["hot_read_source"] = hot_answer["source"]
+    if hot_answer["source"] != "model":
+        mismatches.append(
+            f"hot path: expected a model answer, got {hot_answer['source']!r}"
+        )
+
+    # 4. The exposition stays valid mid-squeeze.
+    metrics_ok, metrics_detail = check_metrics_exposition(client.metrics())
+    detail["metrics"] = metrics_detail
+
+    # Observe a few *spilled* users so revive events land in the WAL after
+    # the last checkpoint — the restart below then replays lifecycle
+    # events, not just observations (unless a checkpoint boundary happens
+    # to fall on the final write, which the recovery detail records).
+    for uid in spilled[:7]:
+        tick += 1.0
+        client.report_observation(uid, known_service, sample.value, tick)
+
+    # 5. Kill (no final checkpoint) and require a bit-exact restart.
+    squeezed = {
+        "user_factors": server.model.user_factors(),
+        "service_factors": server.model.service_factors(),
+        "updates_applied": server.model.updates_applied,
+        "lifecycle": server.model.with_model(lambda m: m.lifecycle_state()),
+    }
+    server.kill()
+    restarted = PredictionServer(data_dir=data_dir, **server_args)
+    detail["recovery"] = dict(restarted.recovery)
+    recovered = {
+        "user_factors": restarted.model.user_factors(),
+        "service_factors": restarted.model.service_factors(),
+        "updates_applied": restarted.model.updates_applied,
+        "lifecycle": restarted.model.with_model(lambda m: m.lifecycle_state()),
+    }
+    for key in ("user_factors", "service_factors"):
+        if not np.array_equal(squeezed[key], recovered[key]):
+            mismatches.append(f"recovery: {key} diverged across restart")
+    if squeezed["updates_applied"] != recovered["updates_applied"]:
+        mismatches.append(
+            "recovery: updates_applied "
+            f"{recovered['updates_applied']} != {squeezed['updates_applied']}"
+        )
+    if squeezed["lifecycle"] != recovered["lifecycle"]:
+        mismatches.append(
+            "recovery: lifecycle state (tier assignment / caps / counters) "
+            "diverged across restart"
+        )
+    restarted.start()
+    survivor = PredictionClient(restarted.address, retries=0)
+    post_restart = survivor.predict_detailed(hot[0], known_service)
+    if post_restart["source"] != "model":
+        mismatches.append("recovery: hot prediction degraded after restart")
+    survivor.close()
+    restarted.stop()
+    client.close()
+
+    detail["mismatches"] = mismatches
+    return MemoryPressureReport(
+        matches=not mismatches,
+        metrics_ok=metrics_ok,
+        detail=detail,
     )

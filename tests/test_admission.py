@@ -249,6 +249,39 @@ class TestClientRetryBehavior:
             assert server.model.updates_applied == 2
             assert server.admission.counts["rate_limited"] >= 1
 
+    def test_retry_after_sleeps_are_jittered(self, monkeypatch):
+        # Every shed client receives the same Retry-After number; if the
+        # backoff honored it verbatim, the whole fleet would wake in the
+        # same instant and re-create the stampede.  The hint must act as
+        # a floor with jitter spread *above* it.
+        client = PredictionClient(
+            ("localhost", 1),
+            retries=8,
+            backoff=0.001,
+            backoff_max=0.002,
+            jitter=0.5,
+        )
+        exc = RetryableServiceError("shedding")
+        exc.status = 429
+        exc.retry_after = 0.5
+
+        def always_shed(*args, **kwargs):
+            raise exc
+
+        sleeps: list = []
+        monkeypatch.setattr(client, "_request_once", always_shed)
+        monkeypatch.setattr(
+            "repro.server.client.time.sleep", sleeps.append
+        )
+        with pytest.raises(RetryableServiceError):
+            client.predict(0, 0)
+        assert len(sleeps) == 8
+        # Floor respected, ceiling bounded by the jitter factor...
+        assert all(0.5 <= s <= 0.5 * 1.5 for s in sleeps)
+        # ...and genuinely spread, not 8 identical wake-ups.
+        assert len({round(s, 6) for s in sleeps}) > 1
+        assert max(sleeps) - min(sleeps) > 0.01
+
     def test_bare_observation_post_is_never_retried(self):
         admission = AdmissionConfig(rate=5.0, burst=1.0)
         with PredictionServer(

@@ -191,6 +191,36 @@ class TestBinaryServer:
             finally:
                 sock.close()
 
+    def test_oversized_frame_gets_413_and_connection_survives(self):
+        # An oversized length prefix with a valid header is a refusable
+        # request, not stream corruption: the server must drain the body,
+        # answer with a framed 413 (the HTTP request-too-large
+        # equivalent), and keep serving on the same connection.
+        with PredictionServer(rng=0, background_replay=False) as server:
+            sock = socket.create_connection(server.binary_address, timeout=10.0)
+            try:
+                oversized = MAX_FRAME_BYTES + 1
+                sock.sendall(
+                    struct.pack("!2sBBI", b"QP", 1, OP_PREDICT_BATCH, oversized)
+                )
+                sent = 0
+                chunk = b"\x00" * (1 << 20)
+                while sent < oversized:
+                    step = min(len(chunk), oversized - sent)
+                    sock.sendall(chunk[:step])
+                    sent += step
+                opcode, body = read_frame(sock)
+                assert opcode == OP_ERROR
+                status, payload = unpack_error(body)
+                assert status == 413
+                assert payload["max_frame_bytes"] == MAX_FRAME_BYTES
+                # Unlike corrupt framing, the connection stays usable.
+                sock.sendall(pack_frame(OP_PING))
+                opcode, __ = read_frame(sock)
+                assert opcode == OP_PING | RESPONSE_FLAG
+            finally:
+                sock.close()
+
     def test_disabled_binary_port(self):
         with PredictionServer(
             rng=0, background_replay=False, binary_port=None

@@ -1,0 +1,352 @@
+"""Bounded-memory entity lifecycle: tiering, spill/revive, pressure.
+
+The tiered model must be *transparent* — same math, same RNG stream,
+same recovery guarantees as the unbounded model — while holding resident
+state to a fixed hot-tier budget.  These tests pin the transparency
+contract at the model level (slot indirection, demotion determinism,
+bit-exact revival, RNG alignment), the durability contract (lifecycle
+state in checkpoints, revive events in the WAL, byte-equal archives
+across kill-and-restart), and the degradation ladder (watchdog levels,
+capacity tightening, cold-read shedding that never touches hot
+predictions).
+"""
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.core.amf import AdaptiveMatrixFactorization
+from repro.datasets.schema import QoSRecord
+from repro.lifecycle import (
+    ColdEntityError,
+    LifecycleConfig,
+    MemoryWatchdog,
+    SpillStore,
+    TieredAMF,
+)
+from repro.server.app import PredictionServer
+from repro.server.client import PredictionClient, RetryableServiceError
+
+
+def stream(n, seed=0, n_users=40, n_services=20):
+    rng = np.random.default_rng(seed)
+    return [
+        QoSRecord(
+            timestamp=float(k),
+            user_id=int(rng.integers(n_users)),
+            service_id=int(rng.integers(n_services)),
+            value=float(rng.uniform(0.05, 5.0)),
+        )
+        for k in range(n)
+    ]
+
+
+def drive(model, records):
+    """Feed records through the reviving observe; returns per-sample errors."""
+    return [model.observe_reviving(record)[1] for record in records]
+
+
+def tiered(seed=0, hot_users=8, hot_services=8, **kwargs):
+    lifecycle = LifecycleConfig(
+        hot_users=hot_users, hot_services=hot_services, **kwargs
+    )
+    return TieredAMF(rng=seed, lifecycle=lifecycle, spill=SpillStore(":memory:"))
+
+
+class TestTieredModel:
+    def test_hot_tier_never_exceeds_capacity(self):
+        model = tiered(hot_users=8, hot_services=6)
+        drive(model, stream(400, n_users=60, n_services=30))
+        assert len(model._u_slot_of) <= 8
+        assert len(model._s_slot_of) <= 6
+        status = model.lifecycle_status()
+        assert status["demoted_users"] > 0
+        assert status["spilled_users"] + status["hot_users"] == 60
+
+    def test_spill_invariant_row_present_iff_spilled(self):
+        model = tiered()
+        drive(model, stream(300, n_users=50))
+        assert set(model._spill.keys("user")) == model._spilled_users
+        assert set(model._spill.keys("service")) == model._spilled_services
+        # Hot and spilled partition the known population.
+        assert not (model._spilled_users & set(model._u_slot_of))
+
+    def test_observe_on_cold_entity_raises(self):
+        model = tiered()
+        drive(model, stream(300, n_users=50))
+        cold = next(iter(model._spilled_users))
+        with pytest.raises(ColdEntityError, match="spilled"):
+            model.observe(QoSRecord(1000.0, cold, 0, 1.0))
+
+    def test_revive_restores_state_bit_exact(self):
+        model = tiered(hot_users=8)
+        records = stream(200, n_users=8, n_services=8)
+        drive(model, records)
+        target = 3
+        row_before = model._user_factors.row(model._u_slot_of[target]).copy()
+        err_before = model.weights.user_error(model._u_slot_of[target])
+        # Push enough fresh users through to force the target out.
+        drive(model, stream(120, seed=7, n_users=200, n_services=8))
+        assert target in model._spilled_users
+        payload = model.revive_payload("user", target)
+        model.apply_revive("user", target, payload)
+        slot = model._u_slot_of[target]
+        assert np.array_equal(model._user_factors.row(slot), row_before)
+        assert model.weights.user_error(slot) == err_before
+        assert target not in model._spilled_users
+        assert model._spill.get("user", target) is None
+
+    def test_demotion_is_deterministic(self):
+        records = stream(500, n_users=80, n_services=40)
+        first, second = tiered(), tiered()
+        errors_a = drive(first, records)
+        errors_b = drive(second, records)
+        assert errors_a == errors_b
+        assert first.lifecycle_state() == second.lifecycle_state()
+        assert sorted(first._spill.keys("user")) == sorted(
+            second._spill.keys("user")
+        )
+
+    def test_rng_alignment_with_uncapped_baseline(self):
+        """Per-sample errors of a capped model match an uncapped one.
+
+        Fresh slot allocation draws exactly one init vector and revival
+        draws zero, so RNG consumption aligns 1:1 with entity
+        first-touches regardless of tiering — the property that makes
+        the bounded-vs-unbounded MAE comparison in
+        ``scripts/bench_lifecycle.py`` an equality, not a tolerance.
+        """
+        records = stream(600, n_users=100, n_services=50)
+        bounded = tiered(hot_users=8, hot_services=8)
+        unbounded = tiered(hot_users=10_000, hot_services=10_000)
+        assert drive(bounded, records) == drive(unbounded, records)
+        assert bounded.lifecycle_status()["demoted_users"] > 0
+        assert unbounded.lifecycle_status()["demoted_users"] == 0
+
+    def test_revive_events_replay_to_identical_state(self):
+        """Applying the logged (kind, id, payload) events on a follower
+        reproduces the leader's state exactly — the standby/recovery path."""
+        records = stream(400, n_users=60, n_services=30)
+        leader, follower = tiered(), tiered()
+        for record in records:
+            events, __ = leader.observe_reviving(record)
+            for kind, ext_id, payload in events:
+                follower.apply_revive(kind, ext_id, payload)
+            follower.observe(record)
+        assert leader.lifecycle_state() == follower.lifecycle_state()
+        for ext, slot in leader._u_slot_of.items():
+            assert np.array_equal(
+                leader._user_factors.row(slot),
+                follower._user_factors.row(follower._u_slot_of[ext]),
+            )
+
+
+class TestPressure:
+    def test_apply_pressure_shrinks_and_demotes(self):
+        model = tiered(hot_users=16, hot_services=16)
+        drive(model, stream(300, n_users=16, n_services=16))
+        before = len(model._u_slot_of)
+        model.apply_pressure(6, 6, "tighten")
+        assert model._hot_users == 6
+        assert len(model._u_slot_of) <= 6
+        assert len(model._u_slot_of) < before
+        assert model.lifecycle_status()["pressure_level"] == "tighten"
+
+    def test_pressure_event_is_replayable(self):
+        records = stream(200, n_users=30, n_services=15)
+        organic, replayed = tiered(hot_users=16, hot_services=16), tiered(
+            hot_users=16, hot_services=16
+        )
+        drive(organic, records)
+        drive(replayed, records)
+        organic.apply_pressure(5, 5, "tighten")
+        replayed.apply_event("pressure", {"hu": 5, "hs": 5, "level": "tighten"})
+        assert organic.lifecycle_state() == replayed.lifecycle_state()
+
+    def test_watchdog_ladder(self):
+        """ok -> tighten (sustained) -> critical+shed -> recovery."""
+        lifecycle = LifecycleConfig(
+            hot_users=16,
+            hot_services=16,
+            memory_limit_bytes=1000,
+            min_hot=4,
+            sustain_polls=2,
+        )
+        usage = {"bytes": 100}
+        caps = {"hot": (16, 16)}
+        tightened = []
+        shed_flags = []
+
+        def on_tighten(hot_users, hot_services, level):
+            caps["hot"] = (hot_users, hot_services)
+            tightened.append((hot_users, hot_services, level))
+
+        dog = MemoryWatchdog(
+            lifecycle,
+            usage=lambda: usage["bytes"],
+            capacities=lambda: caps["hot"],
+            on_tighten=on_tighten,
+            on_shed=shed_flags.append,
+        )
+        assert dog.poll_once() == "ok"
+        usage["bytes"] = 850  # >= 80%: needs sustain_polls before acting
+        assert dog.poll_once() == "ok"
+        assert not tightened
+        assert dog.poll_once() == "tighten"
+        assert tightened[-1] == (11, 11, "tighten")
+        usage["bytes"] = 990  # >= 95%
+        dog.poll_once()
+        assert dog.poll_once() == "critical"
+        assert shed_flags[-1] is True
+        usage["bytes"] = 100
+        assert dog.poll_once() == "ok"
+        assert shed_flags[-1] is False
+        # The floor holds however long pressure persists.
+        usage["bytes"] = 990
+        for __ in range(10):
+            dog.poll_once()
+        assert caps["hot"][0] >= lifecycle.min_hot
+
+    def test_watchdog_requires_limit(self):
+        with pytest.raises(ValueError, match="memory_limit_bytes"):
+            MemoryWatchdog(
+                LifecycleConfig(),
+                usage=lambda: 0,
+                capacities=lambda: (4, 4),
+                on_tighten=lambda *a: None,
+                on_shed=lambda *a: None,
+            )
+
+
+class TestServerLifecycle:
+    def _churn(self, client, n=240, users=12, services=6, start=0):
+        # users > hot_users forces demotion churn; services stays under
+        # hot_services so candidate predictions hit the model, not the
+        # cold-service fallback.
+        for k in range(n):
+            client.report_observation(
+                start + (k % users),
+                k % services,
+                value=0.5 + (k % 9) * 0.4,
+                timestamp=float(k),
+            )
+
+    def test_server_tiers_and_revives_on_read(self):
+        lifecycle = LifecycleConfig(hot_users=8, hot_services=8)
+        with tempfile.TemporaryDirectory() as data_dir:
+            with PredictionServer(
+                rng=0,
+                background_replay=False,
+                data_dir=data_dir,
+                lifecycle=lifecycle,
+            ) as server:
+                client = PredictionClient(server.address)
+                self._churn(client)
+                status = client.status()["lifecycle"]
+                assert status["demoted_users"] > 0
+                assert status["hot_users"] <= 8
+                assert os.path.exists(os.path.join(data_dir, "spill.sqlite"))
+                cold = server.model.with_model(
+                    lambda m: sorted(m._spilled_users)[0]
+                )
+                result = client.predict_candidates_detailed(cold, [0, 1])
+                assert "model" in result["sources"].values()
+                assert server.model.with_model(lambda m: m.knows_user(cold))
+                assert client.status()["lifecycle"]["revived_users"] > 0
+                client.close()
+
+    def test_crash_recovery_bit_exact_with_spilled_entities(self):
+        from repro.simulation.faults import run_crash_recovery
+
+        records = stream(300, seed=2, n_users=60, n_services=30)
+        with tempfile.TemporaryDirectory() as root:
+            data_dir = os.path.join(root, "crash")
+            report = run_crash_recovery(
+                records,
+                crash_after=190,
+                data_dir=data_dir,
+                rng=2,
+                checkpoint_interval=75,
+                server_kwargs={
+                    "lifecycle": LifecycleConfig(hot_users=16, hot_services=16)
+                },
+                baseline_data_dir=os.path.join(root, "baseline"),
+            )
+            assert report.matches, report.summary()
+            digests = report.detail["checkpoint_digests"]
+            assert digests["recovered"] == digests["baseline"]
+            spill = SpillStore(os.path.join(data_dir, "spill.sqlite"))
+            assert spill.count() > 0
+            spill.close()
+
+    def test_memory_pressure_drill(self):
+        """End-to-end degradation: tighten to the floor, shed cold reads
+        with 429 + Retry-After, keep hot predictions answering, recover
+        bit-exact after a kill."""
+        from repro.simulation.faults import run_memory_pressure
+
+        records = stream(240, seed=3, n_users=60, n_services=24)
+        with tempfile.TemporaryDirectory() as data_dir:
+            report = run_memory_pressure(
+                records,
+                data_dir=data_dir,
+                rng=3,
+                checkpoint_interval=80,
+                hot_users=16,
+                hot_services=16,
+            )
+        assert report.matches, report.summary()
+        assert report.metrics_ok
+
+    def test_cold_read_sheds_only_under_critical_pressure(self):
+        lifecycle = LifecycleConfig(hot_users=8, hot_services=8)
+        with tempfile.TemporaryDirectory() as data_dir:
+            with PredictionServer(
+                rng=0,
+                background_replay=False,
+                data_dir=data_dir,
+                lifecycle=lifecycle,
+            ) as server:
+                client = PredictionClient(server.address, retries=0)
+                self._churn(client)
+                cold = server.model.with_model(
+                    lambda m: sorted(m._spilled_users)[0]
+                )
+                server._shed_cold_reads = True
+                with pytest.raises(RetryableServiceError) as exc_info:
+                    client.predict_candidates(cold, [0])
+                assert exc_info.value.status == 429
+                assert exc_info.value.retry_after is not None
+                # Hot-tier predictions keep answering under the same flag.
+                hot = server.model.with_model(
+                    lambda m: sorted(m._u_slot_of)[0]
+                )
+                detail = client.predict_candidates_detailed(hot, [0, 1])
+                assert "model" in detail["sources"].values()
+                server._shed_cold_reads = False
+                assert client.predict_candidates(cold, [0])
+                client.close()
+
+
+class TestStoreOrderDeterminism:
+    def test_drop_user_discards_in_sorted_order(self):
+        """The store's physical row order must be a function of the
+        logical op sequence alone.  ``drop_user`` swap-removes one peer
+        at a time; iterating the peer *set* directly would make the
+        resulting order depend on set internals — which differ between
+        an organically-built index and one rebuilt from a checkpoint —
+        and break byte-equal archives across recovery."""
+        flat = AdaptiveMatrixFactorization(rng=0)
+        for k in range(6):
+            flat.observe(QoSRecord(float(k), 0, k, 1.0))
+        for k in range(3):
+            flat.observe(QoSRecord(10.0 + k, 1, k, 1.0))
+        flat._store.drop_user(0)
+        # Swap-remove pulls the tail into vacated positions in peer-sorted
+        # order; the survivors land deterministically.
+        size = len(flat._store)
+        assert size == 3
+        keys = flat._store._keys[:size]
+        assert keys == [(1, 2), (1, 1), (1, 0)]

@@ -1,12 +1,15 @@
 """Prediction-cache correctness: a stale entry must never be served.
 
-The cache (:class:`repro.core.online.PredictionCache`) carries no
-invalidation hooks — staleness is detected by comparing the per-row version
-stamps the SGD write sites bump.  These tests drive every write site
-(scalar online updates, vectorized replay scatter, parallel-engine
-copy-out, row reinitialisation) plus the two restart-shaped paths
-(checkpoint restore, standby catch-up) and assert the served values always
-match a cache-free recomputation.
+Staleness in the cache (:class:`repro.core.online.PredictionCache`) is
+detected by comparing the per-row version stamps the SGD write sites bump;
+the explicit ``invalidate_user``/``invalidate_service`` hooks exist only
+for hot/cold tiering transitions, where slot recycling makes version
+stamps insufficient.  These tests drive every write site (scalar online
+updates, vectorized replay scatter, parallel-engine copy-out, row
+reinitialisation) plus the two restart-shaped paths (checkpoint restore,
+standby catch-up) and assert the served values always match a cache-free
+recomputation — and that the eviction counter/size gauge stay truthful
+under demote/revive churn.
 """
 
 import numpy as np
@@ -351,3 +354,61 @@ class TestStandbyCatchUp:
         finally:
             standby.stop()
             primary.stop()
+
+
+class TestEvictionMetricsUnderChurn:
+    def test_demote_revive_churn_tracks_counter_and_size_gauge(self):
+        from repro.lifecycle import LifecycleConfig
+        from repro.observability import get_registry
+
+        registry = get_registry()
+        evictions = registry.counter("qos_predict_cache_evictions_total")
+        size_gauge = registry.gauge("qos_predict_cache_size")
+        with PredictionServer(
+            rng=0,
+            background_replay=False,
+            predict_cache_size=256,
+            lifecycle=LifecycleConfig(hot_users=8, hot_services=8),
+        ) as server:
+            client = PredictionClient(server.address, transport="json")
+            # Fill the hot tier exactly, then cache predictions for the
+            # oldest users.
+            for k in range(64):
+                client.report_observation(
+                    k % 8, k // 8, value=1.0 + (k % 5), timestamp=float(k)
+                )
+            for u in range(4):
+                client.predict_candidates(u, list(range(8)))
+            cache = server._predict_cache
+            assert len(cache) > 0
+            assert size_gauge.value == float(len(cache))
+            assert 0 in cache._by_user
+            before = evictions.value
+
+            # Churn: new users overflow the hot tier; demotions must
+            # invalidate the demoted users' cached predictions.
+            for k in range(32):
+                client.report_observation(
+                    100 + k, k % 8, value=2.0, timestamp=float(100 + k)
+                )
+            status = server._lifecycle_status()
+            assert status["demoted_users"] > 0
+            assert 0 not in cache._by_user  # user 0's entries dropped
+            churn_evictions = evictions.value - before
+            assert churn_evictions >= 1
+            assert cache.stats()["evictions"] >= churn_evictions
+            assert size_gauge.value == float(len(cache))
+
+            # Revive-on-read brings user 0 back hot; the revive itself
+            # invalidates (a no-op here — entries are already gone), and
+            # fresh predictions re-enter the cache and the gauge follows.
+            detailed = client.predict_candidates_detailed(0, list(range(8)))
+            assert server.model.with_model(lambda m: m.knows_user(0))
+            assert server._lifecycle_status()["revived_users"] > 0
+            assert any(
+                source == "model" for source in detailed["sources"].values()
+            )
+            client.predict_candidates(0, list(range(8)))
+            assert 0 in cache._by_user
+            assert size_gauge.value == float(len(cache))
+            client.close()

@@ -490,7 +490,11 @@ class TestFailoverDrill:
         )
         assert report.matches, report.summary()
         assert report.metrics_ok, report.detail["metrics"]
-        assert report.time_to_promote >= 0.15
+        # The silence timer is armed from the standby's last successful
+        # fetch, which may precede the kill by up to one poll interval —
+        # allow that much undercount; the floor still proves the standby
+        # waited out auto_promote_after instead of promoting instantly.
+        assert report.time_to_promote >= 0.15 - 0.02
         assert report.detail["promoted_epoch"] == 2
         assert report.detail["fence_probe"]["code"] == "stale_epoch"
         digests = report.detail["checkpoint_digests"]
