@@ -39,6 +39,13 @@ ceiling; its watchdog must tighten the hot-tier caps, shed cold-entity
 revive reads with 429 + ``Retry-After`` while hot-entity predictions keep
 answering, and a ``kill -9`` restart must reproduce the squeezed state
 (tier assignment, caps, factors) bit-exactly from checkpoint + WAL.
+``--shard-kill`` runs the sharded-fleet drill instead: N durable shards
+behind the cluster router; one shard is killed mid-stream and the blast
+radius must stay bounded — surviving shards keep serving with their
+per-sample error streams (windowed MAE) untouched, victim-owned traffic
+fails with a structured 503 ``shard_unavailable``, and the restarted
+shard must recover bit-exact from its own WAL (checkpoint digest equality
+against a never-faulted baseline).
 """
 
 from __future__ import annotations
@@ -263,6 +270,26 @@ def run_memory_pressure_drill(
     return 0 if (report.matches and report.metrics_ok) else 1
 
 
+def run_shard_kill_drill(
+    seed: int, records: int, n_shards: int, checkpoint_interval: int
+) -> int:
+    """The sharded-fleet blast-radius drill.  Returns a process exit code."""
+    from repro.simulation.faults import run_shard_kill
+
+    # Enough distinct users that every shard owns a live substream.
+    stream = make_stream(records, seed, n_users=60, n_services=24)
+    with tempfile.TemporaryDirectory(prefix="qos-shard-kill-") as root:
+        report = run_shard_kill(
+            stream,
+            data_root=root,
+            n_shards=n_shards,
+            rng=seed,
+            checkpoint_interval=checkpoint_interval,
+        )
+    print(report.summary())
+    return 0 if (report.matches and report.metrics_ok) else 1
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--records", type=int, default=300,
@@ -284,6 +311,12 @@ def main() -> int:
                         help="run the bounded-memory lifecycle drill "
                              "(allocation ceiling -> degrade, never die) "
                              "instead of the crash/recovery drill")
+    parser.add_argument("--shard-kill", action="store_true",
+                        help="run the sharded-fleet blast-radius drill "
+                             "(kill one shard behind the router) instead "
+                             "of the crash/recovery drill")
+    parser.add_argument("--shards", type=int, default=3,
+                        help="fleet size for --shard-kill (default 3)")
     parser.add_argument("--bench-out", default=None,
                         help="JSON history file to append failover timing "
                              "figures to (e.g. BENCH_robustness.json)")
@@ -291,6 +324,10 @@ def main() -> int:
 
     if args.poison_flood:
         return run_poison_flood(args.seed, args.records)
+    if args.shard_kill:
+        return run_shard_kill_drill(
+            args.seed, args.records, args.shards, args.checkpoint_interval
+        )
     if args.memory_pressure:
         return run_memory_pressure_drill(
             args.seed, args.records, args.checkpoint_interval

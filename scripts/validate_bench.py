@@ -32,6 +32,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SCRIPTS_DIR = Path(__file__).resolve().parent
 sys.path.insert(0, str(SCRIPTS_DIR))
 
+import bench_cluster  # noqa: E402
 import bench_lifecycle  # noqa: E402
 import bench_serving  # noqa: E402
 
@@ -126,6 +127,7 @@ def validate_robustness_record(record: dict) -> list[str]:
 
 
 SUITES = {
+    "cluster": (REPO_ROOT / "BENCH_cluster.json", bench_cluster.validate_record),
     "replay": (REPO_ROOT / "BENCH_replay.json", validate_replay_record),
     "robustness": (
         REPO_ROOT / "BENCH_robustness.json",

@@ -1,0 +1,180 @@
+"""Client for a sharded fleet, speaking to the cluster router.
+
+A thin wrapper over :class:`~repro.server.client.PredictionClient` bound
+to the router's address — the router's structured error bodies (including
+``shard_unavailable`` 503s and passed-through fencing 409s) carry HTTP
+statuses, so the inherited breaker/retry machinery treats a dead *shard*
+as a server answer, never as a router transport failure.
+
+The client also caches the fleet's placement table
+(``GET /cluster/placement``) so callers can learn ownership — e.g. to
+partition a load generator by home shard, or to talk to a shard directly
+during a drain.  The cache refreshes on demand and whenever a response's
+``placement_version`` is newer than the cached table.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cluster.placement import PlacementTable
+from repro.server.client import PredictionClient
+
+
+class ClusterClient:
+    """Fleet client bound to one cluster-router address.
+
+    Keyword arguments are forwarded to the underlying
+    :class:`PredictionClient` (timeouts, retries, breaker tuning...).
+    """
+
+    def __init__(self, router_address: tuple, **client_kwargs) -> None:
+        client_kwargs.setdefault("transport", "json")
+        self._router = PredictionClient(router_address, **client_kwargs)
+        self._lock = threading.Lock()
+        self._placement: "PlacementTable | None" = None
+
+    # -- placement ------------------------------------------------------------
+    def placement(self, refresh: bool = False) -> PlacementTable:
+        """The fleet's placement table (cached until a newer version is
+        seen in a response, or ``refresh=True``)."""
+        with self._lock:
+            cached = self._placement
+        if cached is not None and not refresh:
+            return cached
+        table = PlacementTable.from_dict(
+            self._router._request("GET", "/cluster/placement")
+        )
+        with self._lock:
+            if self._placement is None or table.version >= self._placement.version:
+                self._placement = table
+            return self._placement
+
+    def _note_version(self, version) -> None:
+        if not isinstance(version, int):
+            return
+        with self._lock:
+            stale = self._placement is not None and version > self._placement.version
+        if stale:
+            self.placement(refresh=True)
+
+    def owner_of(self, kind: str, ext_id: int):
+        """Home shard of a key under the cached placement."""
+        return self.placement().owner_of(kind, ext_id)
+
+    def update_placement(self, table: PlacementTable) -> dict:
+        """Install a new table on the router (drain / rebalance); the
+        version must be strictly newer or the router answers 409."""
+        body = self._router._request(
+            "POST", "/cluster/placement", table.to_dict(), idempotent=False
+        )
+        with self._lock:
+            self._placement = PlacementTable.from_dict(body)
+        return body
+
+    # -- data plane -----------------------------------------------------------
+    def report_observation(
+        self,
+        user_id: int,
+        service_id: int,
+        value: float,
+        timestamp: float,
+        idempotency_key: "str | None" = None,
+        deadline: "float | None" = None,
+    ) -> float:
+        return self._router.report_observation(
+            user_id,
+            service_id,
+            value,
+            timestamp,
+            idempotency_key=idempotency_key,
+            deadline=deadline,
+        )
+
+    def report_observations_detailed(self, observations: "list[dict]") -> dict:
+        body = self._router.report_observations_detailed(observations)
+        self._note_version(body.get("placement_version"))
+        return body
+
+    def predict(self, user_id: int, service_id: int) -> float:
+        return self._router.predict(user_id, service_id)
+
+    def predict_candidates(self, user_id, service_ids) -> dict:
+        return self.predict_candidates_detailed(user_id, service_ids)[
+            "predictions"
+        ]
+
+    def predict_candidates_detailed(self, user_id, service_ids) -> dict:
+        """Batch predictions plus merged per-service credence from each
+        service's home shard (``credence`` map; ``credence_partial``
+        lists home shards that could not be reached)."""
+        unique_ids = list(dict.fromkeys(int(s) for s in service_ids))
+        body = self._router._request(
+            "POST",
+            "/predictions/batch",
+            {"user_id": int(user_id), "service_ids": unique_ids},
+            idempotent=True,
+        )
+        self._note_version(body.get("placement_version"))
+        return {
+            "user_id": int(user_id),
+            "predictions": {
+                int(k): float(v) for k, v in body["predictions"].items()
+            },
+            "sources": {int(k): v for k, v in body.get("sources", {}).items()},
+            "credence": {
+                int(k): float(v) for k, v in body.get("credence", {}).items()
+            },
+            "credence_partial": body.get("credence_partial", []),
+            "shard": body.get("shard"),
+            "placement_version": body.get("placement_version"),
+        }
+
+    def rank_candidates(
+        self,
+        user_id: int,
+        service_ids,
+        k: "int | None" = None,
+        prefer: str = "min",
+    ) -> dict:
+        """Router-merged ranked candidates (see ``POST /rank/candidates``)."""
+        payload = {
+            "user_id": int(user_id),
+            "service_ids": [int(s) for s in service_ids],
+            "prefer": prefer,
+        }
+        if k is not None:
+            payload["k"] = int(k)
+        body = self._router._request(
+            "POST", "/rank/candidates", payload, idempotent=True
+        )
+        self._note_version(body.get("placement_version"))
+        return body
+
+    def credence(self, service_ids) -> dict[int, float]:
+        body = self._router._request(
+            "GET",
+            "/credence?service_ids="
+            + ",".join(str(int(s)) for s in dict.fromkeys(service_ids)),
+        )
+        self._note_version(body.get("placement_version"))
+        return {int(k): float(v) for k, v in body["credence"].items()}
+
+    # -- fleet views ----------------------------------------------------------
+    def health(self) -> dict:
+        return self._router.health()
+
+    def status(self) -> dict:
+        return self._router.status()
+
+    def metrics(self) -> str:
+        return self._router.metrics()
+
+    def close(self) -> None:
+        self._router.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

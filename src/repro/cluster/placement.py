@@ -1,0 +1,181 @@
+"""Rendezvous-hash placement of entities onto shards.
+
+Rendezvous (highest-random-weight) hashing gives every ``(kind, id)`` key
+an independent pseudo-random score against every shard; the key lives on
+the shard with the highest score.  Two properties make it the right tool
+for a stateful fleet:
+
+* **Minimal disruption.**  Adding or removing one shard moves only the
+  keys whose top score involved that shard — an expected ``1/N`` of the
+  keyspace — because every other key's ranking among the survivors is
+  unchanged.  (A naive ``hash(key) % N`` reshuffles almost everything.)
+* **No coordination.**  Ownership is a pure function of the key and the
+  shard list, so routers and clients compute it locally from a small
+  version-stamped table instead of asking a directory service.
+
+Users are placed for the data plane (their observations and predictions
+go to their home shard); services are *additionally* given a home shard
+that owns the authoritative per-service credence (EMA error) the router
+merges into ranked candidates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+
+_KINDS = ("user", "service")
+
+
+def rendezvous_score(kind: str, ext_id: int, shard_name: str) -> int:
+    """Deterministic 64-bit score of one key against one shard.
+
+    Stable across processes and Python versions (``hashlib``, not
+    ``hash()``, which is salted per process).
+    """
+    key = f"{kind}:{int(ext_id)}|{shard_name}".encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's identity and how to reach it.
+
+    ``addresses`` lists the shard's replica endpoints in preference order
+    (a shard may itself be an HA pair from :mod:`repro.server.replication`
+    — the router's per-shard client fails over inside the shard exactly
+    like a direct client would).  ``draining`` removes the shard from
+    placement without removing it from the table: no *new* ownership,
+    but the router can still reach it to drain reads during a rebalance.
+    """
+
+    name: str
+    addresses: tuple = field(default_factory=tuple)
+    draining: bool = False
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("shard name must be non-empty")
+        object.__setattr__(
+            self,
+            "addresses",
+            tuple((str(host), int(port)) for host, port in self.addresses),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "addresses": [list(addr) for addr in self.addresses],
+            "draining": self.draining,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardSpec":
+        return cls(
+            name=str(data["name"]),
+            addresses=tuple(
+                (str(host), int(port)) for host, port in data.get("addresses", [])
+            ),
+            draining=bool(data.get("draining", False)),
+        )
+
+
+class PlacementTable:
+    """Version-stamped shard list with pure-function ownership lookup.
+
+    The version is the fleet's coordination primitive: the router serves
+    its current table at ``GET /cluster/placement`` and accepts a
+    replacement at ``POST /cluster/placement`` only when the incoming
+    version is *strictly greater* — so a lagging operator script can
+    never roll the fleet back, and clients can cheaply detect staleness
+    by comparing versions.
+    """
+
+    def __init__(self, shards, version: int = 1) -> None:
+        shards = list(shards)
+        if not shards:
+            raise ValueError("placement table needs at least one shard")
+        names = [shard.name for shard in shards]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard names in {names}")
+        if version < 1:
+            raise ValueError(f"version must be >= 1, got {version}")
+        self.version = int(version)
+        self.shards = sorted(shards, key=lambda shard: shard.name)
+        self._by_name = {shard.name: shard for shard in self.shards}
+        self._active = [shard for shard in self.shards if not shard.draining]
+        if not self._active:
+            raise ValueError("placement table needs at least one active shard")
+
+    # -- lookup ---------------------------------------------------------------
+    def owner_of(self, kind: str, ext_id: int) -> ShardSpec:
+        """The single shard owning ``(kind, ext_id)`` at this version.
+
+        Draining shards never own keys; ties (astronomically unlikely
+        with 64-bit scores) break lexicographically on shard name so
+        every participant agrees.
+        """
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        return max(
+            self._active,
+            key=lambda shard: (rendezvous_score(kind, ext_id, shard.name), shard.name),
+        )
+
+    def shard(self, name: str) -> ShardSpec:
+        return self._by_name[name]
+
+    @property
+    def names(self) -> list[str]:
+        return [shard.name for shard in self.shards]
+
+    @property
+    def active(self) -> list[ShardSpec]:
+        return list(self._active)
+
+    # -- evolution (each returns a NEW table with version + 1) ----------------
+    def with_shard(self, spec: ShardSpec) -> "PlacementTable":
+        """Add a shard (scale-out rebalance step)."""
+        if spec.name in self._by_name:
+            raise ValueError(f"shard {spec.name!r} already present")
+        return PlacementTable(self.shards + [spec], version=self.version + 1)
+
+    def without_shard(self, name: str) -> "PlacementTable":
+        """Remove a shard entirely (after its keys have moved)."""
+        if name not in self._by_name:
+            raise KeyError(name)
+        return PlacementTable(
+            [shard for shard in self.shards if shard.name != name],
+            version=self.version + 1,
+        )
+
+    def draining_shard(self, name: str, draining: bool = True) -> "PlacementTable":
+        """Mark a shard draining (or undo it) — ownership moves off it
+        immediately, reachability is kept."""
+        if name not in self._by_name:
+            raise KeyError(name)
+        return PlacementTable(
+            [
+                replace(shard, draining=draining)
+                if shard.name == name
+                else shard
+                for shard in self.shards
+            ],
+            version=self.version + 1,
+        )
+
+    # -- wire format ----------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "shards": [shard.to_dict() for shard in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlacementTable":
+        try:
+            version = int(data["version"])
+            shards = [ShardSpec.from_dict(entry) for entry in data["shards"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed placement table: {exc}") from exc
+        return cls(shards, version=version)

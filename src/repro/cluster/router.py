@@ -1,0 +1,677 @@
+"""The cluster router: one HTTP front door for a sharded fleet.
+
+Data plane: observations and predictions are routed to the owning shard
+(rendezvous placement over the version-stamped :class:`PlacementTable`)
+through ordinary :class:`~repro.server.client.PredictionClient` instances
+— one per shard, carrying the shard's full replica set, so fenced 409
+replies from a shard's standby redirect *inside* the shard client exactly
+as they do for a direct caller, without tripping any breaker.
+
+Control plane: ``GET /cluster/placement`` serves the current table so
+clients can learn ownership and talk to shards directly; ``POST`` with a
+strictly greater version installs a new table (drain, add, remove),
+atomically swapping the routing state.
+
+Fleet views: ``/metrics`` scrapes every shard and re-renders one
+exposition with a ``shard`` label on every sample; ``/health`` rolls the
+per-shard reports into ok / degraded / unavailable.
+
+Error containment: a shard that cannot be reached surfaces as a
+structured ``503 {"code": "shard_unavailable", "shard": ...}`` — a
+*response*, not a transport failure, so callers' circuit breakers never
+indict the router for a dead shard (the blast radius stays on the keys
+the dead shard owns).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.cluster.placement import PlacementTable
+from repro.observability import get_registry, parse_prometheus_text
+from repro.server.client import (
+    PredictionClient,
+    PredictionServiceError,
+)
+
+_METRICS = get_registry()
+_ROUTER_REQUESTS = _METRICS.counter(
+    "qos_router_requests_total",
+    "requests handled by the cluster router",
+    labelnames=("route",),
+)
+_ROUTER_SHARD_ERRORS = _METRICS.counter(
+    "qos_router_shard_errors_total",
+    "shard requests that failed at the transport level",
+    labelnames=("shard",),
+)
+_PLACEMENT_VERSION = _METRICS.gauge(
+    "qos_cluster_placement_version", "current placement table version"
+)
+
+
+class _BadRequest(ValueError):
+    pass
+
+
+class _ShardUnavailable(RuntimeError):
+    def __init__(self, shard: str, cause: Exception) -> None:
+        super().__init__(f"shard {shard!r} unavailable: {cause}")
+        self.shard = shard
+
+
+class ClusterRouter:
+    """Routes a fleet of prediction-server shards behind one address.
+
+    Args:
+        placement:    initial :class:`PlacementTable`.
+        host, port:   bind address (port 0 picks an ephemeral port).
+        timeout:      per-attempt timeout of each shard client.
+        shard_retries: idempotent-retry budget of each shard client
+                      (writes are never retried without a key, same
+                      contract as a direct client).
+        client_kwargs: extra :class:`PredictionClient` keyword arguments
+                      applied to every shard client (breaker tuning,
+                      transport selection, ...).
+    """
+
+    def __init__(
+        self,
+        placement: PlacementTable,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 5.0,
+        shard_retries: int = 0,
+        max_body_bytes: int = 1 << 20,
+        client_kwargs: "dict | None" = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self.timeout = timeout
+        self.shard_retries = shard_retries
+        self.max_body_bytes = max_body_bytes
+        self._client_kwargs = dict(client_kwargs or {})
+        self._client_kwargs.setdefault("transport", "json")
+        self._lock = threading.Lock()  # placement + client-map swaps
+        self._clients: dict[str, PredictionClient] = {}
+        self._placement: "PlacementTable | None" = None
+        self._install(placement)
+        self._httpd = None
+        self._thread = None
+
+    # -- placement ------------------------------------------------------------
+    @property
+    def placement(self) -> PlacementTable:
+        with self._lock:
+            return self._placement
+
+    def _install(self, table: PlacementTable) -> None:
+        clients = {}
+        with self._lock:
+            old_clients = dict(self._clients)
+            for shard in table.shards:
+                if not shard.addresses:
+                    raise ValueError(
+                        f"shard {shard.name!r} has no addresses to route to"
+                    )
+                existing = old_clients.get(shard.name)
+                if (
+                    existing is not None
+                    and tuple(existing.endpoints)
+                    == tuple(
+                        f"http://{h}:{p}" for h, p in shard.addresses
+                    )
+                ):
+                    # Same endpoints: keep the client and its learned
+                    # primary/breaker state across the version bump.
+                    clients[shard.name] = existing
+                else:
+                    clients[shard.name] = PredictionClient(
+                        list(shard.addresses),
+                        timeout=self.timeout,
+                        retries=self.shard_retries,
+                        **self._client_kwargs,
+                    )
+            dropped = set(old_clients) - set(clients)
+            self._placement = table
+            self._clients = clients
+            _PLACEMENT_VERSION.set(table.version)
+        for name in dropped:
+            old_clients[name].close()
+
+    def update_placement(self, table: PlacementTable) -> None:
+        """Install a new table; the version must strictly increase."""
+        if table.version <= self._placement.version:
+            raise _BadRequest(
+                f"placement version {table.version} is not newer than "
+                f"{self._placement.version}"
+            )
+        self._install(table)
+
+    def _route(self, kind: str, ext_id: int):
+        with self._lock:
+            shard = self._placement.owner_of(kind, ext_id)
+            return shard, self._clients[shard.name]
+
+    def shard_client(self, name: str) -> PredictionClient:
+        """The router's client for one shard (drain reads, tests)."""
+        with self._lock:
+            return self._clients[name]
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._httpd is None:
+            raise RuntimeError("router is not running")
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    def start(self) -> None:
+        if self._httpd is not None:
+            return
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._port), self._make_handler()
+        )
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="qos-cluster-router", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        with self._lock:
+            clients = list(self._clients.values())
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "ClusterRouter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- shard call boundary --------------------------------------------------
+    @staticmethod
+    def _call(shard, fn):
+        """Run one shard request, converting transport-level failures
+        (no HTTP status: refused / reset / timed out) into
+        :class:`_ShardUnavailable`.  Shard *answers* — including fenced
+        409s that the shard client could not redirect away — pass
+        through unchanged so the caller sees exactly what a direct
+        client would."""
+        try:
+            return fn()
+        except PredictionServiceError as exc:
+            if getattr(exc, "status", None) is None:
+                _ROUTER_SHARD_ERRORS.labels(shard=shard.name).inc()
+                raise _ShardUnavailable(shard.name, exc) from exc
+            raise
+
+    # -- data plane -----------------------------------------------------------
+    def _handle_observation(self, payload: dict) -> dict:
+        user_id = payload.get("user_id")
+        if not isinstance(user_id, int) or user_id < 0:
+            raise _BadRequest("field 'user_id' must be a non-negative integer")
+        shard, client = self._route("user", user_id)
+        body = self._call(
+            shard,
+            lambda: client._request("POST", "/observations", payload, write=True),
+        )
+        body["shard"] = shard.name
+        return body
+
+    def _handle_observation_batch(self, payload: dict) -> dict:
+        observations = payload.get("observations")
+        if not isinstance(observations, list):
+            raise _BadRequest("field 'observations' must be a list")
+        # Split by owner, preserving each record's original index so the
+        # merged reply reads exactly like a single shard's.
+        groups: dict[str, list[tuple[int, dict]]] = {}
+        bad: list[tuple[int, str]] = []
+        for index, record in enumerate(observations):
+            user_id = record.get("user_id") if isinstance(record, dict) else None
+            if not isinstance(user_id, int) or user_id < 0:
+                bad.append((index, "record must carry a non-negative user_id"))
+                continue
+            shard, _ = self._route("user", user_id)
+            groups.setdefault(shard.name, []).append((index, record))
+        accepted = 0
+        rejected = [{"index": i, "error": err} for i, err in bad]
+        # Per-record order is preserved within a shard; across shards the
+        # errors are grouped by (sorted) shard name — a shard also omits
+        # entries for deduplicated/quarantined records, so a global
+        # index-aligned list is not reconstructible here.
+        sample_errors: list[float] = []
+        shards_used = []
+        for name, members in sorted(groups.items()):
+            shard, client = self._placement.shard(name), self._clients[name]
+            sub = [record for _, record in members]
+            try:
+                body = self._call(
+                    shard,
+                    lambda c=client, s=sub: c._request(
+                        "POST", "/observations/batch", {"observations": s},
+                        write=True,
+                    ),
+                )
+            except _ShardUnavailable as exc:
+                rejected.extend(
+                    {
+                        "index": index,
+                        "error": str(exc),
+                        "code": "shard_unavailable",
+                        "shard": name,
+                    }
+                    for index, _ in members
+                )
+                continue
+            shards_used.append(name)
+            accepted += int(body.get("accepted", 0))
+            for item in body.get("rejected", []):
+                rejected.append(
+                    {**item, "index": members[item["index"]][0], "shard": name}
+                )
+            errors = body.get("sample_errors")
+            if isinstance(errors, list):
+                sample_errors.extend(errors)
+        rejected.sort(key=lambda item: item["index"])
+        return {
+            "accepted": accepted,
+            "rejected": rejected,
+            "sample_errors": sample_errors,
+            "shards": shards_used,
+            "placement_version": self.placement.version,
+        }
+
+    def _handle_prediction(self, query: dict) -> dict:
+        try:
+            user_id = int(query["user_id"][0])
+            service_id = int(query["service_id"][0])
+        except (KeyError, ValueError, IndexError) as exc:
+            raise _BadRequest(
+                "query must include integer user_id and service_id"
+            ) from exc
+        shard, client = self._route("user", user_id)
+        body = self._call(
+            shard, lambda: client.predict_detailed(user_id, service_id)
+        )
+        body["shard"] = shard.name
+        return body
+
+    def _credence_for(self, service_ids: list[int]) -> tuple[dict, list[str]]:
+        """Authoritative credence per service from its home shard.
+
+        Returns ``(credence, unreachable_shards)`` — a dead home shard
+        degrades the rank response (those services miss their credence)
+        instead of failing it; the prediction itself came from the live
+        user shard.
+        """
+        homes: dict[str, list[int]] = {}
+        for service_id in service_ids:
+            shard, _ = self._route("service", service_id)
+            homes.setdefault(shard.name, []).append(service_id)
+        credence: dict[str, float] = {}
+        unreachable: list[str] = []
+        for name, ids in sorted(homes.items()):
+            shard, client = self._placement.shard(name), self._clients[name]
+            try:
+                values = self._call(shard, lambda c=client, i=ids: c.credence(i))
+            except _ShardUnavailable:
+                unreachable.append(name)
+                continue
+            credence.update({str(sid): value for sid, value in values.items()})
+        return credence, unreachable
+
+    def _handle_prediction_batch(self, payload: dict) -> dict:
+        user_id = payload.get("user_id")
+        if not isinstance(user_id, int) or user_id < 0:
+            raise _BadRequest("field 'user_id' must be a non-negative integer")
+        raw_ids = payload.get("service_ids")
+        if not isinstance(raw_ids, list) or not raw_ids:
+            raise _BadRequest("field 'service_ids' must be a non-empty list")
+        try:
+            service_ids = [int(raw) for raw in raw_ids]
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest("service_ids must be integers") from exc
+        shard, client = self._route("user", user_id)
+        body = self._call(
+            shard,
+            lambda: client._request(
+                "POST",
+                "/predictions/batch",
+                {"user_id": user_id, "service_ids": service_ids},
+                idempotent=True,
+            ),
+        )
+        credence, unreachable = self._credence_for(
+            list(dict.fromkeys(service_ids))
+        )
+        body["shard"] = shard.name
+        body["credence"] = credence
+        if unreachable:
+            body["credence_partial"] = unreachable
+        body["placement_version"] = self.placement.version
+        return body
+
+    def _handle_rank(self, payload: dict) -> dict:
+        """Merged ranked candidates: predictions from the user's shard,
+        credence from each service's home shard, ranked here."""
+        body = self._handle_prediction_batch(payload)
+        prefer = payload.get("prefer", "min")
+        if prefer not in ("min", "max"):
+            raise _BadRequest("field 'prefer' must be 'min' or 'max'")
+        k = payload.get("k")
+        if k is not None and (not isinstance(k, int) or k < 1):
+            raise _BadRequest("field 'k' must be a positive integer")
+        entries = [
+            {
+                "service_id": int(service_id),
+                "prediction": value,
+                "source": body.get("sources", {}).get(service_id),
+                "credence": body["credence"].get(service_id),
+            }
+            for service_id, value in body["predictions"].items()
+        ]
+        entries.sort(
+            key=lambda e: (e["prediction"], e["service_id"]),
+            reverse=(prefer == "max"),
+        )
+        if k is not None:
+            entries = entries[:k]
+        return {
+            "user_id": body["user_id"],
+            "ranked": entries,
+            "shard": body["shard"],
+            "credence_partial": body.get("credence_partial", []),
+            "placement_version": body["placement_version"],
+        }
+
+    def _handle_credence(self, query: dict) -> dict:
+        try:
+            raw = query["service_ids"][0]
+            service_ids = [int(part) for part in raw.split(",") if part != ""]
+        except (KeyError, IndexError, ValueError) as exc:
+            raise _BadRequest(
+                "query must include service_ids as comma-separated integers"
+            ) from exc
+        if not service_ids:
+            raise _BadRequest("service_ids must be non-empty")
+        credence, unreachable = self._credence_for(
+            list(dict.fromkeys(service_ids))
+        )
+        body = {"credence": credence, "placement_version": self.placement.version}
+        if unreachable:
+            body["credence_partial"] = unreachable
+        return body
+
+    # -- fleet views ----------------------------------------------------------
+    def _fanout(self, fn) -> dict:
+        """Run ``fn(shard, client)`` against every shard; unreachable
+        shards are reported, not raised."""
+        with self._lock:
+            pairs = [
+                (shard, self._clients[shard.name])
+                for shard in self._placement.shards
+            ]
+        results: dict[str, object] = {}
+        for shard, client in pairs:
+            try:
+                results[shard.name] = self._call(
+                    shard, lambda s=shard, c=client: fn(s, c)
+                )
+            except _ShardUnavailable as exc:
+                results[shard.name] = exc
+            except PredictionServiceError as exc:
+                results[shard.name] = exc
+        return results
+
+    def _handle_health(self) -> tuple[int, dict]:
+        results = self._fanout(
+            lambda shard, client: client.health()
+        )
+        shards = {}
+        ready = 0
+        for name, result in sorted(results.items()):
+            if isinstance(result, Exception):
+                shards[name] = {"status": "unreachable", "error": str(result)}
+            else:
+                shards[name] = result
+                if result.get("status") == "ok":
+                    ready += 1
+        total = len(shards)
+        if ready == total:
+            status, code = "ok", 200
+        elif ready > 0:
+            status, code = "degraded", 200
+        else:
+            status, code = "unavailable", 503
+        return code, {
+            "status": status,
+            "shards_ready": ready,
+            "shards_total": total,
+            "placement_version": self.placement.version,
+            "shards": shards,
+        }
+
+    def _handle_status(self) -> dict:
+        results = self._fanout(lambda shard, client: client.status())
+        shards = {}
+        for name, result in sorted(results.items()):
+            if isinstance(result, Exception):
+                shards[name] = {"reachable": False, "error": str(result)}
+            else:
+                result["reachable"] = True
+                shards[name] = result
+        return {
+            "placement": self.placement.to_dict(),
+            "shards": shards,
+        }
+
+    def _handle_metrics(self) -> str:
+        """One fleet-wide Prometheus exposition.
+
+        Every shard's exposition is strictly parsed and re-rendered with
+        a ``shard`` label injected into each sample, so per-shard series
+        stay distinguishable while the family set (TYPE declarations)
+        merges cleanly.  The router's own families ride along unlabeled.
+        """
+        results = self._fanout(lambda shard, client: client.metrics())
+        families: dict[str, dict] = {}
+        for name in sorted(results):
+            result = results[name]
+            if isinstance(result, Exception):
+                continue  # dead shard: its series go stale, scrape survives
+            for family_name, family in parse_prometheus_text(result).items():
+                merged = families.setdefault(
+                    family_name, {"type": family["type"], "samples": {}}
+                )
+                for (sample_name, labels), value in family["samples"].items():
+                    labeled = tuple(sorted(labels + (("shard", name),)))
+                    merged["samples"][(sample_name, labeled)] = value
+        lines = []
+        for family_name in sorted(families):
+            family = families[family_name]
+            lines.append(f"# TYPE {family_name} {family['type']}")
+            for (sample_name, labels), value in sorted(
+                family["samples"].items()
+            ):
+                if labels:
+                    rendered = ",".join(
+                        f'{label}="{text}"' for label, text in labels
+                    )
+                    lines.append(f"{sample_name}{{{rendered}}} {value}")
+                else:
+                    lines.append(f"{sample_name} {value}")
+        return "\n".join(lines) + "\n"
+
+    # -- HTTP plumbing --------------------------------------------------------
+    def _make_handler(self):
+        router = self
+
+        class Handler(BaseHTTPRequestHandler):
+            timeout = 30.0
+
+            def log_message(self, format, *args):  # noqa: A002 (stdlib API)
+                pass
+
+            def _send(self, status, body, content_type="application/json"):
+                data = (
+                    body.encode("utf-8")
+                    if isinstance(body, str)
+                    else json.dumps(body).encode()
+                )
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def _read_json(self) -> dict:
+                try:
+                    length = int(self.headers.get("Content-Length", 0))
+                except ValueError as exc:
+                    raise _BadRequest("invalid Content-Length header") from exc
+                if length > router.max_body_bytes:
+                    raise _BadRequest(
+                        f"body of {length} bytes exceeds limit of "
+                        f"{router.max_body_bytes}"
+                    )
+                raw = self.rfile.read(length) if length else b"{}"
+                try:
+                    payload = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    raise _BadRequest(f"invalid JSON body: {exc}") from exc
+                if not isinstance(payload, dict):
+                    raise _BadRequest("JSON body must be an object")
+                return payload
+
+            def _dispatch(self, route_name, route):
+                _ROUTER_REQUESTS.labels(route=route_name).inc()
+                try:
+                    try:
+                        status, body = route()
+                        self._send(status, body)
+                    except _BadRequest as exc:
+                        self._send(400, {"error": str(exc)})
+                    except _ShardUnavailable as exc:
+                        # A structured answer, not a transport failure:
+                        # the router is healthy, one shard is not.  The
+                        # Retry-After invites the caller back after the
+                        # shard's supervisor has had a chance to act.
+                        self._send(
+                            503,
+                            {
+                                "error": str(exc),
+                                "code": "shard_unavailable",
+                                "shard": exc.shard,
+                                "retry_after": 1.0,
+                            },
+                        )
+                    except PredictionServiceError as exc:
+                        # A shard *answered* with an error the shard
+                        # client could not absorb (fenced 409 on a
+                        # single-endpoint shard, 4xx validation, shed
+                        # 429/503...): pass it through verbatim.
+                        status = getattr(exc, "status", None) or 502
+                        body = getattr(exc, "body", None)
+                        if not isinstance(body, dict):
+                            body = {"error": str(exc)}
+                        self._send(status, body)
+                    except Exception as exc:  # noqa: BLE001 — error boundary
+                        self._send(
+                            500,
+                            {
+                                "error": "internal error: "
+                                f"{type(exc).__name__}: {exc}"
+                            },
+                        )
+                except OSError:
+                    pass  # client hung up; nothing left to tell it
+
+            def do_GET(self):
+                parsed = urlparse(self.path)
+                if parsed.path == "/metrics":
+                    _ROUTER_REQUESTS.labels(route="metrics").inc()
+                    try:
+                        try:
+                            text = router._handle_metrics()
+                        except Exception as exc:  # noqa: BLE001
+                            self._send(
+                                500,
+                                {
+                                    "error": "internal error: "
+                                    f"{type(exc).__name__}: {exc}"
+                                },
+                            )
+                            return
+                        self._send(
+                            200,
+                            text,
+                            content_type=(
+                                "text/plain; version=0.0.4; charset=utf-8"
+                            ),
+                        )
+                    except OSError:
+                        pass
+                    return
+
+                def route():
+                    if parsed.path == "/cluster/placement":
+                        return 200, router.placement.to_dict()
+                    if parsed.path == "/predictions":
+                        return 200, router._handle_prediction(
+                            parse_qs(parsed.query)
+                        )
+                    if parsed.path == "/credence":
+                        return 200, router._handle_credence(
+                            parse_qs(parsed.query)
+                        )
+                    if parsed.path == "/health":
+                        return router._handle_health()
+                    if parsed.path == "/status":
+                        return 200, router._handle_status()
+                    return 404, {"error": f"unknown path {parsed.path}"}
+
+                self._dispatch(parsed.path.lstrip("/"), route)
+
+            def do_POST(self):
+                parsed = urlparse(self.path)
+
+                def route():
+                    payload = self._read_json()
+                    if parsed.path == "/observations":
+                        return 200, router._handle_observation(payload)
+                    if parsed.path == "/observations/batch":
+                        return 200, router._handle_observation_batch(payload)
+                    if parsed.path == "/predictions/batch":
+                        return 200, router._handle_prediction_batch(payload)
+                    if parsed.path == "/rank/candidates":
+                        return 200, router._handle_rank(payload)
+                    if parsed.path == "/cluster/placement":
+                        try:
+                            table = PlacementTable.from_dict(payload)
+                        except ValueError as exc:
+                            raise _BadRequest(str(exc)) from exc
+                        try:
+                            router.update_placement(table)
+                        except _BadRequest as exc:
+                            return 409, {
+                                "error": str(exc),
+                                "code": "stale_placement",
+                                "version": router.placement.version,
+                            }
+                        return 200, router.placement.to_dict()
+                    return 404, {"error": f"unknown path {parsed.path}"}
+
+                self._dispatch(parsed.path.lstrip("/"), route)
+
+        return Handler

@@ -495,6 +495,13 @@ class AdaptiveMatrixFactorization:
             self.weights.user_error(user_id) + self.weights.service_error(service_id)
         ) / 2.0
 
+    def service_credence(self, service_id: int) -> float:
+        """The service's own EMA relative error — the per-service credence
+        signal a cluster router merges into ranked candidates.  A pure
+        read: unknown services report ``init_error`` without registering.
+        """
+        return float(self.weights.service_error(service_id))
+
     def ensure_user(self, user_id: int) -> None:
         """Register a user id, initializing factors and error tracking."""
         self._user_factors.ensure(user_id)

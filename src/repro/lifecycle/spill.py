@@ -39,15 +39,34 @@ class SpillStore:
     Args:
         path: database file path, or ``":memory:"`` for an ephemeral store
               (non-durable servers and model-level tests).
+        compact_threshold_pages:
+              free-page count above which :meth:`maybe_compact` actually
+              runs ``PRAGMA incremental_vacuum``.  Deleted rows (revives,
+              mass forget, demotion churn) leave free pages behind;
+              without compaction a long churn run's spill file grows
+              without bound even when the live row count is stable.
 
     Thread-safe: the server touches it from the ingest path, the predict
     path (revive-on-read), and the ``/status`` handler concurrently.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, compact_threshold_pages: int = 64) -> None:
         self.path = path
+        self.compact_threshold_pages = int(compact_threshold_pages)
+        self.compactions = 0
         self._lock = threading.Lock()
         self._conn = sqlite3.connect(path, check_same_thread=False)
+        # Incremental auto-vacuum lets us return free pages to the OS with
+        # a cheap ``PRAGMA incremental_vacuum`` instead of a full VACUUM
+        # (which rewrites the whole file and takes an exclusive lock).  The
+        # mode only takes effect on a database that was *created* with it;
+        # flipping it on an existing file requires one full VACUUM, so we
+        # pay that once when opening a legacy spill file.
+        mode = int(self._conn.execute("PRAGMA auto_vacuum").fetchone()[0])
+        if mode != 2:
+            self._conn.execute("PRAGMA auto_vacuum=INCREMENTAL")
+            self._conn.commit()
+            self._conn.execute("VACUUM")
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS entities ("
             " kind TEXT NOT NULL,"
@@ -57,6 +76,34 @@ class SpillStore:
             ") WITHOUT ROWID"
         )
         self._conn.commit()
+
+    def freelist_pages(self) -> int:
+        """Pages currently on the database free list (reclaimable space)."""
+        with self._lock:
+            row = self._conn.execute("PRAGMA freelist_count").fetchone()
+        return int(row[0])
+
+    def maybe_compact(self) -> bool:
+        """Release free pages back to the OS if enough have accumulated.
+
+        Called by the tiering layer after demotion/prune/forget cycles.
+        Cheap when below threshold (one PRAGMA read); above it, runs
+        ``PRAGMA incremental_vacuum`` which truncates the file by the
+        freed amount.  Returns whether a vacuum ran.
+        """
+        with self._lock:
+            free = int(self._conn.execute("PRAGMA freelist_count").fetchone()[0])
+            if free <= self.compact_threshold_pages:
+                return False
+            self._conn.commit()
+            # incremental_vacuum is a *stepped* statement freeing pages as
+            # it goes; the sqlite3 module's execute() sees a zero-column
+            # result and steps it only once (one page).  executescript
+            # drives the statement to completion.
+            self._conn.executescript("PRAGMA incremental_vacuum;")
+            self._conn.commit()
+            self.compactions += 1
+        return True
 
     @staticmethod
     def _check_kind(kind: str) -> None:
@@ -135,6 +182,8 @@ class SpillStore:
                 )
             if stale:
                 self._conn.commit()
+        if stale:
+            self.maybe_compact()
         return len(stale)
 
     def commit(self) -> None:

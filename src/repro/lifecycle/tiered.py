@@ -485,6 +485,7 @@ class TieredAMF(AdaptiveMatrixFactorization):
             self._spilled_users.discard(user_id)
             self._spill.delete("user", user_id)
             self._spill.commit()
+            self._spill.maybe_compact()
 
     def forget_service(self, service_id: int) -> None:
         slot = self._s_slot_of.pop(service_id, None)
@@ -499,6 +500,7 @@ class TieredAMF(AdaptiveMatrixFactorization):
             self._spilled_services.discard(service_id)
             self._spill.delete("service", service_id)
             self._spill.commit()
+            self._spill.maybe_compact()
 
     # ------------------------------------------------------------------
     # Observation path
@@ -573,6 +575,7 @@ class TieredAMF(AdaptiveMatrixFactorization):
         demoted = self._demote_overflow("user") + self._demote_overflow("service")
         if demoted:
             self._spill.commit()
+            self._spill.maybe_compact()
 
     def _demote_overflow(self, kind: str) -> int:
         if kind == "user":
@@ -827,6 +830,16 @@ class TieredAMF(AdaptiveMatrixFactorization):
             else self.weights.service_error(s_slot)
         )
         return (e_u + e_s) / 2.0
+
+    def service_credence(self, service_id: int) -> float:
+        """Per-service EMA error by external id — a pure read.  Spilled
+        services answer ``init_error`` like unknown ids (consulting the
+        demote payload would hit disk on the read path); that is the
+        conservative "low credence" signal until revival."""
+        slot = self._s_slot_of.get(service_id)
+        if slot is None:
+            return float(self.weights.init_error)
+        return float(self.weights.service_error(slot))
 
 
 class MemoryWatchdog:

@@ -370,6 +370,7 @@ class PredictionServer:
         data_dir: "str | None" = None,
         checkpoint_interval: int = 1000,
         wal_fsync: bool = True,
+        wal_fsync_delay: float = 0.0,
         supervise: bool = True,
         max_body_bytes: int = 1 << 20,
         gate: "GateConfig | bool | None" = None,
@@ -406,7 +407,9 @@ class PredictionServer:
             restored = self._checkpoints.load_full(rng=None)
             if restored is not None:
                 model, applied_seq, checkpoint_extra = restored
-            self._wal = WriteAheadLog(data_dir, fsync=wal_fsync)
+            self._wal = WriteAheadLog(
+                data_dir, fsync=wal_fsync, fsync_delay=wal_fsync_delay
+            )
         if model is None:
             model = AdaptiveMatrixFactorization(config, rng=rng)
 
@@ -1354,6 +1357,30 @@ class PredictionServer:
             source_map[str(service_id)] = source
         return {"user_id": user_id, "predictions": predictions, "sources": source_map}
 
+    def _handle_credence(self, query: dict) -> dict:
+        """``GET /credence?service_ids=1,2,3`` — per-service EMA error.
+
+        The cluster layer homes each service's credence on one shard
+        (rendezvous placement) and the router merges these values into
+        ranked-candidate responses.  A pure read: unknown ids report the
+        model's ``init_error`` and nothing is registered or revived.
+        """
+        try:
+            raw = query["service_ids"][0]
+            service_ids = [int(part) for part in raw.split(",") if part != ""]
+        except (KeyError, IndexError, ValueError) as exc:
+            raise _BadRequest(
+                "query must include service_ids as comma-separated integers"
+            ) from exc
+        if not service_ids:
+            raise _BadRequest("service_ids must be non-empty")
+        if min(service_ids) < 0:
+            raise _BadRequest("ids must be non-negative")
+        credence = self.model.with_model(
+            lambda m: {str(sid): m.service_credence(sid) for sid in service_ids}
+        )
+        return {"credence": credence}
+
     # -- binary transport backend ---------------------------------------------
     def _binary_error(self, exc: Exception) -> tuple[int, dict]:
         """Map a handler exception to (status, body) — the same statuses and
@@ -1678,6 +1705,8 @@ class PredictionServer:
                         return 200, server._handle_status()
                     if parsed.path == "/health":
                         return server._handle_health()
+                    if parsed.path == "/credence":
+                        return 200, server._handle_credence(parse_qs(parsed.query))
                     if parsed.path == "/replication/wal":
                         return 200, server._handle_replication_wal(
                             parse_qs(parsed.query)

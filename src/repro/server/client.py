@@ -68,6 +68,8 @@ import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from datetime import datetime, timezone
+from email.utils import parsedate_to_datetime
 
 from repro.server.binary import BinaryConnection, BinaryServerError, ProtocolError
 
@@ -81,8 +83,11 @@ def _retry_after_hint(exc: "urllib.error.HTTPError", body) -> "float | None":
     """Best retry delay hint from a shed response, in seconds.
 
     The JSON body's ``retry_after`` (float, sub-second precision) is
-    preferred; the ``Retry-After`` header (integer seconds per RFC 9110)
-    is the fallback.  ``None`` when the response carries neither.
+    preferred; the ``Retry-After`` header is the fallback.  RFC 9110
+    allows the header in two forms — delay-seconds *or* an HTTP-date
+    (proxies commonly rewrite one into the other) — and both are honored:
+    a date in the past clamps to 0 rather than being discarded.  ``None``
+    when the response carries neither.
     """
     if isinstance(body, dict):
         hint = body.get("retry_after")
@@ -93,7 +98,15 @@ def _retry_after_hint(exc: "urllib.error.HTTPError", body) -> "float | None":
         try:
             parsed = float(header)
         except ValueError:
-            return None
+            try:
+                when = parsedate_to_datetime(header)
+            except (TypeError, ValueError):
+                return None
+            if when is None:
+                return None
+            if when.tzinfo is None:
+                when = when.replace(tzinfo=timezone.utc)
+            return max(0.0, (when - datetime.now(timezone.utc)).total_seconds())
         if parsed >= 0:
             return parsed
     return None
@@ -614,6 +627,20 @@ class PredictionClient:
             "sources": {int(k): v for k, v in body.get("sources", {}).items()},
             "transport": "json",
         }
+
+    def credence(self, service_ids: "list[int]") -> dict[int, float]:
+        """Per-service EMA relative error (credence), keyed by service id.
+
+        A pure read: unknown services report the model's ``init_error``
+        and nothing is registered.  The cluster router uses this to merge
+        authoritative credence from each service's home shard.
+        """
+        unique_ids = list(dict.fromkeys(int(s) for s in service_ids))
+        query = urllib.parse.urlencode(
+            {"service_ids": ",".join(str(s) for s in unique_ids)}
+        )
+        body = self._request("GET", f"/credence?{query}")
+        return {int(k): float(v) for k, v in body["credence"].items()}
 
     def status(self) -> dict:
         """Server-side model statistics."""

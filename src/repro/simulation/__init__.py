@@ -15,11 +15,13 @@ from repro.simulation.faults import (
     FaultyReplicaLink,
     LinkFaultConfig,
     RecoveryReport,
+    ShardKillReport,
     check_metrics_exposition,
     drive_client,
     run_crash_recovery,
     run_failover,
     run_flood,
+    run_shard_kill,
 )
 
 __all__ = [
@@ -34,9 +36,11 @@ __all__ = [
     "FaultyReplicaLink",
     "LinkFaultConfig",
     "RecoveryReport",
+    "ShardKillReport",
     "check_metrics_exposition",
     "drive_client",
     "run_crash_recovery",
     "run_failover",
     "run_flood",
+    "run_shard_kill",
 ]

@@ -37,7 +37,10 @@ Used by ``tests/test_recovery.py``, ``tests/test_replication.py``,
 
 from __future__ import annotations
 
+import math
+import os
 import time
+from collections import Counter
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
@@ -1333,6 +1336,286 @@ def run_memory_pressure(
 
     detail["mismatches"] = mismatches
     return MemoryPressureReport(
+        matches=not mismatches,
+        metrics_ok=metrics_ok,
+        detail=detail,
+    )
+
+
+@dataclass
+class ShardKillReport:
+    """Outcome of :func:`run_shard_kill`.
+
+    ``matches`` covers the whole containment contract: surviving shards'
+    state and per-sample error streams identical to a never-faulted
+    baseline, zero failed requests outside the dead shard's keyspace,
+    and the killed shard recovering bit-exact (checkpoint digest
+    equality) from its own WAL.  ``metrics_ok`` validates the router's
+    *aggregated* ``/metrics`` exposition.
+    """
+
+    matches: bool
+    detail: dict = field(default_factory=dict)
+    metrics_ok: bool = True
+
+    def summary(self) -> str:
+        lines = [
+            "shard-kill blast radius "
+            + ("CONTAINED" if self.matches else "NOT CONTAINED")
+        ]
+        lines.append(
+            f"fleet metrics exposition {'OK' if self.metrics_ok else 'INVALID'}"
+        )
+        for key, value in self.detail.items():
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+
+def _errors_equal(ours: "list[float]", theirs: "list[float]") -> bool:
+    if len(ours) != len(theirs):
+        return False
+    return all(
+        a == b or (math.isnan(a) and math.isnan(b))
+        for a, b in zip(ours, theirs)
+    )
+
+
+def run_shard_kill(
+    records: "list[QoSRecord]",
+    data_root: str,
+    n_shards: int = 3,
+    kill_after: "int | None" = None,
+    rng: int = 0,
+    checkpoint_interval: int = 50,
+) -> ShardKillReport:
+    """Kill one shard of a routed fleet mid-stream; prove the blast
+    radius is bounded.
+
+    The drill builds ``n_shards`` full durable :class:`PredictionServer`
+    shards behind a :class:`~repro.cluster.router.ClusterRouter`, drives
+    the stream through the router one observation at a time, and kills
+    the shard owning the record at ``kill_after`` (default: halfway).
+    While the shard is down:
+
+    * requests for its users must fail with a structured
+      ``503 shard_unavailable`` (counted, later replayed);
+    * every surviving shard must keep accepting writes *and* answering
+      predictions — one hard failure fails the drill.
+
+    The killed shard then restarts from its own checkpoint + WAL tail
+    (same data dir, same port), the orphaned records are re-sent in
+    their original order, and the stream finishes.  Finally every shard
+    is diffed against a never-faulted baseline server fed exactly the
+    records that shard accepted, in order: per-sample error streams must
+    match element-for-element (so windowed MAE is untouched), and final
+    checkpoint archives must be byte-identical
+    (:func:`~repro.core.serialization.archive_digest`).
+    """
+    from repro.cluster.placement import PlacementTable, ShardSpec
+    from repro.cluster.router import ClusterRouter
+    from repro.core.serialization import archive_digest
+    from repro.server.app import PredictionServer
+    from repro.server.client import (
+        PredictionClient,
+        RetryableServiceError,
+    )
+    from repro.server.wal import CheckpointStore
+
+    if n_shards < 2:
+        raise ValueError(f"n_shards must be >= 2, got {n_shards}")
+    if kill_after is None:
+        kill_after = len(records) // 2
+    if not (0 < kill_after < len(records)):
+        raise ValueError(
+            f"kill_after must be within (0, {len(records)}), got {kill_after}"
+        )
+
+    server_args = dict(
+        rng=rng,
+        background_replay=False,
+        checkpoint_interval=checkpoint_interval,
+        binary_port=None,
+    )
+    names = [f"shard-{index}" for index in range(n_shards)]
+    servers: dict[str, PredictionServer] = {}
+    for name in names:
+        server = PredictionServer(
+            data_dir=os.path.join(data_root, name), **server_args
+        )
+        server.start()
+        servers[name] = server
+    table = PlacementTable(
+        [
+            ShardSpec(name=name, addresses=(servers[name].address,))
+            for name in names
+        ]
+    )
+    router = ClusterRouter(table)
+    router.start()
+    client = PredictionClient(router.address, retries=0)
+
+    # The victim is whichever shard owns the record at the kill point, so
+    # the outage is guaranteed to intersect live traffic.
+    victim = table.owner_of("user", records[kill_after].user_id).name
+    victim_port = servers[victim].address[1]
+
+    owners = [
+        table.owner_of("user", record.user_id).name for record in records
+    ]
+    fleet_errors: dict[str, list[float]] = {name: [] for name in names}
+    mismatches: list[str] = []
+    detail: dict = {
+        "records": len(records),
+        "shards": n_shards,
+        "kill_after": kill_after,
+        "victim": victim,
+        "substream_sizes": dict(Counter(owners)),
+    }
+
+    def send(index: int) -> None:
+        record = records[index]
+        error = client.report_observation(
+            record.user_id, record.service_id, record.value, record.timestamp
+        )
+        fleet_errors[owners[index]].append(error)
+
+    # Phase A: healthy fleet up to the kill point.
+    for index in range(kill_after):
+        send(index)
+
+    servers[victim].kill()
+
+    # Phase B: the outage.  Victim-owned records must fail structurally;
+    # surviving shards must stay fully available for writes and reads.
+    orphaned: list[int] = []
+    outage_shed = 0
+    survivor_failures: list[str] = []
+    for index in range(kill_after, len(records)):
+        record = records[index]
+        if owners[index] == victim:
+            try:
+                send(index)
+            except RetryableServiceError as exc:
+                body = getattr(exc, "body", None) or {}
+                if body.get("code") != "shard_unavailable":
+                    survivor_failures.append(
+                        f"record {index}: dead shard failed without "
+                        f"shard_unavailable: {body}"
+                    )
+                outage_shed += 1
+                orphaned.append(index)
+            else:
+                survivor_failures.append(
+                    f"record {index}: write for dead shard {victim} was "
+                    "acknowledged"
+                )
+        else:
+            try:
+                send(index)
+                client.predict(record.user_id, record.service_id)
+            except Exception as exc:  # noqa: BLE001 — any failure breaks containment
+                survivor_failures.append(
+                    f"record {index} (shard {owners[index]}): {exc}"
+                )
+    if survivor_failures:
+        mismatches.append(
+            f"availability: {len(survivor_failures)} surviving-shard "
+            f"failures, first: {survivor_failures[0]}"
+        )
+    detail["outage_requests_shed"] = outage_shed
+    if not orphaned:
+        mismatches.append(
+            "drill produced no victim-owned traffic during the outage; "
+            "increase the stream length"
+        )
+
+    # Phase C: the victim restarts from its own WAL on the same address
+    # and the orphaned records are replayed in their original order.
+    restarted = PredictionServer(
+        data_dir=os.path.join(data_root, victim),
+        port=victim_port,
+        **server_args,
+    )
+    detail["recovery"] = dict(restarted.recovery)
+    restarted.start()
+    servers[victim] = restarted
+    for index in orphaned:
+        send(index)
+
+    # Fleet-level read path + aggregated exposition, scraped where an
+    # operator's monitoring would hit it.
+    sample = records[0]
+    client.predict(sample.user_id, sample.service_id)
+    metrics_ok, metrics_detail = check_metrics_exposition(
+        client._request("GET", "/metrics", raw=True)
+    )
+    detail["metrics"] = metrics_detail
+    health = client._request("GET", "/health")
+    if health.get("status") != "ok":
+        mismatches.append(f"fleet health after recovery: {health.get('status')}")
+
+    snapshots = {name: _snapshot(servers[name]) for name in names}
+    for name in names:
+        servers[name].stop()
+    router.stop()
+    client.close()
+
+    # Baselines: one never-faulted server per shard, fed exactly the
+    # records that shard accepted, in order.  The victim's baseline sees
+    # pre-kill records then the orphaned replays (their original order);
+    # survivors' baselines see their full substream.
+    for name in names:
+        if name == victim:
+            indices = [i for i in range(kill_after) if owners[i] == name]
+            indices += orphaned
+        else:
+            indices = [i for i in range(len(records)) if owners[i] == name]
+        baseline_dir = os.path.join(data_root, f"baseline-{name}")
+        baseline = PredictionServer(data_dir=baseline_dir, **server_args)
+        baseline.start()
+        baseline_client = PredictionClient(baseline.address)
+        baseline_errors = [
+            baseline_client.report_observation(
+                records[i].user_id,
+                records[i].service_id,
+                records[i].value,
+                records[i].timestamp,
+            )
+            for i in indices
+        ]
+        baseline_state = _snapshot(baseline)
+        baseline_client.close()
+        baseline.stop()
+        if not _errors_equal(fleet_errors[name], baseline_errors):
+            mismatches.append(
+                f"{name}: per-sample error stream diverges from baseline "
+                "(windowed MAE affected)"
+            )
+        state = snapshots[name]
+        for key in ("updates_applied", "stored_samples"):
+            if state[key] != baseline_state[key]:
+                mismatches.append(
+                    f"{name}: {key} {state[key]} != baseline {baseline_state[key]}"
+                )
+        for key in ("user_factors", "service_factors"):
+            if not np.array_equal(state[key], baseline_state[key]):
+                mismatches.append(f"{name}: {key} diverged from baseline")
+        digests = {
+            "shard": archive_digest(
+                CheckpointStore(os.path.join(data_root, name)).path
+            ),
+            "baseline": archive_digest(CheckpointStore(baseline_dir).path),
+        }
+        if digests["shard"] != digests["baseline"]:
+            mismatches.append(
+                f"{name}: checkpoint archive differs from baseline "
+                f"({digests['shard'][:12]} vs {digests['baseline'][:12]})"
+            )
+        if name == victim:
+            detail["victim_checkpoint_digests"] = digests
+
+    detail["mismatches"] = mismatches
+    return ShardKillReport(
         matches=not mismatches,
         metrics_ok=metrics_ok,
         detail=detail,

@@ -233,6 +233,36 @@ class TestClientRetryBehavior:
         headers.replace_header("Retry-After", "soon")
         assert _retry_after_hint(exc, None) is None
 
+    def test_retry_after_http_date_form(self):
+        # RFC 9110 allows Retry-After as an HTTP-date; proxies commonly
+        # rewrite delay-seconds into it.  The hint must survive the trip.
+        from datetime import datetime, timedelta, timezone
+        from email.utils import format_datetime
+
+        headers = email.message.Message()
+        future = datetime.now(timezone.utc) + timedelta(seconds=30)
+        headers["Retry-After"] = format_datetime(future, usegmt=True)
+        exc = urllib.error.HTTPError("http://x", 429, "shed", headers, None)
+        hint = _retry_after_hint(exc, None)
+        assert hint is not None
+        assert 25.0 < hint <= 30.5
+
+    def test_retry_after_http_date_in_past_clamps_to_zero(self):
+        from datetime import datetime, timedelta, timezone
+        from email.utils import format_datetime
+
+        headers = email.message.Message()
+        past = datetime.now(timezone.utc) - timedelta(seconds=60)
+        headers["Retry-After"] = format_datetime(past, usegmt=True)
+        exc = urllib.error.HTTPError("http://x", 503, "shed", headers, None)
+        assert _retry_after_hint(exc, None) == 0.0
+
+    def test_retry_after_garbage_still_none(self):
+        headers = email.message.Message()
+        headers["Retry-After"] = "next tuesday-ish"
+        exc = urllib.error.HTTPError("http://x", 429, "shed", headers, None)
+        assert _retry_after_hint(exc, None) is None
+
     def test_keyed_observation_post_is_retried_past_shedding(self):
         admission = AdmissionConfig(rate=5.0, burst=1.0, retry_after_floor=0.05)
         with PredictionServer(

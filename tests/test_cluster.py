@@ -1,0 +1,349 @@
+"""Tests for the sharded-fleet layer: rendezvous placement stability,
+the version-stamped placement table, router fan-out/merge, and error
+containment — a dead shard answers as a structured 503 and a standby's
+fenced 409 redirects inside the router, so neither trips a breaker."""
+
+import socket
+
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterRouter,
+    PlacementTable,
+    ShardSpec,
+    rendezvous_score,
+)
+from repro.server import (
+    PredictionClient,
+    PredictionServer,
+    ReplicationConfig,
+    RetryableServiceError,
+    TerminalServiceError,
+)
+from repro.simulation.faults import check_metrics_exposition
+
+SERVER_ARGS = dict(rng=0, background_replay=False)
+
+N_KEYS = 2000
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def specs(names):
+    return [ShardSpec(name=n, addresses=(("127.0.0.1", 1),)) for n in names]
+
+
+def owners(table, kind="user", n=N_KEYS):
+    return {k: table.owner_of(kind, k).name for k in range(n)}
+
+
+class TestRendezvous:
+    def test_score_is_deterministic_and_key_sensitive(self):
+        assert rendezvous_score("user", 7, "s0") == rendezvous_score(
+            "user", 7, "s0"
+        )
+        # Kind, id, and shard name all feed the hash.
+        baseline = rendezvous_score("user", 7, "s0")
+        assert rendezvous_score("service", 7, "s0") != baseline
+        assert rendezvous_score("user", 8, "s0") != baseline
+        assert rendezvous_score("user", 7, "s1") != baseline
+
+    def test_every_key_has_exactly_one_owner(self):
+        table = PlacementTable(specs(["a", "b", "c", "d", "e"]))
+        for kind in ("user", "service"):
+            for key in range(500):
+                owner = table.owner_of(kind, key)
+                # The owner is the unique argmax over active shards.
+                best = [
+                    s.name
+                    for s in table.active
+                    if rendezvous_score(kind, key, s.name)
+                    == rendezvous_score(kind, key, owner.name)
+                ]
+                assert best == [owner.name]
+
+    def test_ownership_is_roughly_balanced(self):
+        table = PlacementTable(specs(["a", "b", "c", "d"]))
+        counts = {}
+        for name in owners(table).values():
+            counts[name] = counts.get(name, 0) + 1
+        for name in table.names:
+            # Expected 500 of 2000 per shard; allow generous skew.
+            assert 300 < counts[name] < 700, counts
+
+    def test_adding_a_shard_moves_about_one_over_n_keys(self):
+        before = PlacementTable(specs(["a", "b", "c", "d"]))
+        after = before.with_shard(
+            ShardSpec(name="e", addresses=(("127.0.0.1", 1),))
+        )
+        old, new = owners(before), owners(after)
+        moved = [k for k in old if old[k] != new[k]]
+        # Expected fraction 1/5 = 0.2 of the keyspace.
+        assert 0.12 < len(moved) / N_KEYS < 0.30, len(moved)
+        # Rendezvous only ever moves keys *onto* the new shard.
+        assert all(new[k] == "e" for k in moved)
+
+    def test_removing_a_shard_moves_only_its_keys(self):
+        before = PlacementTable(specs(["a", "b", "c", "d", "e"]))
+        after = before.without_shard("c")
+        old, new = owners(before), owners(after)
+        for key in old:
+            if old[key] == "c":
+                assert new[key] != "c"
+            else:
+                # Survivors' rankings are untouched by the removal.
+                assert new[key] == old[key]
+
+    def test_draining_moves_keys_like_removal_but_keeps_reachability(self):
+        before = PlacementTable(specs(["a", "b", "c"]))
+        drained = before.draining_shard("b")
+        assert drained.version == before.version + 1
+        assert drained.shard("b").draining
+        assert "b" not in {s.name for s in drained.active}
+        removed = before.without_shard("b")
+        # Draining and removal induce the identical ownership map.
+        assert owners(drained) == owners(removed)
+        # ... but the drained shard is still in the table to route to.
+        assert "b" in drained.names
+
+
+class TestPlacementTable:
+    def test_round_trips_through_dict(self):
+        table = PlacementTable(
+            [
+                ShardSpec(name="a", addresses=(("10.0.0.1", 8301),)),
+                ShardSpec(
+                    name="b",
+                    addresses=(("10.0.0.2", 8301), ("10.0.0.3", 8301)),
+                    draining=True,
+                ),
+            ],
+            version=7,
+        )
+        clone = PlacementTable.from_dict(table.to_dict())
+        assert clone.version == 7
+        assert clone.names == table.names
+        assert clone.shard("b").addresses == (("10.0.0.2", 8301), ("10.0.0.3", 8301))
+        assert clone.shard("b").draining
+        assert owners(clone, n=200) == owners(table, n=200)
+
+    def test_rejects_bad_tables(self):
+        with pytest.raises(ValueError):
+            PlacementTable([])
+        with pytest.raises(ValueError):
+            PlacementTable(specs(["a", "a"]))
+        with pytest.raises(ValueError):
+            PlacementTable(specs(["a"]), version=0)
+        with pytest.raises(ValueError):
+            PlacementTable(
+                [ShardSpec(name="a", draining=True)]
+            )  # no active shard left
+        with pytest.raises(ValueError):
+            PlacementTable.from_dict({"shards": []})
+
+    def test_evolution_bumps_version_and_is_pure(self):
+        table = PlacementTable(specs(["a", "b"]))
+        grown = table.with_shard(ShardSpec(name="c"))
+        assert (table.version, grown.version) == (1, 2)
+        assert table.names == ["a", "b"]  # original untouched
+        assert grown.without_shard("c").version == 3
+        with pytest.raises(ValueError):
+            table.with_shard(ShardSpec(name="b"))
+        with pytest.raises(KeyError):
+            table.without_shard("zz")
+        with pytest.raises(KeyError):
+            table.draining_shard("zz")
+
+
+@pytest.fixture()
+def fleet():
+    """Three in-process shards behind a running router."""
+    servers = [PredictionServer(**SERVER_ARGS) for _ in range(3)]
+    for server in servers:
+        server.start()
+    table = PlacementTable(
+        [
+            ShardSpec(name=f"s{k}", addresses=(server.address,))
+            for k, server in enumerate(servers)
+        ]
+    )
+    router = ClusterRouter(table)
+    router.start()
+    client = ClusterClient(router.address, retries=0)
+    try:
+        yield servers, table, router, client
+    finally:
+        client.close()
+        router.stop()
+        for server in servers:
+            server.stop()
+
+
+class TestRouterFleet:
+    def test_observations_land_on_the_owning_shard(self, fleet):
+        servers, table, router, client = fleet
+        expected = {f"s{k}": 0 for k in range(3)}
+        for user_id in range(12):
+            client.report_observation(user_id, user_id % 5, 0.5, float(user_id))
+            expected[table.owner_of("user", user_id).name] += 1
+        for name, count in expected.items():
+            handled = router.shard_client(name).status()[
+                "observations_handled"
+            ]
+            assert handled == count, (name, handled, count)
+
+    def test_batch_prediction_merges_home_shard_credence(self, fleet):
+        servers, table, router, client = fleet
+        for k in range(30):
+            client.report_observation(k % 6, k % 8, 0.3 + 0.1 * (k % 4), float(k))
+        detail = client.predict_candidates_detailed(2, [0, 1, 2, 3, 4])
+        assert set(detail["predictions"]) == {0, 1, 2, 3, 4}
+        assert set(detail["credence"]) == {0, 1, 2, 3, 4}
+        assert detail["credence_partial"] == []
+        assert detail["shard"] == table.owner_of("user", 2).name
+        assert detail["placement_version"] == table.version
+
+    def test_rank_candidates_orders_by_prediction(self, fleet):
+        servers, table, router, client = fleet
+        for k in range(40):
+            client.report_observation(k % 6, k % 8, 0.3 + 0.1 * (k % 4), float(k))
+        ranked = client.rank_candidates(1, [0, 1, 2, 3, 4, 5], k=3)
+        assert len(ranked["ranked"]) == 3
+        values = [entry["prediction"] for entry in ranked["ranked"]]
+        assert values == sorted(values)  # prefer="min"
+        for entry in ranked["ranked"]:
+            assert "credence" in entry and "source" in entry
+
+    def test_health_and_aggregated_metrics(self, fleet):
+        servers, table, router, client = fleet
+        client.report_observation(0, 0, 0.5, 0.0)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["shards_ready"] == health["shards_total"] == 3
+        ok, info = check_metrics_exposition(client.metrics())
+        assert ok, info
+        # Every sample is attributed to its shard.
+        assert 'shard="s0"' in client.metrics()
+
+    def test_stale_placement_is_rejected_with_409(self, fleet):
+        servers, table, router, client = fleet
+        with pytest.raises(TerminalServiceError) as excinfo:
+            client.update_placement(table)  # same version: not newer
+        assert excinfo.value.status == 409
+        assert excinfo.value.body["code"] == "stale_placement"
+        assert router.placement.version == table.version
+
+    def test_drain_rebalances_new_traffic_off_the_shard(self, fleet):
+        servers, table, router, client = fleet
+        drained_name = table.owner_of("user", 0).name
+        client.update_placement(table.draining_shard(drained_name))
+        assert client.placement().version == table.version + 1
+        body_owner = client.owner_of("user", 0)
+        assert body_owner.name != drained_name
+
+
+class TestRouterErrorContainment:
+    def test_dead_shard_is_a_structured_503_not_a_breaker_trip(self, tmp_path):
+        live = PredictionServer(**SERVER_ARGS)
+        live.start()
+        table = PlacementTable(
+            [
+                ShardSpec(name="live", addresses=(live.address,)),
+                ShardSpec(name="dead", addresses=(("127.0.0.1", free_port()),)),
+            ]
+        )
+        router = ClusterRouter(table)
+        router.start()
+        # A breaker this tight would open on the very first transport
+        # failure — the point is that it never sees one.
+        client = PredictionClient(
+            router.address, retries=0, breaker_threshold=1
+        )
+        try:
+            dead_user = next(
+                u for u in range(500)
+                if table.owner_of("user", u).name == "dead"
+            )
+            live_user = next(
+                u for u in range(500)
+                if table.owner_of("user", u).name == "live"
+            )
+            with pytest.raises(RetryableServiceError) as excinfo:
+                client.report_observation(dead_user, 0, 0.5, 0.0)
+            assert excinfo.value.status == 503
+            assert excinfo.value.body["code"] == "shard_unavailable"
+            assert excinfo.value.body["shard"] == "dead"
+            # The 503 is a *router answer*: the caller's breaker stays
+            # closed and traffic for healthy shards flows untouched.
+            assert client._failures == [0]
+            client.report_observation(live_user, 0, 0.5, 0.0)
+            assert float(client.predict(live_user, 0)) > 0.0
+        finally:
+            client.close()
+            router.stop()
+            live.stop()
+
+    def test_routed_fenced_409_redirects_without_tripping_breakers(
+        self, tmp_path
+    ):
+        """PR 5's fencing contract, extended to the routed path: a shard
+        that is an HA pair lists its standby first, the router's shard
+        client swallows the standby's fenced ``not_primary`` 409 by
+        redirecting to the primary, and no breaker anywhere counts it."""
+        store = str(tmp_path / "epoch.json")
+        primary = PredictionServer(
+            data_dir=str(tmp_path / "primary"),
+            replication=ReplicationConfig(store, role="primary", node_id="p"),
+            **SERVER_ARGS,
+        )
+        primary.start()
+        standby = PredictionServer(
+            data_dir=str(tmp_path / "standby"),
+            replication=ReplicationConfig(
+                store,
+                role="standby",
+                primary_address=primary.address,
+                node_id="s",
+                poll_interval=0.01,
+            ),
+            **SERVER_ARGS,
+        )
+        standby.start()
+        # Standby listed first: every write the router sends hits the
+        # fence before the shard client learns the primary.
+        table = PlacementTable(
+            [
+                ShardSpec(
+                    name="pair",
+                    addresses=(standby.address, primary.address),
+                )
+            ]
+        )
+        router = ClusterRouter(table, client_kwargs={"breaker_threshold": 1})
+        router.start()
+        client = PredictionClient(
+            router.address, retries=0, breaker_threshold=1
+        )
+        try:
+            for k in range(5):
+                client.report_observation(k, k % 3, 0.4, float(k))
+            assert float(client.predict(0, 0)) > 0.0
+            shard_client = router.shard_client("pair")
+            # The fenced 409 redirect must not have counted as a failure
+            # on either endpoint of the shard client...
+            assert shard_client._failures == [0, 0]
+            # ... and the caller-facing breaker never saw an error at all.
+            assert client._failures == [0]
+            # Writes actually landed on the primary through the fence.
+            with PredictionClient(primary.address, retries=0) as direct:
+                assert direct.status()["updates_applied"] >= 5
+        finally:
+            client.close()
+            router.stop()
+            standby.stop()
+            primary.stop()

@@ -350,3 +350,75 @@ class TestStoreOrderDeterminism:
         assert size == 3
         keys = flat._store._keys[:size]
         assert keys == [(1, 2), (1, 1), (1, 0)]
+
+
+class TestSpillCompaction:
+    def test_spill_file_shrinks_after_mass_drop(self):
+        """Deleted rows leave sqlite free pages; without incremental
+        vacuum a long churn run's spill file grows without bound.  After
+        a mass forget the file must actually shrink on disk."""
+        payload = b"x" * 2048
+        with tempfile.TemporaryDirectory() as root:
+            path = os.path.join(root, "spill.sqlite")
+            spill = SpillStore(path, compact_threshold_pages=8)
+            for ext_id in range(800):
+                spill.put("user", ext_id, payload)
+            spill.commit()
+            grown = os.path.getsize(path)
+            assert grown > 800 * len(payload)  # rows really hit disk
+            for ext_id in range(780):
+                spill.delete("user", ext_id)
+            spill.commit()
+            assert spill.freelist_pages() > 8
+            assert spill.maybe_compact()
+            shrunk = os.path.getsize(path)
+            assert shrunk < grown / 4, (grown, shrunk)
+            assert spill.freelist_pages() == 0
+            # Surviving rows are untouched by the vacuum.
+            assert spill.count("user") == 20
+            assert spill.get("user", 799) == payload
+            spill.close()
+
+    def test_maybe_compact_is_cheap_below_threshold(self):
+        with tempfile.TemporaryDirectory() as root:
+            spill = SpillStore(os.path.join(root, "s.sqlite"))
+            spill.put("user", 1, b"a")
+            spill.commit()
+            assert spill.maybe_compact() is False
+            assert spill.compactions == 0
+            spill.close()
+
+    def test_legacy_file_is_migrated_to_incremental_vacuum(self):
+        """A spill file created before compaction existed (auto_vacuum
+        off) gets one full VACUUM on open, after which incremental
+        vacuum works."""
+        import sqlite3
+
+        with tempfile.TemporaryDirectory() as root:
+            path = os.path.join(root, "legacy.sqlite")
+            conn = sqlite3.connect(path)
+            conn.execute(
+                "CREATE TABLE entities (kind TEXT NOT NULL, ext_id INTEGER "
+                "NOT NULL, payload BLOB NOT NULL, PRIMARY KEY (kind, ext_id)"
+                ") WITHOUT ROWID"
+            )
+            conn.execute(
+                "INSERT INTO entities VALUES ('user', 7, ?)",
+                (sqlite3.Binary(b"keep"),),
+            )
+            conn.commit()
+            assert int(conn.execute("PRAGMA auto_vacuum").fetchone()[0]) == 0
+            conn.close()
+            spill = SpillStore(path, compact_threshold_pages=1)
+            assert spill.get("user", 7) == b"keep"
+            for ext_id in range(200):
+                spill.put("user", ext_id, b"y" * 2048)
+            spill.commit()
+            before = os.path.getsize(path)
+            for ext_id in range(200):
+                spill.delete("user", ext_id)
+            spill.commit()
+            assert spill.maybe_compact()
+            assert os.path.getsize(path) < before
+            assert spill.get("user", 7) is None or spill.get("user", 7) == b"keep"
+            spill.close()
