@@ -214,7 +214,16 @@ def run_fleet(
 
 
 def validate_record(record: dict) -> list[str]:
-    """Schema check for one BENCH_cluster.json record; returns problems."""
+    """Schema check for one BENCH_cluster.json record; returns problems.
+
+    The file interleaves two record shapes — the fleet-scaling sweep
+    from this script and live-migration drills appended by
+    ``bench_migration.py`` — discriminated by the ``"drill"`` key.
+    """
+    if record.get("drill") == "migration":
+        import bench_migration
+
+        return bench_migration.validate_record(record)
     problems = []
 
     def require(condition: bool, message: str) -> None:

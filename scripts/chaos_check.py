@@ -46,6 +46,14 @@ per-sample error streams (windowed MAE) untouched, victim-owned traffic
 fails with a structured 503 ``shard_unavailable``, and the restarted
 shard must recover bit-exact from its own WAL (checkpoint digest equality
 against a never-faulted baseline).
+``--migration-kill`` runs the live-migration crash drill instead: a
+2-shard fleet drains one shard through a live entity migration while the
+source shard, destination shard, and router are each SIGKILLed at the
+source-export, in-flight-transfer, and pre-commit phases (one kill per
+run, every target x phase combination).  Each resumed migration must
+converge with zero lost and zero duplicated entities, every re-homed
+entity's factor row / samples / gate state byte-equal to an unkilled
+baseline migration, and checkpoint digests equal on both shards.
 """
 
 from __future__ import annotations
@@ -290,6 +298,61 @@ def run_shard_kill_drill(
     return 0 if (report.matches and report.metrics_ok) else 1
 
 
+def make_migration_stream(
+    seed: int, n_users: int = 16, per_user: int = 3, rounds: int = 2
+) -> "list[QoSRecord]":
+    """A stream with per-user *disjoint* service sets, so every sample
+    edge stays inside one migration unit — the setup under which live
+    migration is provably bit-exact (shared services collapse two
+    per-shard views into one, which is convergent but not byte-equal)."""
+    rng = np.random.default_rng(seed)
+    records = []
+    tick = 0.0
+    for _ in range(rounds):
+        for user_id in range(n_users):
+            for service_id in range(
+                user_id * per_user, (user_id + 1) * per_user
+            ):
+                tick += 1.0
+                records.append(
+                    QoSRecord(
+                        timestamp=tick,
+                        user_id=user_id,
+                        service_id=service_id,
+                        value=float(rng.uniform(0.05, 5.0)),
+                    )
+                )
+    return records
+
+
+def run_migration_kill_drill(seed: int, checkpoint_interval: int) -> int:
+    """The kill-anything migration drill.  Returns a process exit code."""
+    from repro.simulation.faults import run_migration_kill
+
+    stream = make_migration_stream(seed)
+    failed = 0
+    for kill_target in ("source", "dest", "router"):
+        for kill_phase in ("export", "transfer", "pre-commit"):
+            with tempfile.TemporaryDirectory(prefix="qos-migration-") as root:
+                report = run_migration_kill(
+                    stream,
+                    data_root=root,
+                    kill_target=kill_target,
+                    kill_phase=kill_phase,
+                    rng=seed,
+                    checkpoint_interval=checkpoint_interval,
+                )
+            print(f"--- kill {kill_target} at {kill_phase} ---")
+            print(report.summary())
+            if not (report.matches and report.metrics_ok):
+                failed += 1
+    if failed:
+        print(f"migration kill drill FAILED ({failed} combinations diverged)")
+        return 1
+    print("migration kill drill PASSED (9/9 kill combinations converged)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--records", type=int, default=300,
@@ -317,6 +380,12 @@ def main() -> int:
                              "of the crash/recovery drill")
     parser.add_argument("--shards", type=int, default=3,
                         help="fleet size for --shard-kill (default 3)")
+    parser.add_argument("--migration-kill", action="store_true",
+                        help="run the live-migration crash drill (kill "
+                             "source/dest/router at every migration phase; "
+                             "each resumed migration must converge bit-exact "
+                             "against an unkilled baseline) instead of the "
+                             "crash/recovery drill")
     parser.add_argument("--bench-out", default=None,
                         help="JSON history file to append failover timing "
                              "figures to (e.g. BENCH_robustness.json)")
@@ -324,6 +393,8 @@ def main() -> int:
 
     if args.poison_flood:
         return run_poison_flood(args.seed, args.records)
+    if args.migration_kill:
+        return run_migration_kill_drill(args.seed, args.checkpoint_interval)
     if args.shard_kill:
         return run_shard_kill_drill(
             args.seed, args.records, args.shards, args.checkpoint_interval

@@ -17,7 +17,10 @@ robustness records are validated natively here.  ``BENCH_robustness.json``
 interleaves two record shapes — the poison-level sweep from
 ``bench_robustness.py`` and failover drills appended by
 ``chaos_check.py --bench-out`` — discriminated by the ``"drill"`` key.
-Missing files are skipped by default (benches are grown one PR at a
+``BENCH_cluster.json`` likewise interleaves the fleet-scaling sweep from
+``bench_cluster.py`` with live-migration records from
+``bench_migration.py`` (``"drill": "migration"``); its delegated
+validator dispatches between them.  Missing files are skipped by default (benches are grown one PR at a
 time); ``--strict`` turns a missing file into a failure.
 """
 

@@ -19,16 +19,19 @@ operator drains or rebalances by POSTing a table with a higher version.
 """
 
 from repro.cluster.client import ClusterClient
+from repro.cluster.migration import MigrationCoordinator
 from repro.cluster.placement import (
     PlacementTable,
     ShardSpec,
     rendezvous_score,
 )
-from repro.cluster.router import ClusterRouter
+from repro.cluster.router import ClusterRouter, MigrationConflict
 
 __all__ = [
     "ClusterClient",
     "ClusterRouter",
+    "MigrationConflict",
+    "MigrationCoordinator",
     "PlacementTable",
     "ShardSpec",
     "rendezvous_score",

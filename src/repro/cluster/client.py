@@ -15,10 +15,12 @@ during a drain.  The cache refreshes on demand and whenever a response's
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 
 from repro.cluster.placement import PlacementTable
-from repro.server.client import PredictionClient
+from repro.server.client import PredictionClient, PredictionServiceError
 
 
 class ClusterClient:
@@ -26,13 +28,31 @@ class ClusterClient:
 
     Keyword arguments are forwarded to the underlying
     :class:`PredictionClient` (timeouts, retries, breaker tuning...).
+
+    ``refresh_backoff`` / ``refresh_backoff_max`` bound the jittered
+    exponential backoff applied when placement refreshes keep failing
+    during a rebalance: a fleet of clients that all notice a newer
+    ``placement_version`` at once must not thundering-herd the router —
+    each client keeps serving its cached table and retries the refresh
+    at its own randomized cadence.
     """
 
-    def __init__(self, router_address: tuple, **client_kwargs) -> None:
+    def __init__(
+        self,
+        router_address: tuple,
+        refresh_backoff: float = 0.25,
+        refresh_backoff_max: float = 5.0,
+        **client_kwargs,
+    ) -> None:
         client_kwargs.setdefault("transport", "json")
         self._router = PredictionClient(router_address, **client_kwargs)
         self._lock = threading.Lock()
         self._placement: "PlacementTable | None" = None
+        self._refresh_backoff = float(refresh_backoff)
+        self._refresh_backoff_max = float(refresh_backoff_max)
+        self._refresh_failures = 0
+        self._refresh_not_before = 0.0
+        self._refresh_rng = random.Random()
 
     # -- placement ------------------------------------------------------------
     def placement(self, refresh: bool = False) -> PlacementTable:
@@ -51,12 +71,33 @@ class ClusterClient:
             return self._placement
 
     def _note_version(self, version) -> None:
+        """Opportunistic refresh when a response advertises a newer
+        table.  Refresh failures back off with jitter (the cached table
+        keeps serving — at worst a request is routed by the router's
+        newer table anyway); a success resets the backoff."""
         if not isinstance(version, int):
             return
+        now = time.monotonic()
         with self._lock:
             stale = self._placement is not None and version > self._placement.version
-        if stale:
+            if not stale or now < self._refresh_not_before:
+                return
+        try:
             self.placement(refresh=True)
+        except (PredictionServiceError, ValueError):
+            with self._lock:
+                self._refresh_failures += 1
+                delay = min(
+                    self._refresh_backoff * (2.0 ** (self._refresh_failures - 1)),
+                    self._refresh_backoff_max,
+                )
+                self._refresh_not_before = now + delay * (
+                    0.5 + self._refresh_rng.random()
+                )
+        else:
+            with self._lock:
+                self._refresh_failures = 0
+                self._refresh_not_before = 0.0
 
     def owner_of(self, kind: str, ext_id: int):
         """Home shard of a key under the cached placement."""
@@ -71,6 +112,21 @@ class ClusterClient:
         with self._lock:
             self._placement = PlacementTable.from_dict(body)
         return body
+
+    def start_migration(
+        self, target: PlacementTable, batch_entities: "int | None" = None
+    ) -> dict:
+        """Kick off a live entity migration to ``target`` on the router
+        (state moves with ownership; see :mod:`repro.cluster.migration`)."""
+        payload: dict = {"target": target.to_dict()}
+        if batch_entities is not None:
+            payload["batch_entities"] = int(batch_entities)
+        return self._router._request(
+            "POST", "/migration/start", payload, idempotent=False
+        )
+
+    def migration_status(self) -> dict:
+        return self._router._request("GET", "/migration/status")
 
     # -- data plane -----------------------------------------------------------
     def report_observation(

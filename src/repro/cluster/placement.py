@@ -17,11 +17,25 @@ Users are placed for the data plane (their observations and predictions
 go to their home shard); services are *additionally* given a home shard
 that owns the authoritative per-service credence (EMA error) the router
 merges into ranked candidates.
+
+This module doubles as the operator CLI for rebalancing::
+
+    python -m repro.cluster.placement --router HOST:PORT show
+    python -m repro.cluster.placement --router HOST:PORT drain s0 --migrate
+
+``show`` prints the installed table (and any running migration);
+``drain`` / ``undrain`` / ``add`` / ``remove`` each build a version-bumped
+table and either POST it to ``/cluster/placement`` (bare ownership swap)
+or, with ``--migrate``, hand it to ``/migration/start`` so entity state
+moves with ownership.
 """
 
 from __future__ import annotations
 
+import argparse
 import hashlib
+import json
+import sys
 from dataclasses import dataclass, field, replace
 
 _KINDS = ("user", "service")
@@ -179,3 +193,113 @@ class PlacementTable:
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(f"malformed placement table: {exc}") from exc
         return cls(shards, version=version)
+
+
+# -- operator CLI --------------------------------------------------------------
+def _parse_hostport(text: str) -> tuple[str, int]:
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def _parse_addresses(text: str) -> tuple:
+    return tuple(_parse_hostport(part) for part in text.split(",") if part)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.placement",
+        description="Inspect and rebalance a sharded fleet via its router.",
+    )
+    parser.add_argument(
+        "--router", required=True, metavar="HOST:PORT",
+        help="cluster router address",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="per-request timeout in seconds (default 10)",
+    )
+    parser.add_argument(
+        "--migrate", action="store_true",
+        help="apply the change as a live entity migration "
+        "(POST /migration/start) instead of a bare ownership swap — "
+        "factor rows, samples, and gate state move with ownership",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("show", help="print the installed table and migration status")
+    for name, extra in (
+        ("drain", "stop placing new keys on SHARD (it stays reachable)"),
+        ("undrain", "return SHARD to the placement rotation"),
+        ("remove", "drop SHARD from the table entirely"),
+    ):
+        command = sub.add_parser(name, help=extra)
+        command.add_argument("shard", metavar="SHARD")
+    command = sub.add_parser("add", help="add a new shard to the table")
+    command.add_argument("shard", metavar="SHARD")
+    command.add_argument(
+        "addresses", metavar="HOST:PORT[,HOST:PORT...]",
+        help="the shard's replica endpoints in preference order",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.cluster.client import ClusterClient
+    from repro.server.client import PredictionServiceError
+
+    try:
+        router_address = _parse_hostport(args.router)
+    except ValueError as exc:
+        parser.error(str(exc))
+    try:
+        with ClusterClient(
+            router_address, timeout=args.timeout, retries=0
+        ) as client:
+            table = client.placement(refresh=True)
+            if args.command == "show":
+                print(
+                    json.dumps(
+                        {
+                            "placement": table.to_dict(),
+                            "migration": client.migration_status(),
+                        },
+                        indent=2,
+                        sort_keys=True,
+                    )
+                )
+                return 0
+            try:
+                if args.command == "drain":
+                    new = table.draining_shard(args.shard, True)
+                elif args.command == "undrain":
+                    new = table.draining_shard(args.shard, False)
+                elif args.command == "remove":
+                    new = table.without_shard(args.shard)
+                else:  # add
+                    addresses = _parse_addresses(args.addresses)
+                    if not addresses:
+                        parser.error("add requires at least one HOST:PORT")
+                    new = table.with_shard(ShardSpec(args.shard, addresses))
+            except KeyError:
+                print(
+                    f"error: no shard named {args.shard!r} in "
+                    f"{table.names}", file=sys.stderr,
+                )
+                return 1
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            if args.migrate:
+                body = client.start_migration(new)
+                print(json.dumps({"migration": body}, indent=2, sort_keys=True))
+            else:
+                body = client.update_placement(new)
+                print(json.dumps({"placement": body}, indent=2, sort_keys=True))
+            return 0
+    except PredictionServiceError as exc:
+        detail = getattr(exc, "body", None)
+        print(f"error: {detail if isinstance(detail, dict) else exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,11 +21,23 @@ structured ``503 {"code": "shard_unavailable", "shard": ...}`` — a
 *response*, not a transport failure, so callers' circuit breakers never
 indict the router for a dead shard (the blast radius stays on the keys
 the dead shard owns).
+
+Live migration: ``POST /migration/start`` hands a target table to a
+:class:`~repro.cluster.migration.MigrationCoordinator` that moves entity
+state between shards batch by batch.  While a batch is in flight the
+router write-blocks (and, inside the brief commit window, read-blocks)
+exactly those entities — answered as a structured ``503
+entity_migrating`` with ``Retry-After`` — and routes committed entities
+through per-entity overrides until the target table is installed.  With
+a ``data_dir``, the installed table and in-flight migration journal are
+persisted via atomic temp-rename, so a restarted router keeps its drains
+and resumes an interrupted migration.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
@@ -51,6 +63,17 @@ _ROUTER_SHARD_ERRORS = _METRICS.counter(
 _PLACEMENT_VERSION = _METRICS.gauge(
     "qos_cluster_placement_version", "current placement table version"
 )
+_MIGRATION_ACTIVE = _METRICS.gauge(
+    "qos_cluster_migration_active", "1 while an entity migration is running"
+)
+_MIGRATION_ENTITIES = _METRICS.counter(
+    "qos_cluster_migration_entities_total",
+    "entities re-homed by committed migration batches",
+)
+_MIGRATION_BLOCKED = _METRICS.counter(
+    "qos_cluster_migration_blocked_total",
+    "requests answered 503 entity_migrating during a migration window",
+)
 
 
 class _BadRequest(ValueError):
@@ -61,6 +84,26 @@ class _ShardUnavailable(RuntimeError):
     def __init__(self, shard: str, cause: Exception) -> None:
         super().__init__(f"shard {shard!r} unavailable: {cause}")
         self.shard = shard
+
+
+class _EntityMigrating(RuntimeError):
+    """The entity is inside a migration window; the caller should retry
+    shortly — the commit window per batch is a handful of shard calls."""
+
+    def __init__(self, kind: str, ext_id: int, retry_after: float = 0.25) -> None:
+        super().__init__(f"{kind} {ext_id} is migrating; retry shortly")
+        self.kind = kind
+        self.ext_id = ext_id
+        self.retry_after = retry_after
+
+
+class MigrationConflict(RuntimeError):
+    """A migration cannot start (one is already active, or the target
+    table is not strictly newer than the installed one)."""
+
+    def __init__(self, message: str, code: str) -> None:
+        super().__init__(message)
+        self.code = code
 
 
 class ClusterRouter:
@@ -76,6 +119,18 @@ class ClusterRouter:
         client_kwargs: extra :class:`PredictionClient` keyword arguments
                       applied to every shard client (breaker tuning,
                       transport selection, ...).
+        data_dir:     directory for the persisted placement table and the
+                      migration journal (atomic temp-rename).  When set,
+                      a restart reloads whichever of the persisted and
+                      boot tables has the higher version — drains and
+                      committed rebalances survive the process — and an
+                      interrupted migration resumes on :meth:`start`.
+        handler_timeout: socket timeout of the router's own HTTP handler
+                      (how long it will wait on a slow *caller*).
+                      Defaults to the worst-case downstream budget —
+                      ``2 * timeout * (shard_retries + 1)``, floored at
+                      30 s — so drain-path reads that legitimately take a
+                      full shard-retry cycle are not cut off mid-answer.
     """
 
     def __init__(
@@ -87,20 +142,78 @@ class ClusterRouter:
         shard_retries: int = 0,
         max_body_bytes: int = 1 << 20,
         client_kwargs: "dict | None" = None,
+        data_dir: "str | None" = None,
+        handler_timeout: "float | None" = None,
     ) -> None:
         self._host = host
         self._port = port
         self.timeout = timeout
         self.shard_retries = shard_retries
         self.max_body_bytes = max_body_bytes
+        if handler_timeout is None:
+            handler_timeout = max(30.0, 2.0 * timeout * (shard_retries + 1))
+        self.handler_timeout = float(handler_timeout)
         self._client_kwargs = dict(client_kwargs or {})
         self._client_kwargs.setdefault("transport", "json")
         self._lock = threading.Lock()  # placement + client-map swaps
         self._clients: dict[str, PredictionClient] = {}
         self._placement: "PlacementTable | None" = None
+        # Migration routing state, all guarded by self._lock:
+        self._blocked: dict[tuple[str, int], str] = {}  # key -> "w" | "rw"
+        self._overrides: dict[tuple[str, int], str] = {}  # key -> dest shard
+        self._write_freeze: "PlacementTable | None" = None
+        self._extra_shards: dict[str, object] = {}  # target-only shards
+        self._migration_lock = threading.Lock()
+        self._migration = None  # active MigrationCoordinator
+        self._last_migration: "dict | None" = None
+        self.data_dir = data_dir
+        if data_dir is not None:
+            os.makedirs(data_dir, exist_ok=True)
+            persisted = self._load_json(self._placement_path)
+            if persisted is not None:
+                table = PlacementTable.from_dict(persisted)
+                if table.version >= placement.version:
+                    placement = table
         self._install(placement)
+        self._resume_state = (
+            self._load_json(self._migration_path) if data_dir is not None else None
+        )
+        if self._resume_state is not None:
+            # Committed overrides must route correctly before any
+            # traffic is served; the coordinator itself restarts in
+            # start().
+            for kind, ext_id, dest in self._resume_state.get("overrides", ()):
+                self._overrides[(str(kind), int(ext_id))] = str(dest)
         self._httpd = None
         self._thread = None
+
+    # -- persistence ----------------------------------------------------------
+    @property
+    def _placement_path(self) -> str:
+        return os.path.join(self.data_dir, "placement.json")
+
+    @property
+    def _migration_path(self) -> str:
+        return os.path.join(self.data_dir, "migration.json")
+
+    @staticmethod
+    def _load_json(path: str):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+
+    @staticmethod
+    def _persist_json(path: str, obj) -> None:
+        """Atomic write: a crash leaves either the old file or the new
+        one, never a torn mix."""
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(obj, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
 
     # -- placement ------------------------------------------------------------
     @property
@@ -138,9 +251,12 @@ class ClusterRouter:
             dropped = set(old_clients) - set(clients)
             self._placement = table
             self._clients = clients
+            self._extra_shards = {}
             _PLACEMENT_VERSION.set(table.version)
         for name in dropped:
             old_clients[name].close()
+        if self.data_dir is not None:
+            self._persist_json(self._placement_path, table.to_dict())
 
     def update_placement(self, table: PlacementTable) -> None:
         """Install a new table; the version must strictly increase."""
@@ -151,15 +267,179 @@ class ClusterRouter:
             )
         self._install(table)
 
-    def _route(self, kind: str, ext_id: int):
+    def _route(self, kind: str, ext_id: int, write: bool = False):
+        key = (kind, int(ext_id))
         with self._lock:
+            mode = self._blocked.get(key)
+            if mode is not None and (write or mode == "rw"):
+                _MIGRATION_BLOCKED.inc()
+                raise _EntityMigrating(kind, ext_id)
+            if write and self._write_freeze is not None:
+                # Pre-commit freeze: a write whose owner differs between
+                # the installed and target tables would land on a shard
+                # about to lose the entity — refuse it for the short
+                # convergence window instead.
+                if (
+                    self._write_freeze.owner_of(kind, ext_id).name
+                    != self._placement.owner_of(kind, ext_id).name
+                ):
+                    _MIGRATION_BLOCKED.inc()
+                    raise _EntityMigrating(kind, ext_id)
+            dest = self._overrides.get(key)
+            if dest is not None:
+                shard = self._extra_shards.get(dest)
+                if shard is None:
+                    shard = self._placement.shard(dest)
+                return shard, self._clients[dest]
             shard = self._placement.owner_of(kind, ext_id)
             return shard, self._clients[shard.name]
 
     def shard_client(self, name: str) -> PredictionClient:
-        """The router's client for one shard (drain reads, tests)."""
+        """The router's client for one shard (drain reads, migration,
+        tests)."""
         with self._lock:
             return self._clients[name]
+
+    # -- migration ------------------------------------------------------------
+    def start_migration(
+        self,
+        target: PlacementTable,
+        mid: "str | None" = None,
+        on_phase=None,
+        batch_entities: int = 64,
+        state: "dict | None" = None,
+    ):
+        """Start (or resume, when ``state`` is a persisted journal) a
+        live migration to ``target``.  Returns the running
+        :class:`~repro.cluster.migration.MigrationCoordinator`."""
+        from repro.cluster.migration import MigrationCoordinator
+
+        with self._migration_lock:
+            if self._migration is not None and self._migration.active:
+                raise MigrationConflict(
+                    f"migration {self._migration.mid!r} is already active",
+                    code="migration_active",
+                )
+            if target.version <= self.placement.version:
+                raise MigrationConflict(
+                    f"target version {target.version} is not newer than "
+                    f"installed version {self.placement.version}",
+                    code="stale_placement",
+                )
+            self._ensure_shards(target)
+            coordinator = MigrationCoordinator(
+                self,
+                target,
+                mid=mid,
+                on_phase=on_phase,
+                batch_entities=batch_entities,
+                state=state,
+            )
+            self._migration = coordinator
+            if self.data_dir is not None and state is None:
+                # Journal before the first action so a kill immediately
+                # after start is resumable.
+                self._persist_migration(coordinator.state_dict())
+            _MIGRATION_ACTIVE.set(1)
+            coordinator.start()
+            return coordinator
+
+    @property
+    def migration(self):
+        """The active (or most recently started) coordinator, if any."""
+        with self._migration_lock:
+            return self._migration
+
+    def migration_status(self) -> dict:
+        with self._migration_lock:
+            coordinator = self._migration
+            last = self._last_migration
+        if coordinator is None:
+            return {"active": False, "last": last}
+        body = {
+            "active": coordinator.active,
+            "mid": coordinator.mid,
+            "target_version": coordinator.target.version,
+            "progress": coordinator.progress_snapshot(),
+            "last": last,
+        }
+        if coordinator.error is not None:
+            body["error"] = str(coordinator.error)
+        return body
+
+    def _ensure_shards(self, table: PlacementTable) -> None:
+        """Make every shard of ``table`` reachable *now*: migration
+        destinations may be new shards that are not in the installed
+        table yet (scale-out), but overrides must route to them before
+        the target table is committed."""
+        with self._lock:
+            for shard in table.shards:
+                if shard.name in self._clients:
+                    continue
+                if not shard.addresses:
+                    raise ValueError(
+                        f"shard {shard.name!r} has no addresses to route to"
+                    )
+                self._clients[shard.name] = PredictionClient(
+                    list(shard.addresses),
+                    timeout=self.timeout,
+                    retries=self.shard_retries,
+                    **self._client_kwargs,
+                )
+                self._extra_shards[shard.name] = shard
+
+    def _block_entities(self, entities, reads: bool) -> None:
+        mode = "rw" if reads else "w"
+        with self._lock:
+            for kind, ext_id in entities:
+                self._blocked[(kind, int(ext_id))] = mode
+
+    def _unblock_entities(self, entities) -> None:
+        with self._lock:
+            for kind, ext_id in entities:
+                self._blocked.pop((kind, int(ext_id)), None)
+
+    def _add_overrides(self, entities, dest: str) -> None:
+        with self._lock:
+            for kind, ext_id in entities:
+                self._overrides[(kind, int(ext_id))] = dest
+        _MIGRATION_ENTITIES.inc(len(entities))
+
+    def overrides_state(self) -> list:
+        with self._lock:
+            return [
+                [kind, ext_id, dest]
+                for (kind, ext_id), dest in sorted(self._overrides.items())
+            ]
+
+    def _set_write_freeze(self, target: "PlacementTable | None") -> None:
+        with self._lock:
+            self._write_freeze = target
+
+    def _persist_migration(self, state: dict) -> None:
+        if self.data_dir is not None:
+            self._persist_json(self._migration_path, state)
+
+    def _commit_migration(self, target: PlacementTable) -> None:
+        """The final flip: install the target table, drop the overrides
+        and freeze (the table now routes everything correctly), and
+        retire the journal."""
+        self._install(target)
+        with self._lock:
+            self._overrides.clear()
+            self._write_freeze = None
+        if self.data_dir is not None:
+            try:
+                os.remove(self._migration_path)
+            except FileNotFoundError:
+                pass
+
+    def _migration_finished(self, coordinator) -> None:
+        """Coordinator thread's exit hook (success, abort, or error)."""
+        _MIGRATION_ACTIVE.set(0)
+        with self._migration_lock:
+            if coordinator.result is not None:
+                self._last_migration = coordinator.result
 
     # -- lifecycle ------------------------------------------------------------
     @property
@@ -178,8 +458,24 @@ class ClusterRouter:
             target=self._httpd.serve_forever, name="qos-cluster-router", daemon=True
         )
         self._thread.start()
+        if self._resume_state is not None:
+            state, self._resume_state = self._resume_state, None
+            self.start_migration(
+                PlacementTable.from_dict(state["target"]),
+                mid=state.get("mid"),
+                batch_entities=int(state.get("batch_entities", 64)),
+                state=state,
+            )
 
     def stop(self) -> None:
+        """Graceful stop: abort any running migration (its journal stays
+        on disk, so a restarted router resumes it) and shut down."""
+        with self._migration_lock:
+            coordinator = self._migration
+        if coordinator is not None:
+            coordinator.abort()
+            if threading.current_thread() is not coordinator._thread:
+                coordinator.join(timeout=5.0)
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -191,6 +487,14 @@ class ClusterRouter:
             clients = list(self._clients.values())
         for client in clients:
             client.close()
+
+    def kill(self) -> None:
+        """Crash simulation for the chaos drill: abort the coordinator
+        mid-action and drop the HTTP front end without any graceful
+        persistence — identical to SIGKILL as far as the journal is
+        concerned (whatever was last atomically persisted is what a
+        successor router sees)."""
+        self.stop()
 
     def __enter__(self) -> "ClusterRouter":
         self.start()
@@ -221,7 +525,7 @@ class ClusterRouter:
         user_id = payload.get("user_id")
         if not isinstance(user_id, int) or user_id < 0:
             raise _BadRequest("field 'user_id' must be a non-negative integer")
-        shard, client = self._route("user", user_id)
+        shard, client = self._route("user", user_id, write=True)
         body = self._call(
             shard,
             lambda: client._request("POST", "/observations", payload, write=True),
@@ -235,25 +539,41 @@ class ClusterRouter:
             raise _BadRequest("field 'observations' must be a list")
         # Split by owner, preserving each record's original index so the
         # merged reply reads exactly like a single shard's.
-        groups: dict[str, list[tuple[int, dict]]] = {}
-        bad: list[tuple[int, str]] = []
+        groups: dict[str, tuple[object, list[tuple[int, dict]]]] = {}
+        bad: list[dict] = []
         for index, record in enumerate(observations):
             user_id = record.get("user_id") if isinstance(record, dict) else None
             if not isinstance(user_id, int) or user_id < 0:
-                bad.append((index, "record must carry a non-negative user_id"))
+                bad.append(
+                    {
+                        "index": index,
+                        "error": "record must carry a non-negative user_id",
+                    }
+                )
                 continue
-            shard, _ = self._route("user", user_id)
-            groups.setdefault(shard.name, []).append((index, record))
+            try:
+                shard, _ = self._route("user", user_id, write=True)
+            except _EntityMigrating as exc:
+                bad.append(
+                    {
+                        "index": index,
+                        "error": str(exc),
+                        "code": "entity_migrating",
+                        "retry_after": exc.retry_after,
+                    }
+                )
+                continue
+            groups.setdefault(shard.name, (shard, []))[1].append((index, record))
         accepted = 0
-        rejected = [{"index": i, "error": err} for i, err in bad]
+        rejected = list(bad)
         # Per-record order is preserved within a shard; across shards the
         # errors are grouped by (sorted) shard name — a shard also omits
         # entries for deduplicated/quarantined records, so a global
         # index-aligned list is not reconstructible here.
         sample_errors: list[float] = []
         shards_used = []
-        for name, members in sorted(groups.items()):
-            shard, client = self._placement.shard(name), self._clients[name]
+        for name, (shard, members) in sorted(groups.items()):
+            client = self.shard_client(name)
             sub = [record for _, record in members]
             try:
                 body = self._call(
@@ -315,14 +635,14 @@ class ClusterRouter:
         instead of failing it; the prediction itself came from the live
         user shard.
         """
-        homes: dict[str, list[int]] = {}
+        homes: dict[str, tuple[object, list[int]]] = {}
         for service_id in service_ids:
             shard, _ = self._route("service", service_id)
-            homes.setdefault(shard.name, []).append(service_id)
+            homes.setdefault(shard.name, (shard, []))[1].append(service_id)
         credence: dict[str, float] = {}
         unreachable: list[str] = []
-        for name, ids in sorted(homes.items()):
-            shard, client = self._placement.shard(name), self._clients[name]
+        for name, (shard, ids) in sorted(homes.items()):
+            client = self.shard_client(name)
             try:
                 values = self._call(shard, lambda c=client, i=ids: c.credence(i))
             except _ShardUnavailable:
@@ -518,12 +838,17 @@ class ClusterRouter:
         router = self
 
         class Handler(BaseHTTPRequestHandler):
-            timeout = 30.0
+            # Socket timeout for slow callers, derived from the router's
+            # configured shard deadlines instead of a hardcoded constant
+            # so drain-path reads honor the operator's budget.
+            timeout = router.handler_timeout
 
             def log_message(self, format, *args):  # noqa: A002 (stdlib API)
                 pass
 
-            def _send(self, status, body, content_type="application/json"):
+            def _send(
+                self, status, body, content_type="application/json", headers=None
+            ):
                 data = (
                     body.encode("utf-8")
                     if isinstance(body, str)
@@ -532,6 +857,9 @@ class ClusterRouter:
                 self.send_response(status)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(data)))
+                if headers:
+                    for name, value in headers.items():
+                        self.send_header(name, value)
                 self.end_headers()
                 self.wfile.write(data)
 
@@ -562,6 +890,20 @@ class ClusterRouter:
                         self._send(status, body)
                     except _BadRequest as exc:
                         self._send(400, {"error": str(exc)})
+                    except _EntityMigrating as exc:
+                        # The entity is inside a migration commit window;
+                        # this clears in a handful of shard calls, so the
+                        # structured 503 invites an immediate short retry.
+                        self._send(
+                            503,
+                            {
+                                "error": str(exc),
+                                "code": "entity_migrating",
+                                "entity": [exc.kind, exc.ext_id],
+                                "retry_after": exc.retry_after,
+                            },
+                            headers={"Retry-After": "1"},
+                        )
                     except _ShardUnavailable as exc:
                         # A structured answer, not a transport failure:
                         # the router is healthy, one shard is not.  The
@@ -627,6 +969,8 @@ class ClusterRouter:
                 def route():
                     if parsed.path == "/cluster/placement":
                         return 200, router.placement.to_dict()
+                    if parsed.path == "/migration/status":
+                        return 200, router.migration_status()
                     if parsed.path == "/predictions":
                         return 200, router._handle_prediction(
                             parse_qs(parsed.query)
@@ -661,6 +1005,17 @@ class ClusterRouter:
                             table = PlacementTable.from_dict(payload)
                         except ValueError as exc:
                             raise _BadRequest(str(exc)) from exc
+                        active = router.migration
+                        if active is not None and active.active:
+                            # A bare table swap would race the
+                            # coordinator's overrides — rebalance through
+                            # /migration/start while one is running.
+                            return 409, {
+                                "error": "a live migration is active; "
+                                "placement changes must go through it",
+                                "code": "migration_active",
+                                "mid": active.mid,
+                            }
                         try:
                             router.update_placement(table)
                         except _BadRequest as exc:
@@ -670,6 +1025,35 @@ class ClusterRouter:
                                 "version": router.placement.version,
                             }
                         return 200, router.placement.to_dict()
+                    if parsed.path == "/migration/start":
+                        raw_target = payload.get("target")
+                        if not isinstance(raw_target, dict):
+                            raise _BadRequest(
+                                "field 'target' must be a placement table object"
+                            )
+                        try:
+                            table = PlacementTable.from_dict(raw_target)
+                        except ValueError as exc:
+                            raise _BadRequest(str(exc)) from exc
+                        batch_entities = payload.get("batch_entities", 64)
+                        if not isinstance(batch_entities, int) or batch_entities < 1:
+                            raise _BadRequest(
+                                "field 'batch_entities' must be a positive integer"
+                            )
+                        try:
+                            coordinator = router.start_migration(
+                                table, batch_entities=batch_entities
+                            )
+                        except MigrationConflict as exc:
+                            return 409, {
+                                "error": str(exc),
+                                "code": exc.code,
+                                "version": router.placement.version,
+                            }
+                        return 200, {
+                            "mid": coordinator.mid,
+                            "target_version": table.version,
+                        }
                     return 404, {"error": f"unknown path {parsed.path}"}
 
                 self._dispatch(parsed.path.lstrip("/"), route)

@@ -60,6 +60,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the background replay trainer (off by default in shards "
         "so ingest determinism is driven by the stream alone)",
     )
+    parser.add_argument(
+        "--lifecycle",
+        action="store_true",
+        help="enable hot/cold lifecycle tiering — required for the shard to "
+        "take part in live entity migration (/migration/* endpoints)",
+    )
+    parser.add_argument(
+        "--hot-users",
+        type=int,
+        default=None,
+        help="hot-tier user capacity (implies --lifecycle)",
+    )
+    parser.add_argument(
+        "--hot-services",
+        type=int,
+        default=None,
+        help="hot-tier service capacity (implies --lifecycle)",
+    )
     return parser
 
 
@@ -70,6 +88,16 @@ def main(argv=None) -> int:
         binary_port = None  # disabled
     elif binary_port is None:
         binary_port = 0
+    lifecycle = None
+    if args.lifecycle or args.hot_users is not None or args.hot_services is not None:
+        from repro.lifecycle import LifecycleConfig
+
+        overrides = {}
+        if args.hot_users is not None:
+            overrides["hot_users"] = args.hot_users
+        if args.hot_services is not None:
+            overrides["hot_services"] = args.hot_services
+        lifecycle = LifecycleConfig(**overrides)
     server = PredictionServer(
         rng=args.rng,
         host=args.host,
@@ -80,6 +108,7 @@ def main(argv=None) -> int:
         wal_fsync_delay=args.fsync_delay,
         background_replay=args.background_replay,
         binary_port=binary_port,
+        lifecycle=lifecycle,
     )
     server.start()
     stop = threading.Event()
@@ -102,6 +131,7 @@ def main(argv=None) -> int:
                 ),
                 "durable": server.durable,
                 "fsync_delay": args.fsync_delay,
+                "lifecycle": lifecycle is not None,
             }
         ),
         flush=True,

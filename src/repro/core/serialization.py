@@ -40,8 +40,14 @@ from repro.core.config import AMFConfig
 #: :class:`repro.lifecycle.TieredAMF` (external-id <-> slot maps, free
 #: lists, touch ticks, capacities, spilled-entity sets): the factor/error
 #: arrays are saved in *slot* space, so a tiered checkpoint is unreadable
-#: as a flat model without this mapping.  The array layout is unchanged
-#: at every bump, so v1-v4 archives remain readable.
+#: as a flat model without this mapping.  ``extra_json`` keys under
+#: ``migration`` are additionally reserved (no version bump — the key is
+#: optional) for the per-migration import dedup ledger
+#: (``{mid: high_seq}``) a shard persists after receiving migrated
+#: entities; a resumed coordinator may skip batch sequence numbers, so
+#: the migration chaos drill digests with ``ignore_extra=("migration",)``.
+#: The array layout is unchanged at every bump, so v1-v4 archives remain
+#: readable.
 FORMAT_VERSION = 5
 
 _EXTRA_MEMBER = "extra_json.npy"

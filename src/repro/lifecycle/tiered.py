@@ -111,6 +111,20 @@ _LC_HANDLES = {
 #: Memory-pressure levels in escalation order.
 PRESSURE_LEVELS = ("ok", "tighten", "critical")
 
+#: Lifecycle counters carried in checkpoints (``lifecycle_state()``); new
+#: keys are defaulted on restore so old checkpoints stay loadable.
+_DEFAULT_COUNTERS = {
+    "demoted_users": 0,
+    "demoted_services": 0,
+    "revived_users": 0,
+    "revived_services": 0,
+    "pressure_events": 0,
+    "imported_users": 0,
+    "imported_services": 0,
+    "migrated_out_users": 0,
+    "migrated_out_services": 0,
+}
+
 
 class ColdEntityError(KeyError):
     """An operation addressed a spilled entity without reviving it first."""
@@ -258,13 +272,7 @@ class TieredAMF(AdaptiveMatrixFactorization):
             self._hot_users = lc.hot_users
             self._hot_services = lc.hot_services
             self._pressure_level = "ok"
-            self.counters = {
-                "demoted_users": 0,
-                "demoted_services": 0,
-                "revived_users": 0,
-                "revived_services": 0,
-                "pressure_events": 0,
-            }
+            self.counters = dict(_DEFAULT_COUNTERS)
         else:
             self._u_slot_of = {int(e): int(p) for e, p, __ in state["users"]}
             self._s_slot_of = {int(e): int(p) for e, p, __ in state["services"]}
@@ -291,6 +299,10 @@ class TieredAMF(AdaptiveMatrixFactorization):
             self.counters = {
                 key: int(value) for key, value in state["counters"].items()
             }
+            # Checkpoints written before a counter existed lack its key;
+            # default it so increments never KeyError after an upgrade.
+            for key, value in _DEFAULT_COUNTERS.items():
+                self.counters.setdefault(key, value)
         hot_u, spill_u, __, __ = _LC_HANDLES["user"]
         hot_s, spill_s, __, __ = _LC_HANDLES["service"]
         hot_u.set_function(lambda: float(len(self._u_slot_of)))
@@ -752,6 +764,206 @@ class TieredAMF(AdaptiveMatrixFactorization):
         self.counters["revived_services"] += 1
         _LC_HANDLES["service"][3].inc()
         self._enforce_capacity()
+
+    # ------------------------------------------------------------------
+    # Migration (entity export / bulk import / removal by external id)
+    # ------------------------------------------------------------------
+    def entity_ids(self, kind: str) -> list[int]:
+        """Every known external id of one kind — hot and spilled, ascending.
+
+        The migration planner's discovery surface: ownership re-homing must
+        move *all* of an entity's state, including entities currently
+        demoted to the spill store.
+        """
+        if kind == "user":
+            return sorted(set(self._u_slot_of) | self._spilled_users)
+        if kind == "service":
+            return sorted(set(self._s_slot_of) | self._spilled_services)
+        raise ValueError(f"unknown entity kind {kind!r}")
+
+    def sample_edges(self) -> list:
+        """Every ``[user_ext, service_ext]`` pair sharing a retained sample.
+
+        The migration planner's co-location input: a batch that splits a
+        sample edge across two batches would drop the sample on import
+        (pass two of :meth:`import_entities` only restores samples whose
+        peer is present), so the coordinator packs connected components
+        whole.  Hot-tier edges come from the store indices; spilled
+        entities contribute the peer lists recorded in their spill
+        payloads (a full spill scan — migration-time cost, not hot-path).
+        Deterministically sorted.
+        """
+        edges = set()
+        for u_slot, s_slots in self._store._user_index.items():
+            u_ext = self._u_ext_of[u_slot]
+            for s_slot in s_slots:
+                edges.add((int(u_ext), int(self._s_ext_of[s_slot])))
+        for ext in self._spilled_users:
+            payload = self.revive_payload("user", ext)
+            for peer_ext, __, __ in payload.get("samples", ()):
+                edges.add((int(ext), int(peer_ext)))
+        for ext in self._spilled_services:
+            payload = self.revive_payload("service", ext)
+            for peer_ext, __, __ in payload.get("samples", ()):
+                edges.add((int(peer_ext), int(ext)))
+        return [list(edge) for edge in sorted(edges)]
+
+    def export_payload(self, kind: str, ext_id: int) -> dict:
+        """Canonical spill-format payload for any known entity, read-only.
+
+        Hot entities get exactly the payload :meth:`_demote_user_slot` /
+        :meth:`_demote_service_slot` would write (factor row, EMA error,
+        peer-sorted samples, gate entry) *without* being demoted — the
+        source stays fully serving until the migration batch commits.
+        Spilled entities reuse their spill row.  Unknown ids raise
+        ``KeyError`` (the coordinator treats that as "already moved").
+        """
+        ext = int(ext_id)
+        if kind == "user":
+            slot = self._u_slot_of.get(ext)
+            if slot is None:
+                return self.revive_payload("user", ext)
+            samples = []
+            for peer_slot in self._store._user_index.get(slot, ()):
+                timestamp, value = self._store.get(slot, peer_slot)
+                samples.append([int(self._s_ext_of[peer_slot]), timestamp, value])
+            samples.sort(key=lambda item: item[0])
+            payload = {
+                "row": [float(x) for x in self._user_factors._rows[slot]],
+                "err": float(self.weights.user_error(slot)),
+                "samples": samples,
+            }
+            if self.hooks is not None:
+                gate_entry = self.hooks.peek_user(ext)
+                if gate_entry is not None:
+                    payload["gate"] = gate_entry
+            return payload
+        if kind == "service":
+            slot = self._s_slot_of.get(ext)
+            if slot is None:
+                return self.revive_payload("service", ext)
+            samples = []
+            for peer_slot in self._store._service_index.get(slot, ()):
+                timestamp, value = self._store.get(peer_slot, slot)
+                samples.append([int(self._u_ext_of[peer_slot]), timestamp, value])
+            samples.sort(key=lambda item: item[0])
+            payload = {
+                "row": [float(x) for x in self._service_factors._rows[slot]],
+                "err": float(self.weights.service_error(slot)),
+                "samples": samples,
+            }
+            if self.hooks is not None:
+                gate_entry = self.hooks.peek_service(ext)
+                if gate_entry is not None:
+                    payload["gate"] = gate_entry
+            return payload
+        raise ValueError(f"unknown entity kind {kind!r}")
+
+    def import_entities(self, entities) -> int:
+        """Bit-exact bulk import of migrated entities (WAL-replayable).
+
+        ``entities`` is an iterable of ``(kind, ext_id, payload)`` in the
+        canonical spill format.  Imported state is authoritative: an id the
+        model already knows (hot or spilled) is forgotten first, then
+        restored from the payload.  Two passes — rows/errors/gate for every
+        entity, then samples — so samples between entities arriving in the
+        *same* batch survive regardless of intra-batch order; samples whose
+        peer is absent after pass one are dropped (the documented
+        re-warming tradeoff).  Returns the number of entities imported.
+        """
+        items = [
+            (str(kind), int(ext), payload) for kind, ext, payload in entities
+        ]
+        self._tick += 1
+        for kind, ext, payload in items:
+            if kind == "user":
+                if ext in self._u_slot_of:
+                    self.forget_user(ext)
+                elif ext in self._spilled_users:
+                    self._spilled_users.discard(ext)
+                    self._spill.delete("user", ext)
+                slot = self._alloc_user_slot(fresh=False)
+                self._u_slot_of[ext] = slot
+                self._u_ext_of[slot] = ext
+                self._u_touch[slot] = self._tick
+                self._user_factors.set_row(slot, payload["row"])
+                self.weights.set_user_error(slot, payload["err"])
+                if self.hooks is not None:
+                    self.hooks.import_user(ext, payload.get("gate"))
+                self.counters["imported_users"] += 1
+            elif kind == "service":
+                if ext in self._s_slot_of:
+                    self.forget_service(ext)
+                elif ext in self._spilled_services:
+                    self._spilled_services.discard(ext)
+                    self._spill.delete("service", ext)
+                slot = self._alloc_service_slot(fresh=False)
+                self._s_slot_of[ext] = slot
+                self._s_ext_of[slot] = ext
+                self._s_touch[slot] = self._tick
+                self._service_factors.set_row(slot, payload["row"])
+                self.weights.set_service_error(slot, payload["err"])
+                if self.hooks is not None:
+                    self.hooks.import_service(ext, payload.get("gate"))
+                self.counters["imported_services"] += 1
+            else:
+                raise ValueError(f"unknown entity kind {kind!r}")
+        for kind, ext, payload in items:
+            if kind == "user":
+                slot = self._u_slot_of[ext]
+                for peer_ext, timestamp, value in payload.get("samples", ()):
+                    peer_slot = self._s_slot_of.get(int(peer_ext))
+                    if peer_slot is None:
+                        continue
+                    value = float(value)
+                    self._store.put(
+                        slot,
+                        peer_slot,
+                        float(timestamp),
+                        value,
+                        self.normalize_value(value),
+                    )
+            else:
+                slot = self._s_slot_of[ext]
+                for peer_ext, timestamp, value in payload.get("samples", ()):
+                    peer_slot = self._u_slot_of.get(int(peer_ext))
+                    if peer_slot is None:
+                        continue
+                    value = float(value)
+                    self._store.put(
+                        peer_slot,
+                        slot,
+                        float(timestamp),
+                        value,
+                        self.normalize_value(value),
+                    )
+        self._spill.commit()
+        self._spill.maybe_compact()
+        self._enforce_capacity()
+        return len(items)
+
+    def remove_entity(self, kind: str, ext_id: int) -> bool:
+        """Forget a migrated-out entity; idempotent (WAL replay re-deletes).
+
+        Returns whether the entity existed.  The state was already shipped
+        in a prior export batch, so the gate entry :meth:`forget_user` /
+        :meth:`forget_service` discards here is a copy of what the
+        destination imported.
+        """
+        ext = int(ext_id)
+        if kind == "user":
+            existed = ext in self._u_slot_of or ext in self._spilled_users
+            self.forget_user(ext)
+            if existed:
+                self.counters["migrated_out_users"] += 1
+            return existed
+        if kind == "service":
+            existed = ext in self._s_slot_of or ext in self._spilled_services
+            self.forget_service(ext)
+            if existed:
+                self.counters["migrated_out_services"] += 1
+            return existed
+        raise ValueError(f"unknown entity kind {kind!r}")
 
     # ------------------------------------------------------------------
     # Pressure events

@@ -389,6 +389,25 @@ class SanitizerGate:
             return None
         return [stats.n, stats.center, stats.spread]
 
+    def peek_user(self, user_id: int) -> "list | None":
+        """Read a user's tracker as ``[n, center, spread]`` without removal.
+
+        Unlike :meth:`export_user` this leaves the tracker (and any pending
+        quarantine pairs) untouched — used by entity migration to snapshot
+        gate state while the source shard keeps serving the entity.
+        """
+        stats = self._users.get(user_id)
+        if stats is None:
+            return None
+        return [stats.n, stats.center, stats.spread]
+
+    def peek_service(self, service_id: int) -> "list | None":
+        """Read a service's tracker without removal (see :meth:`peek_user`)."""
+        stats = self._services.get(service_id)
+        if stats is None:
+            return None
+        return [stats.n, stats.center, stats.spread]
+
     def import_user(self, user_id: int, entry: "list | None") -> None:
         """Restore a user's tracker from an :meth:`export_user` triple."""
         if entry is None:

@@ -20,6 +20,13 @@ GET      /metrics               Prometheus text exposition (version 0.0.4)
 GET      /replication/wal       ?after_seq=N&limit=M — committed WAL
                                 records for a pulling standby
 GET      /replication/status    role, fencing epoch, lag (replicated mode)
+GET      /migration/entities    entity ids + sample edges (tiered servers)
+POST     /migration/export      {"entities": [[kind, id], ...]} — read-only
+                                canonical payloads for a migration batch
+POST     /migration/import      {"mid", "seq", "entities": [[kind, id,
+                                payload], ...]} — idempotent batch import
+POST     /migration/delete      {"entities": [...]} — drop source copies
+POST     /migration/probe       {"entities": [...]} — payload fingerprints
 =======  =====================  ==========================================
 
 A :class:`~repro.core.daemon.BackgroundTrainer` replays retained samples
@@ -76,6 +83,7 @@ High availability (:mod:`repro.server.replication`, ``replication=``):
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import os
@@ -161,6 +169,27 @@ _COLD_READS_SHED = _METRICS.counter(
     "qos_lifecycle_cold_reads_shed_total",
     "Cold-entity revive reads shed with 429 under critical memory pressure",
 )
+# Entity-migration shard counters (repro.cluster.migration drives these
+# endpoints; the families exist on every server so fleet aggregation and the
+# chaos drill's exposition check see them at zero when no migration ran).
+_MIGRATION_EXPORTS = _METRICS.counter(
+    "qos_migration_exports_total",
+    "Entities exported from this shard by migration batches",
+)
+_MIGRATION_IMPORTS = _METRICS.counter(
+    "qos_migration_imports_total",
+    "Entities imported into this shard by migration batches",
+)
+_MIGRATION_DELETES = _METRICS.counter(
+    "qos_migration_deletes_total",
+    "Source copies deleted on this shard after migration batch commit",
+)
+
+# WAL event kinds owned by the migration pipeline.  They live in the same
+# tagged-union sequence space as lifecycle events but are applied at the
+# *server* level (they also maintain the per-migration dedup ledger that
+# makes batch import idempotent across crashes and replica replay).
+_MIGRATION_EVENTS = ("migration_in", "migration_out")
 
 
 class _BadRequest(Exception):
@@ -300,6 +329,15 @@ class _LifecycleHooks:
             self._server._predict_cache.invalidate_service(service_id)
         gate = self._server.gate
         return gate.export_service(service_id) if gate is not None else None
+
+    def peek_user(self, user_id: int) -> "list | None":
+        """Non-destructive gate read for migration export (no cache touch)."""
+        gate = self._server.gate
+        return gate.peek_user(user_id) if gate is not None else None
+
+    def peek_service(self, service_id: int) -> "list | None":
+        gate = self._server.gate
+        return gate.peek_service(service_id) if gate is not None else None
 
     def import_user(self, user_id: int, entry: "list | None") -> None:
         if self._server._predict_cache is not None:
@@ -475,6 +513,15 @@ class PredictionServer:
         self._latest_ingest_ts: "float | None" = robustness_state.get(
             "latest_ingest_ts"
         )
+        # Migration import ledger: highest applied batch seq per migration
+        # id.  Rides checkpoints (``extra["migration"]``) and is rebuilt by
+        # the WAL replay below, so a duplicate batch POST — a coordinator
+        # retry after a crash on either side — is a durable no-op.
+        migration_state = checkpoint_extra.get("migration", {})
+        self._migration_applied: "dict[str, int]" = {
+            str(mid): int(seq)
+            for mid, seq in migration_state.get("applied", {}).items()
+        }
 
         # Replication / fencing state.  The epoch this node last held rides
         # in the checkpoint (serialization v4), so a deposed primary that
@@ -543,7 +590,14 @@ class PredictionServer:
                             "WAL contains lifecycle events; restart with "
                             "lifecycle= enabled to replay this directory"
                         )
-                    self._tiered.apply_event(entry[2], entry[3])
+                    if entry[2] in _MIGRATION_EVENTS:
+                        # Server-level events: they also rebuild the
+                        # migration ledger, which TieredAMF doesn't own.
+                        self._apply_migration_event(
+                            entry[2], entry[3], self._tiered
+                        )
+                    else:
+                        self._tiered.apply_event(entry[2], entry[3])
                     replayed += 1
                     continue
                 __, __, record, key = entry
@@ -773,6 +827,13 @@ class PredictionServer:
             # Control-plane state (serialization v4): the fencing epoch must
             # survive a crash so a deposed primary can recognize itself.
             extra["replication"] = {"epoch": self.epoch, "role": self.role}
+        if self._migration_applied:
+            # Migration dedup ledger: without it, a checkpoint that covers
+            # an imported batch followed by a crash would let a coordinator
+            # retry re-apply the batch.  Sorted for byte-stable archives.
+            extra["migration"] = {
+                "applied": dict(sorted(self._migration_applied.items()))
+            }
 
         def _save(m: AdaptiveMatrixFactorization) -> None:
             if isinstance(m, TieredAMF):
@@ -856,7 +917,12 @@ class PredictionServer:
                     "lifecycle tiering disabled; restart with lifecycle="
                 )
             self._wal.append_event(kind, data)
-            self.model.with_model(lambda m: m.apply_event(kind, data))
+            if kind in _MIGRATION_EVENTS:
+                self.model.with_model(
+                    lambda m: self._apply_migration_event(kind, data, m)
+                )
+            else:
+                self.model.with_model(lambda m: m.apply_event(kind, data))
             return "applied"
 
     def promote(self) -> bool:
@@ -1192,6 +1258,239 @@ class PredictionServer:
                 f"({self._degraded_reason}); predictions still serve"
             )
 
+    # -- entity migration ------------------------------------------------------
+    def _apply_migration_event(self, kind: str, data: dict, model) -> None:
+        """Apply one migration WAL event against the raw tiered model.
+
+        The single code path for live imports/deletes, crash-recovery
+        replay, and standby replication — all three must converge to the
+        same model *and* the same dedup ledger, which is why this lives on
+        the server (the ledger is server state) rather than in
+        ``TieredAMF.apply_event``.
+        """
+        if kind == "migration_in":
+            model.import_entities(
+                [(k, e, p) for k, e, p in data["entities"]]
+            )
+            mid = str(data["mid"])
+            seq = int(data["seq"])
+            if seq > self._migration_applied.get(mid, 0):
+                self._migration_applied[mid] = seq
+        elif kind == "migration_out":
+            for entity_kind, ext_id in data["entities"]:
+                model.remove_entity(str(entity_kind), int(ext_id))
+        else:
+            raise ValueError(f"unknown migration event {kind!r}")
+
+    def _require_tiered(self) -> None:
+        if self._tiered is None:
+            raise _BadRequest(
+                "entity migration requires lifecycle tiering; start the "
+                "server with lifecycle= enabled",
+                code="migration_unsupported",
+            )
+
+    @staticmethod
+    def _parse_entity_list(payload: dict) -> "list[tuple[str, int]]":
+        entities = payload.get("entities")
+        if not isinstance(entities, list) or not entities:
+            raise _BadRequest("field 'entities' must be a non-empty list")
+        parsed: "list[tuple[str, int]]" = []
+        for entry in entities:
+            try:
+                kind, ext_id = entry
+                kind = str(kind)
+                ext_id = int(ext_id)
+            except (TypeError, ValueError) as exc:
+                raise _BadRequest(
+                    "entities must be [kind, id] pairs"
+                ) from exc
+            if kind not in ("user", "service") or ext_id < 0:
+                raise _BadRequest(f"bad entity {entry!r}")
+            parsed.append((kind, ext_id))
+        return parsed
+
+    @staticmethod
+    def _parse_entity_payloads(entities) -> list:
+        if not isinstance(entities, list) or not entities:
+            raise _BadRequest("field 'entities' must be a non-empty list")
+        items: list = []
+        for entry in entities:
+            try:
+                kind, ext_id, payload = entry
+                kind = str(kind)
+                ext_id = int(ext_id)
+            except (TypeError, ValueError) as exc:
+                raise _BadRequest(
+                    "entities must be [kind, id, payload] triples"
+                ) from exc
+            if (
+                kind not in ("user", "service")
+                or ext_id < 0
+                or not isinstance(payload, dict)
+                or "row" not in payload
+                or "err" not in payload
+            ):
+                raise _BadRequest(f"bad entity payload for {kind} {ext_id}")
+            items.append([kind, ext_id, payload])
+        return items
+
+    def _handle_migration_entities(self) -> dict:
+        """``GET /migration/entities`` — the planner's discovery surface.
+
+        Ids of every entity (hot and spilled) plus the sample-sharing
+        edges the coordinator uses to pack co-located entities into the
+        same batch (a split edge would drop the shared sample on import).
+        """
+        self._require_tiered()
+        with self._acquire_ingest_lock():
+            return self.model.with_model(
+                lambda m: {
+                    "users": m.entity_ids("user"),
+                    "services": m.entity_ids("service"),
+                    "edges": m.sample_edges(),
+                }
+            )
+
+    def _handle_migration_export(self, payload: dict) -> dict:
+        """``POST /migration/export`` — read-only batch export.
+
+        Returns canonical spill-format payloads; ids this shard no longer
+        knows are silently omitted (the coordinator treats them as already
+        moved).  Nothing is mutated: the source keeps serving every
+        exported entity until the coordinator's delete after the batch
+        commits on the destination.
+        """
+        self._require_tiered()
+        entities = self._parse_entity_list(payload)
+        exported: list = []
+        with self._acquire_ingest_lock():
+            for kind, ext_id in entities:
+                try:
+                    entity_payload = self.model.with_model(
+                        lambda m, k=kind, e=ext_id: m.export_payload(k, e)
+                    )
+                except KeyError:
+                    continue
+                exported.append([kind, ext_id, entity_payload])
+        _MIGRATION_EXPORTS.inc(len(exported))
+        return {"entities": exported}
+
+    def _handle_migration_import(self, payload: dict) -> dict:
+        """``POST /migration/import`` — idempotent, epoch-fenced batch import.
+
+        Dedup by ``(mid, seq)``: a batch seq at or below the migration's
+        high-water mark is acknowledged without re-applying (coordinator
+        retries after a crash on either side are safe).  Log-then-apply:
+        the ``migration_in`` event (full payloads) hits the WAL before the
+        model, so recovery and standbys replay the exact import.
+        """
+        self._require_tiered()
+        self._check_write_allowed()
+        self._refuse_if_degraded()
+        mid = payload.get("mid")
+        if not isinstance(mid, str) or not mid or len(mid) > 256:
+            raise _BadRequest(
+                "field 'mid' must be a non-empty string of at most 256 "
+                "characters",
+                code="invalid_migration",
+            )
+        seq = _require(payload, "seq", int)
+        if seq < 1:
+            raise _BadRequest("field 'seq' must be >= 1")
+        items = self._parse_entity_payloads(payload.get("entities"))
+        with self._acquire_ingest_lock():
+            if seq <= self._migration_applied.get(mid, 0):
+                return {"applied": False, "imported": 0, "reason": "duplicate"}
+            data = {"mid": mid, "seq": seq, "entities": items}
+            if self._wal is not None:
+                try:
+                    self._wal.append_event("migration_in", data)
+                except WalAppendError as exc:
+                    self._degraded_reason = str(exc)
+                    raise _StorageUnavailable(
+                        f"migration import not durable, log unavailable: {exc}"
+                    ) from exc
+            self.model.with_model(
+                lambda m: self._apply_migration_event("migration_in", data, m)
+            )
+        _MIGRATION_IMPORTS.inc(len(items))
+        return {"applied": True, "imported": len(items)}
+
+    def _handle_migration_delete(self, payload: dict) -> dict:
+        """``POST /migration/delete`` — drop source copies after commit.
+
+        Only entities this shard still knows are logged and removed, so a
+        coordinator retry against an already-cleaned source appends no WAL
+        event — keeping the source's log (and checkpoint position)
+        identical to an uninterrupted run's.
+        """
+        self._require_tiered()
+        self._check_write_allowed()
+        self._refuse_if_degraded()
+        entities = self._parse_entity_list(payload)
+        with self._acquire_ingest_lock():
+            present = self.model.with_model(
+                lambda m: [
+                    [kind, ext_id]
+                    for kind, ext_id in entities
+                    if (
+                        (m.knows_user(ext_id) or m.is_spilled_user(ext_id))
+                        if kind == "user"
+                        else (
+                            m.knows_service(ext_id)
+                            or m.is_spilled_service(ext_id)
+                        )
+                    )
+                ]
+            )
+            if not present:
+                return {"removed": 0}
+            data = {"entities": present}
+            if self._wal is not None:
+                try:
+                    self._wal.append_event("migration_out", data)
+                except WalAppendError as exc:
+                    self._degraded_reason = str(exc)
+                    raise _StorageUnavailable(
+                        f"migration delete not durable, log unavailable: {exc}"
+                    ) from exc
+            self.model.with_model(
+                lambda m: self._apply_migration_event("migration_out", data, m)
+            )
+        _MIGRATION_DELETES.inc(len(present))
+        return {"removed": len(present)}
+
+    def _handle_migration_probe(self, payload: dict) -> dict:
+        """``POST /migration/probe`` — presence + content fingerprints.
+
+        For each requested entity this shard knows, a blake2b digest of
+        its canonical export payload.  The coordinator probes the
+        destination before every import: fingerprint-equal means the batch
+        already landed (skip the import, keeping the destination's WAL and
+        import counters identical to an unkilled run); absent or different
+        means export-and-import.
+        """
+        self._require_tiered()
+        entities = self._parse_entity_list(payload)
+        fingerprints: dict = {}
+        with self._acquire_ingest_lock():
+            for kind, ext_id in entities:
+                try:
+                    entity_payload = self.model.with_model(
+                        lambda m, k=kind, e=ext_id: m.export_payload(k, e)
+                    )
+                except KeyError:
+                    continue
+                fingerprints[f"{kind}:{ext_id}"] = hashlib.blake2b(
+                    json.dumps(entity_payload, sort_keys=True).encode(),
+                    digest_size=16,
+                ).hexdigest()
+        return {"entities": fingerprints}
+
+    def _migration_status(self) -> dict:
+        return {"applied": dict(sorted(self._migration_applied.items()))}
+
     def _handle_observation(self, payload: dict) -> dict:
         self._check_write_allowed()
         self._refuse_if_degraded()
@@ -1472,6 +1771,7 @@ class PredictionServer:
                 "robustness": self._robustness_status(),
                 "replication": self._replication_status(),
                 "lifecycle": self._lifecycle_status(),
+                "migration": self._migration_status(),
                 "transport": {
                     "binary_address": (
                         list(self.binary_address)
@@ -1707,6 +2007,8 @@ class PredictionServer:
                         return server._handle_health()
                     if parsed.path == "/credence":
                         return 200, server._handle_credence(parse_qs(parsed.query))
+                    if parsed.path == "/migration/entities":
+                        return 200, server._handle_migration_entities()
                     if parsed.path == "/replication/wal":
                         return 200, server._handle_replication_wal(
                             parse_qs(parsed.query)
@@ -1736,6 +2038,14 @@ class PredictionServer:
                         return 200, server._handle_observation_batch(payload)
                     if parsed.path == "/predictions/batch":
                         return 200, server._handle_prediction_batch(payload)
+                    if parsed.path == "/migration/export":
+                        return 200, server._handle_migration_export(payload)
+                    if parsed.path == "/migration/import":
+                        return 200, server._handle_migration_import(payload)
+                    if parsed.path == "/migration/delete":
+                        return 200, server._handle_migration_delete(payload)
+                    if parsed.path == "/migration/probe":
+                        return 200, server._handle_migration_probe(payload)
                     return 404, {"error": f"unknown path {parsed.path}"}
 
                 self._dispatch(route)

@@ -261,8 +261,14 @@ class WriteAheadLog:
         full spill payload — replay must restore from the log, because the
         spill file reflects crash-time state, not the replayed position)
         and ``pressure`` (``data = {"hu", "hs", "level"}``, a watchdog
-        capacity change).  Demotions are *not* logged: they are
-        deterministic functions of model state and replay identically.
+        capacity change).  Live entity migration adds ``migration_in``
+        (``data = {"mid", "seq", "entities": [[kind, id, payload], ...]}``
+        — the full imported batch, logged before the model mutates so
+        recovery and standbys replay the exact import) and
+        ``migration_out`` (``data = {"entities": [[kind, id], ...]}``,
+        the source-side delete after a batch commits remotely).
+        Demotions are *not* logged: they are deterministic functions of
+        model state and replay identically.
         """
         if not isinstance(data, dict):
             raise TypeError(f"event data must be a dict, got {type(data).__name__}")

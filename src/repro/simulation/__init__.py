@@ -14,6 +14,7 @@ from repro.simulation.faults import (
     FaultInjector,
     FaultyReplicaLink,
     LinkFaultConfig,
+    MigrationKillReport,
     RecoveryReport,
     ShardKillReport,
     check_metrics_exposition,
@@ -21,6 +22,7 @@ from repro.simulation.faults import (
     run_crash_recovery,
     run_failover,
     run_flood,
+    run_migration_kill,
     run_shard_kill,
 )
 
@@ -35,6 +37,7 @@ __all__ = [
     "FaultInjector",
     "FaultyReplicaLink",
     "LinkFaultConfig",
+    "MigrationKillReport",
     "RecoveryReport",
     "ShardKillReport",
     "check_metrics_exposition",
@@ -42,5 +45,6 @@ __all__ = [
     "run_crash_recovery",
     "run_failover",
     "run_flood",
+    "run_migration_kill",
     "run_shard_kill",
 ]

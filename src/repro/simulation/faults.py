@@ -104,6 +104,9 @@ CORE_METRIC_FAMILIES: tuple[str, ...] = (
     "qos_lifecycle_cold_reads_shed_total",
     "qos_lifecycle_pressure_level",
     "qos_lifecycle_pressure_events_total",
+    "qos_migration_exports_total",
+    "qos_migration_imports_total",
+    "qos_migration_deletes_total",
 )
 
 
@@ -1618,5 +1621,333 @@ def run_shard_kill(
     return ShardKillReport(
         matches=not mismatches,
         metrics_ok=metrics_ok,
+        detail=detail,
+    )
+
+
+@dataclass
+class MigrationKillReport:
+    """Outcome of :func:`run_migration_kill`.
+
+    ``matches`` covers the crash-safety contract: with a kill injected
+    mid-migration (source shard, destination shard, or router), the
+    resumed migration converges with zero lost and zero duplicated
+    entities, every re-homed entity's exported payload (factor row, EMA
+    error, samples, gate stats) byte-equal to an unkilled baseline
+    migration's, predictions bit-identical before/after and across the
+    two runs, and both shards' checkpoint archives digest-equal to the
+    baseline's (the migration ledger — whose batch sequence numbers may
+    legitimately differ after a resume — is the only excluded extra).
+    """
+
+    matches: bool
+    detail: dict = field(default_factory=dict)
+    metrics_ok: bool = True
+
+    def summary(self) -> str:
+        lines = [
+            "migration kill drill "
+            + ("CONVERGED" if self.matches else "DIVERGED")
+        ]
+        lines.append(
+            f"fleet metrics exposition {'OK' if self.metrics_ok else 'INVALID'}"
+        )
+        for key, value in self.detail.items():
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+
+def run_migration_kill(
+    records: "list[QoSRecord]",
+    data_root: str,
+    kill_target: str = "source",
+    kill_phase: str = "transfer",
+    rng: int = 0,
+    checkpoint_interval: int = 50,
+    batch_entities: int = 6,
+    restart_delay: float = 0.25,
+    join_timeout: float = 120.0,
+) -> MigrationKillReport:
+    """Kill anything mid-migration; prove the resumed migration converges.
+
+    Two identical 2-shard fleets (lifecycle tiering on, durable WALs,
+    router journal on disk) ingest ``records`` and then drain shard
+    ``s0`` through a live migration.  The *baseline* fleet migrates
+    uninterrupted.  The *faulted* fleet has ``kill_target`` (``source``,
+    ``dest``, or ``router``) killed — no graceful shutdown, no final
+    checkpoint — at the first occurrence of ``kill_phase`` (``export``,
+    ``transfer``, ``commit``, or ``pre-commit``), then restarted: a shard
+    restarts from its own checkpoint + WAL on the same port while the
+    coordinator retries against it; a killed router is rebuilt over the
+    same data dir and resumes the journaled migration on start.
+
+    Convergence is judged against the baseline: the source ends empty,
+    the destination holds every entity exactly once, each re-homed
+    entity's canonical export payload is byte-equal, predictions are
+    bit-identical before/after migration and across fleets, and both
+    shards' final checkpoint archives are digest-equal (ignoring only
+    the destination's migration ledger, whose batch sequence numbers may
+    skip after a resume).
+    """
+    import threading
+
+    from repro.cluster.placement import PlacementTable, ShardSpec
+    from repro.cluster.router import ClusterRouter
+    from repro.core.serialization import archive_digest
+    from repro.server.app import PredictionServer
+    from repro.server.client import PredictionClient
+    from repro.server.wal import CheckpointStore
+
+    if kill_target not in ("source", "dest", "router"):
+        raise ValueError(
+            f"kill_target must be source/dest/router, got {kill_target!r}"
+        )
+    if kill_phase not in ("export", "transfer", "commit", "pre-commit"):
+        raise ValueError(
+            f"kill_phase must be export/transfer/commit/pre-commit, "
+            f"got {kill_phase!r}"
+        )
+
+    server_args = dict(
+        background_replay=False,
+        checkpoint_interval=checkpoint_interval,
+        binary_port=None,
+        lifecycle=True,
+    )
+    names = ("s0", "s1")
+    probe = [
+        (record.user_id, record.service_id) for record in records[:1]
+    ]
+    if not probe:
+        raise ValueError("records must be non-empty")
+
+    def run_fleet(root: str, kill: bool) -> dict:
+        servers: dict[str, PredictionServer] = {}
+        ports: dict[str, int] = {}
+        for index, name in enumerate(names):
+            server = PredictionServer(
+                rng=rng + index,
+                data_dir=os.path.join(root, name),
+                **server_args,
+            )
+            server.start()
+            servers[name] = server
+            ports[name] = server.address[1]
+        table = PlacementTable(
+            [
+                ShardSpec(name=name, addresses=(servers[name].address,))
+                for name in names
+            ]
+        )
+        router = ClusterRouter(table, data_dir=os.path.join(root, "router"))
+        router.start()
+        client = PredictionClient(router.address, retries=0)
+
+        for record in records:
+            client.report_observation(
+                record.user_id, record.service_id, record.value, record.timestamp
+            )
+        pairs = sorted(
+            {(record.user_id, record.service_id) for record in records}
+        )
+        pre = {pair: client.predict(*pair) for pair in pairs}
+        source_inventory = servers["s0"].model.with_model(
+            lambda m: {
+                "user": sorted(m.entity_ids("user")),
+                "service": sorted(m.entity_ids("service")),
+            }
+        )
+
+        target = table.draining_shard("s0")
+        kill_fired = threading.Event()
+
+        def on_phase(progress: dict) -> None:
+            if kill_fired.is_set() or progress["phase"] != kill_phase:
+                return
+            kill_fired.set()
+            if kill_target == "router":
+                router.kill()
+                return
+            victim = "s0" if kill_target == "source" else "s1"
+            servers[victim].kill()
+
+            def _restart() -> None:
+                time.sleep(restart_delay)
+                replacement = PredictionServer(
+                    rng=rng + names.index(victim),
+                    data_dir=os.path.join(root, victim),
+                    port=ports[victim],
+                    **server_args,
+                )
+                replacement.start()
+                servers[victim] = replacement
+
+            threading.Thread(target=_restart, daemon=True).start()
+
+        coordinator = router.start_migration(
+            target,
+            on_phase=on_phase if kill else None,
+            batch_entities=batch_entities,
+        )
+        coordinator.join(timeout=join_timeout)
+        if kill and kill_target == "router":
+            # The dead router's journal is the contract: a successor
+            # over the same data dir resumes the migration on start.
+            client.close()
+            router = ClusterRouter(
+                table, data_dir=os.path.join(root, "router")
+            )
+            router.start()
+            client = PredictionClient(router.address, retries=0)
+            coordinator = router.migration
+            if coordinator is not None:
+                coordinator.join(timeout=join_timeout)
+        info: dict = {
+            "kill_fired": kill_fired.is_set(),
+            "coordinator_done": coordinator is not None
+            and not coordinator.active,
+            "coordinator_error": (
+                str(coordinator.error)
+                if coordinator is not None and coordinator.error is not None
+                else None
+            ),
+            "result": coordinator.result if coordinator is not None else None,
+            "placement_version": router.placement.version,
+            "target_version": target.version,
+            "pre": pre,
+            "source_inventory": source_inventory,
+        }
+        info["post"] = {pair: client.predict(*pair) for pair in pairs}
+        metrics_ok, metrics_detail = check_metrics_exposition(
+            client._request("GET", "/metrics", raw=True)
+        )
+        info["metrics_ok"] = metrics_ok
+        info["metrics"] = metrics_detail
+        info["counts"] = {
+            name: servers[name].model.with_model(
+                lambda m: (len(m.entity_ids("user")), len(m.entity_ids("service")))
+            )
+            for name in names
+        }
+        # Canonical export payloads of everything the source used to
+        # hold, as served by the destination now — the byte-equality
+        # oracle between fleets.
+        def _exports(model):
+            payloads = {}
+            for kind in ("user", "service"):
+                for ext_id in source_inventory[kind]:
+                    try:
+                        payloads[f"{kind}:{ext_id}"] = model.export_payload(
+                            kind, ext_id
+                        )
+                    except KeyError:
+                        pass
+            return payloads
+
+        info["dest_exports"] = servers["s1"].model.with_model(_exports)
+        client.close()
+        router.stop()
+        for name in names:
+            servers[name].stop()
+        info["digests"] = {
+            name: archive_digest(
+                CheckpointStore(os.path.join(root, name)).path,
+                ignore_extra=("migration",),
+            )
+            for name in names
+        }
+        return info
+
+    baseline = run_fleet(os.path.join(data_root, "baseline"), kill=False)
+    faulted = run_fleet(os.path.join(data_root, "faulted"), kill=True)
+
+    mismatches: list[str] = []
+    detail: dict = {
+        "kill_target": kill_target,
+        "kill_phase": kill_phase,
+        "records": len(records),
+        "baseline_result": baseline["result"],
+        "faulted_result": faulted["result"],
+    }
+
+    if not faulted["kill_fired"]:
+        mismatches.append(
+            f"kill at phase {kill_phase!r} never fired — the migration "
+            "finished without reaching it (stream too small?)"
+        )
+    for label, info in (("baseline", baseline), ("faulted", faulted)):
+        if not info["coordinator_done"]:
+            mismatches.append(f"{label}: migration did not finish in time")
+        if info["coordinator_error"] is not None:
+            mismatches.append(
+                f"{label}: migration errored: {info['coordinator_error']}"
+            )
+        if info["placement_version"] != info["target_version"]:
+            mismatches.append(
+                f"{label}: target table not installed "
+                f"(at version {info['placement_version']})"
+            )
+        if info["counts"]["s0"] != (0, 0):
+            mismatches.append(
+                f"{label}: source not empty after drain: "
+                f"{info['counts']['s0']} (lost-or-stranded entities)"
+            )
+        expected = (
+            len(info["source_inventory"]["user"]),
+            len(info["source_inventory"]["service"]),
+        )
+        moved = (
+            len([k for k in info["dest_exports"] if k.startswith("user:")]),
+            len([k for k in info["dest_exports"] if k.startswith("service:")]),
+        )
+        if moved != expected:
+            mismatches.append(
+                f"{label}: destination holds {moved} of the source's "
+                f"{expected} entities (lost entities)"
+            )
+        if not _errors_equal(
+            list(info["pre"].values()), list(info["post"].values())
+        ):
+            mismatches.append(
+                f"{label}: predictions changed across the migration"
+            )
+
+    if baseline["source_inventory"] != faulted["source_inventory"]:
+        mismatches.append(
+            "fleets diverged before the migration started (setup bug)"
+        )
+    for key, payload in baseline["dest_exports"].items():
+        other = faulted["dest_exports"].get(key)
+        if other != payload:
+            mismatches.append(
+                f"{key}: re-homed payload differs from baseline "
+                "(factor row / samples / gate not byte-equal)"
+            )
+            break
+    if baseline["post"] != faulted["post"]:
+        mismatches.append(
+            "post-migration predictions differ between baseline and "
+            "faulted fleets"
+        )
+    for name in names:
+        if baseline["digests"][name] != faulted["digests"][name]:
+            mismatches.append(
+                f"{name}: checkpoint digest differs from baseline "
+                f"({faulted['digests'][name][:12]} vs "
+                f"{baseline['digests'][name][:12]})"
+            )
+    detail["digests"] = {
+        "baseline": baseline["digests"],
+        "faulted": faulted["digests"],
+    }
+    detail["entities_moved"] = (
+        baseline["result"]["entities_moved"]
+        if baseline["result"]
+        else None
+    )
+    detail["mismatches"] = mismatches
+    return MigrationKillReport(
+        matches=not mismatches,
+        metrics_ok=baseline["metrics_ok"] and faulted["metrics_ok"],
         detail=detail,
     )

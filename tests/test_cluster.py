@@ -160,6 +160,24 @@ class TestPlacementTable:
             table.draining_shard("zz")
 
 
+class TestPlacementEdgeCases:
+    def test_draining_the_last_active_shard_is_rejected(self):
+        table = PlacementTable(specs(["a", "b"]))
+        drained = table.draining_shard("a")
+        with pytest.raises(ValueError):
+            drained.draining_shard("b")  # would leave no active shard
+        with pytest.raises(ValueError):
+            PlacementTable(specs(["a"])).draining_shard("a")
+
+    def test_drain_undrain_round_trip_restores_ownership(self):
+        table = PlacementTable(specs(["a", "b", "c"]))
+        restored = table.draining_shard("b").draining_shard("b", False)
+        assert restored.version == table.version + 2
+        assert not restored.shard("b").draining
+        # The round trip is ownership-neutral: every key goes home.
+        assert owners(restored) == owners(table)
+
+
 @pytest.fixture()
 def fleet():
     """Three in-process shards behind a running router."""
@@ -245,6 +263,48 @@ class TestRouterFleet:
         assert client.placement().version == table.version + 1
         body_owner = client.owner_of("user", 0)
         assert body_owner.name != drained_name
+
+    def test_lower_version_install_is_stale(self, fleet):
+        servers, table, router, client = fleet
+        client.update_placement(table.draining_shard("s2"))
+        # Re-offering the original (now older) table must be refused.
+        with pytest.raises(TerminalServiceError) as excinfo:
+            client.update_placement(table)
+        assert excinfo.value.status == 409
+        assert excinfo.value.body["code"] == "stale_placement"
+        assert router.placement.version == table.version + 1
+
+    def test_refresh_failures_back_off_with_jitter(self, fleet):
+        servers, table, router, client = fleet
+        client.placement()  # prime the cache
+        attempts = []
+        healthy_placement = client.placement
+
+        def failing_placement(refresh=False):
+            attempts.append(refresh)
+            raise RetryableServiceError("placement endpoint down")
+
+        client.placement = failing_placement
+        client._note_version(table.version + 1)
+        assert attempts == [True]
+        assert client._refresh_failures == 1
+        gate = client._refresh_not_before
+        assert gate > 0.0
+        # Inside the backoff window the next advertisement is ignored —
+        # the cached table keeps serving instead of hammering the router.
+        client._note_version(table.version + 1)
+        assert attempts == [True]
+        # Past the gate it retries, and the failure count keeps growing.
+        client._refresh_not_before = 0.0
+        client._note_version(table.version + 1)
+        assert attempts == [True, True]
+        assert client._refresh_failures == 2
+        # One successful refresh resets the backoff entirely.
+        client.placement = healthy_placement
+        client._refresh_not_before = 0.0
+        client._note_version(table.version + 1)
+        assert client._refresh_failures == 0
+        assert client._refresh_not_before == 0.0
 
 
 class TestRouterErrorContainment:

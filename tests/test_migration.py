@@ -1,0 +1,332 @@
+"""Tests for crash-safe live entity migration: the shard-level
+export/import/delete substrate (idempotent, WAL-durable, byte-exact),
+the coordinator's drain protocol behind the router, the router's
+commit-window read blocking and on-disk placement/journal persistence,
+and the operator CLI (``python -m repro.cluster.placement``)."""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterRouter,
+    PlacementTable,
+    ShardSpec,
+)
+from repro.cluster import placement as placement_cli
+from repro.server import (
+    PredictionClient,
+    PredictionServer,
+    RetryableServiceError,
+    TerminalServiceError,
+)
+
+TIERED_ARGS = dict(
+    rng=0, background_replay=False, binary_port=None, lifecycle=True
+)
+
+
+def tiered_server(data_dir, **overrides):
+    args = dict(TIERED_ARGS)
+    args.update(overrides)
+    server = PredictionServer(data_dir=str(data_dir), **args)
+    server.start()
+    return server
+
+
+def seed_entities(client, user_id=1, services=(1, 2)):
+    for step, service_id in enumerate(services):
+        client.report_observation(user_id, service_id, 0.4 + 0.1 * step, float(step))
+
+
+@pytest.fixture()
+def shard_pair(tmp_path):
+    source = tiered_server(tmp_path / "source")
+    dest = tiered_server(tmp_path / "dest", rng=1)
+    source_client = PredictionClient(source.address, retries=0)
+    dest_client = PredictionClient(dest.address, retries=0)
+    try:
+        yield source, dest, source_client, dest_client
+    finally:
+        source_client.close()
+        dest_client.close()
+        source.stop()
+        dest.stop()
+
+
+class TestMigrationEndpoints:
+    ENTITIES = [["user", 1], ["service", 1], ["service", 2]]
+
+    def _export(self, client):
+        return client._request(
+            "POST", "/migration/export", {"entities": self.ENTITIES}
+        )["entities"]
+
+    def test_export_import_round_trip_is_byte_exact(self, shard_pair):
+        source, dest, source_client, dest_client = shard_pair
+        seed_entities(source_client)
+        inventory = source_client._request("GET", "/migration/entities")
+        assert 1 in inventory["users"]
+        assert set(inventory["services"]) >= {1, 2}
+
+        exported = self._export(source_client)
+        assert [[kind, ext] for kind, ext, _ in exported] == self.ENTITIES
+        body = dest_client._request(
+            "POST",
+            "/migration/import",
+            {"mid": "m1", "seq": 1, "entities": exported},
+        )
+        assert body == {"applied": True, "imported": 3}
+        # Content fingerprints agree entity-by-entity across the shards...
+        probes = [
+            client._request(
+                "POST", "/migration/probe", {"entities": self.ENTITIES}
+            )["entities"]
+            for client in (source_client, dest_client)
+        ]
+        assert probes[0] == probes[1] and len(probes[0]) == 3
+        # ... and so do the canonical payload bytes and the prediction.
+        assert self._export(dest_client) == exported
+        assert dest_client.predict(1, 1) == source_client.predict(1, 1)
+
+    def test_duplicate_import_is_acknowledged_not_reapplied(self, shard_pair):
+        source, dest, source_client, dest_client = shard_pair
+        seed_entities(source_client)
+        exported = self._export(source_client)
+        payload = {"mid": "m1", "seq": 1, "entities": exported}
+        assert dest_client._request("POST", "/migration/import", payload)["applied"]
+        replay = dest_client._request("POST", "/migration/import", payload)
+        assert replay == {"applied": False, "imported": 0, "reason": "duplicate"}
+        with pytest.raises(TerminalServiceError) as excinfo:
+            dest_client._request(
+                "POST", "/migration/import", {**payload, "seq": 0}
+            )
+        assert excinfo.value.status == 400
+
+    def test_delete_logs_only_present_entities(self, shard_pair):
+        source, dest, source_client, dest_client = shard_pair
+        seed_entities(source_client)
+        body = source_client._request(
+            "POST", "/migration/delete", {"entities": self.ENTITIES}
+        )
+        assert body == {"removed": 3}
+        # Retry against the already-cleaned source: no-op, no WAL event.
+        assert source_client._request(
+            "POST", "/migration/delete", {"entities": self.ENTITIES}
+        ) == {"removed": 0}
+        assert self._export(source_client) == []
+
+    def test_recovery_replays_imports_and_deletes(self, tmp_path, shard_pair):
+        source, dest, source_client, dest_client = shard_pair
+        seed_entities(source_client)
+        exported = self._export(source_client)
+        dest_client._request(
+            "POST",
+            "/migration/import",
+            {"mid": "m1", "seq": 1, "entities": exported},
+        )
+        prediction = dest_client.predict(1, 1)
+        dest_client.close()
+        dest.kill()  # no final checkpoint: recovery must replay the WAL
+        revived = tiered_server(tmp_path / "dest", rng=1)
+        try:
+            with PredictionClient(revived.address, retries=0) as client:
+                assert self._export(client) == exported
+                assert client.predict(1, 1) == prediction
+                # The dedup ledger survived recovery too.
+                replay = client._request(
+                    "POST",
+                    "/migration/import",
+                    {"mid": "m1", "seq": 1, "entities": exported},
+                )
+                assert replay["reason"] == "duplicate"
+        finally:
+            revived.stop()
+
+
+@pytest.fixture()
+def migration_fleet(tmp_path):
+    """Two tiered shards behind a journaled router, plus a client."""
+    servers = {
+        name: tiered_server(tmp_path / name, rng=index)
+        for index, name in enumerate(("s0", "s1"))
+    }
+    table = PlacementTable(
+        [
+            ShardSpec(name=name, addresses=(server.address,))
+            for name, server in servers.items()
+        ]
+    )
+    router = ClusterRouter(table, data_dir=str(tmp_path / "router"))
+    router.start()
+    client = PredictionClient(router.address, retries=0)
+    try:
+        yield servers, table, router, client
+    finally:
+        client.close()
+        router.stop()
+        for server in servers.values():
+            server.stop()
+
+
+def feed_disjoint(client, table, per_user=3, users=8):
+    """Disjoint per-user service sets; returns the (user, service) pairs."""
+    pairs = []
+    tick = 0.0
+    for user_id in range(users):
+        for service_id in range(user_id * per_user, (user_id + 1) * per_user):
+            tick += 1.0
+            client.report_observation(
+                user_id, service_id, 0.2 + 0.01 * service_id, tick
+            )
+            pairs.append((user_id, service_id))
+    return pairs
+
+
+class TestRouterMigration:
+    def test_blocked_entity_reads_degrade_to_structured_503(
+        self, migration_fleet
+    ):
+        servers, table, router, client = migration_fleet
+        client.report_observation(5, 7, 0.5, 1.0)
+        router._block_entities([("user", 5)], reads=False)
+        try:
+            # Write-blocked: observations bounce, reads still serve.
+            with pytest.raises(RetryableServiceError) as excinfo:
+                client.report_observation(5, 7, 0.6, 2.0)
+            assert excinfo.value.status == 503
+            assert excinfo.value.body["code"] == "entity_migrating"
+            assert excinfo.value.retry_after > 0
+            assert client.predict(5, 7) > 0.0
+            router._block_entities([("user", 5)], reads=True)
+            with pytest.raises(RetryableServiceError) as excinfo:
+                client.predict(5, 7)
+            assert excinfo.value.body["code"] == "entity_migrating"
+        finally:
+            router._unblock_entities([("user", 5)])
+        assert client.predict(5, 7) > 0.0
+
+    def test_live_drain_rehomes_state_bit_exactly(self, migration_fleet):
+        servers, table, router, client = migration_fleet
+        pairs = feed_disjoint(client, table)
+        before = {pair: client.predict(*pair) for pair in pairs}
+
+        target = table.draining_shard("s0")
+        coordinator = router.start_migration(target, batch_entities=4)
+        coordinator.join(timeout=60.0)
+        assert not coordinator.active and coordinator.error is None
+        assert coordinator.result["entities_moved"] > 0
+        assert router.placement.version == target.version
+
+        counts = {
+            name: server.model.with_model(
+                lambda m: (len(m.entity_ids("user")), len(m.entity_ids("service")))
+            )
+            for name, server in servers.items()
+        }
+        assert counts["s0"] == (0, 0)
+        assert counts["s1"] == (8, 24)
+        assert {pair: client.predict(*pair) for pair in pairs} == before
+
+        status = json.loads(
+            json.dumps(client._request("GET", "/migration/status"))
+        )
+        assert status["active"] is False
+        assert status["last"]["mid"] == coordinator.mid
+
+    def test_placement_updates_are_refused_mid_migration(
+        self, migration_fleet
+    ):
+        servers, table, router, client = migration_fleet
+        feed_disjoint(client, table)
+        blocker = router.start_migration(
+            table.draining_shard("s0"), batch_entities=1
+        )
+        cluster = ClusterClient(router.address, retries=0)
+        try:
+            if router.migration is blocker and blocker.active:
+                with pytest.raises(TerminalServiceError) as excinfo:
+                    cluster.update_placement(table.draining_shard("s1"))
+                assert excinfo.value.body["code"] == "migration_active"
+        finally:
+            cluster.close()
+            blocker.join(timeout=60.0)
+        assert not blocker.active and blocker.error is None
+
+    def test_placement_survives_router_restart(self, tmp_path):
+        server = tiered_server(tmp_path / "solo")
+        table = PlacementTable(
+            [
+                ShardSpec(name="solo", addresses=(server.address,)),
+                ShardSpec(name="ghost", addresses=(("127.0.0.1", 1),)),
+            ]
+        )
+        data_dir = str(tmp_path / "router")
+        router = ClusterRouter(table, data_dir=data_dir)
+        router.start()
+        try:
+            with ClusterClient(router.address, retries=0) as cluster:
+                cluster.update_placement(table.draining_shard("ghost"))
+        finally:
+            router.stop()
+        # A successor booted with the *stale* table prefers the newer
+        # persisted one (atomic temp-rename file in its data dir).
+        successor = ClusterRouter(table, data_dir=data_dir)
+        try:
+            assert successor.placement.version == table.version + 1
+            assert successor.placement.shard("ghost").draining
+        finally:
+            successor.stop()
+            server.stop()
+
+
+class TestPlacementCli:
+    def run_cli(self, router, *argv):
+        host, port = router.address
+        return placement_cli.main(["--router", f"{host}:{port}", *argv])
+
+    def test_show_prints_table_and_migration_status(
+        self, migration_fleet, capsys
+    ):
+        servers, table, router, client = migration_fleet
+        assert self.run_cli(router, "show") == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["placement"]["version"] == table.version
+        assert body["migration"]["active"] is False
+
+    def test_drain_undrain_round_trip(self, migration_fleet, capsys):
+        servers, table, router, client = migration_fleet
+        assert self.run_cli(router, "drain", "s1") == 0
+        assert router.placement.shard("s1").draining
+        assert self.run_cli(router, "undrain", "s1") == 0
+        assert not router.placement.shard("s1").draining
+        assert router.placement.version == table.version + 2
+        capsys.readouterr()
+
+    def test_unknown_shard_and_bad_evolution_fail_cleanly(
+        self, migration_fleet, capsys
+    ):
+        servers, table, router, client = migration_fleet
+        assert self.run_cli(router, "drain", "nope") == 1
+        assert "no shard named" in capsys.readouterr().err
+        assert self.run_cli(router, "add", "s1", "127.0.0.1:9") == 1
+        assert "already present" in capsys.readouterr().err
+        assert router.placement.version == table.version
+
+    def test_migrate_flag_drains_through_the_coordinator(
+        self, migration_fleet, capsys
+    ):
+        servers, table, router, client = migration_fleet
+        feed_disjoint(client, table, per_user=2, users=4)
+        assert self.run_cli(router, "--migrate", "drain", "s0") == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["migration"]["target_version"] == table.version + 1
+        coordinator = router.migration
+        if coordinator is not None:
+            coordinator.join(timeout=60.0)
+        assert router.placement.version == table.version + 1
+        counts = servers["s0"].model.with_model(
+            lambda m: (len(m.entity_ids("user")), len(m.entity_ids("service")))
+        )
+        assert counts == (0, 0)
